@@ -1,0 +1,95 @@
+//! Ablation: which single accelerator buys the most?
+//!
+//! The paper's discussion (§4) argues that an RSA accelerator is hard to
+//! justify because PKI work is a fixed ~600 ms per license, while AES/SHA-1
+//! acceleration scales with content size. This bench sweeps single-macro
+//! partitionings (AES only, SHA-1 only, RSA only) and content sizes to
+//! expose where each accelerator pays off — the design-space exploration a
+//! SoC architect would run on top of the paper's model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oma_crypto::Algorithm;
+use oma_perf::arch::{Architecture, Implementation, DEFAULT_CLOCK_HZ};
+use oma_perf::cost::CostTable;
+use oma_perf::usecase::UseCaseSpec;
+use std::hint::black_box;
+
+fn single_macro_variants() -> Vec<Architecture> {
+    let aes_only = Architecture::custom(
+        "AES-HW",
+        |alg| match alg {
+            Algorithm::AesEncrypt | Algorithm::AesDecrypt => Implementation::Hardware,
+            _ => Implementation::Software,
+        },
+        DEFAULT_CLOCK_HZ,
+    );
+    let sha_only = Architecture::custom(
+        "SHA-HW",
+        |alg| match alg {
+            Algorithm::Sha1 | Algorithm::HmacSha1 => Implementation::Hardware,
+            _ => Implementation::Software,
+        },
+        DEFAULT_CLOCK_HZ,
+    );
+    let rsa_only = Architecture::custom(
+        "RSA-HW",
+        |alg| match alg {
+            Algorithm::RsaPublic | Algorithm::RsaPrivate => Implementation::Hardware,
+            _ => Implementation::Software,
+        },
+        DEFAULT_CLOCK_HZ,
+    );
+    vec![Architecture::software(), aes_only, sha_only, rsa_only, Architecture::full_hardware()]
+}
+
+fn ablation(c: &mut Criterion) {
+    let table = CostTable::paper();
+    let variants = single_macro_variants();
+
+    // Print the sweep so the bench output doubles as the ablation table.
+    println!("Single-accelerator ablation (total milliseconds per use case):");
+    for spec in [
+        UseCaseSpec::ringtone(),
+        UseCaseSpec::music_player(),
+        UseCaseSpec::new("Video Clip", 20 * 1024 * 1024, 2),
+    ] {
+        let traces = oma_perf::analytic::phase_traces(&spec);
+        let total = traces.total(spec.accesses());
+        print!("  {:<14}", spec.name());
+        for arch in &variants {
+            print!(" {:>8.1} ({})", arch.millis(&total, &table), arch.name());
+        }
+        println!();
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    for arch in &variants {
+        group.bench_with_input(BenchmarkId::new("music_player", arch.name()), arch, |b, arch| {
+            let spec = UseCaseSpec::music_player();
+            let traces = oma_perf::analytic::phase_traces(&spec);
+            let total = traces.total(spec.accesses());
+            b.iter(|| arch.millis(black_box(&total), black_box(&table)))
+        });
+    }
+
+    // Content-size sweep under the hybrid architecture: where does the
+    // consumption cost overtake the fixed PKI cost?
+    for size_kb in [32u64, 256, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_size_sweep_kb", size_kb),
+            &size_kb,
+            |b, &size_kb| {
+                let spec = UseCaseSpec::new("sweep", (size_kb * 1024) as usize, 5);
+                let arch = Architecture::hybrid();
+                b.iter(|| {
+                    let traces = oma_perf::analytic::phase_traces(black_box(&spec));
+                    arch.millis(&traces.total(spec.accesses()), &table)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 5 — relative importance of the cryptographic algorithms in the
+//! pure-software variant, for both use cases.
+//!
+//! The bench measures the breakdown computation and, on every run, prints
+//! the resulting percentage series so the figure can be read off the bench
+//! output directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oma_perf::cost::CostTable;
+use oma_perf::report;
+use oma_perf::usecase::UseCaseSpec;
+use std::hint::black_box;
+
+fn breakdown(c: &mut Criterion) {
+    let table = CostTable::paper();
+
+    // Print the figure series once so the bench output doubles as the figure.
+    for series in report::figure5(&table) {
+        println!("{series}");
+    }
+
+    let mut group = c.benchmark_group("fig5");
+    for spec in UseCaseSpec::paper_use_cases() {
+        group.bench_with_input(
+            BenchmarkId::new("algorithm_breakdown", spec.name()),
+            &spec,
+            |b, spec| b.iter(|| report::algorithm_breakdown(black_box(spec), black_box(&table))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, breakdown);
+criterion_main!(benches);

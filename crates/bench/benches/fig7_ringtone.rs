@@ -1,0 +1,55 @@
+//! Figure 7 — total processing time of the SW, SW/HW and HW architecture
+//! variants in the Ringtone use case (30 KB DCF, 25 accesses).
+//!
+//! As for Figure 6, the model evaluation is benchmarked alongside a real
+//! protocol run at the actual ringtone size (30 KB is small enough to run
+//! end-to-end, registration included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oma_bench::{Experiment, FIGURE7_PAPER_MS};
+use oma_perf::runner;
+use oma_perf::usecase::UseCaseSpec;
+use std::hint::black_box;
+
+fn model(c: &mut Criterion) {
+    let experiment = Experiment::new();
+    let figure = experiment.figure7();
+    println!("{figure}");
+    for (variant, expected) in FIGURE7_PAPER_MS {
+        println!(
+            "  paper {variant:<6} {expected:>7.0} ms | model {:>8.1} ms",
+            figure.total_millis(variant).unwrap()
+        );
+    }
+
+    let mut group = c.benchmark_group("fig7/model");
+    for arch in &experiment.variants {
+        group.bench_with_input(BenchmarkId::new("evaluate", arch.name()), arch, |b, arch| {
+            let spec = UseCaseSpec::ringtone();
+            let traces = oma_perf::analytic::phase_traces(&spec);
+            let total = traces.total(spec.accesses());
+            b.iter(|| arch.millis(black_box(&total), black_box(&experiment.table)))
+        });
+    }
+    group.finish();
+}
+
+fn protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/protocol");
+    group.sample_size(10);
+    // Full life-cycle at the real ringtone size with 512-bit test keys
+    // (key generation dominates 1024-bit runs and is not part of the
+    // phases the paper models).
+    let spec = UseCaseSpec::ringtone().with_rsa_modulus_bits(512);
+    group.bench_function("full_lifecycle_ringtone_30k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            runner::measure_use_case(black_box(&spec), seed).expect("protocol run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, model, protocol);
+criterion_main!(benches);

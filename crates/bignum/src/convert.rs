@@ -1,0 +1,169 @@
+//! Conversions between [`BigUint`] and byte strings / hex strings.
+//!
+//! The byte-string conversions implement the PKCS#1 I2OSP and OS2IP
+//! primitives used throughout the RSA code in `oma-crypto`.
+
+use crate::error::ParseBigUintError;
+use crate::BigUint;
+use std::str::FromStr;
+
+impl BigUint {
+    /// OS2IP: interprets a big-endian byte string as an unsigned integer.
+    ///
+    /// ```
+    /// use oma_bignum::BigUint;
+    /// assert_eq!(BigUint::from_bytes_be(&[0x01, 0x00]).to_u64(), Some(256));
+    /// ```
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Converts to a big-endian byte string with no leading zero bytes
+    /// (the empty slice for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// I2OSP: converts to a big-endian byte string of exactly `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
+        let raw = self.to_bytes_be();
+        if raw.len() > len {
+            return None;
+        }
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        Some(out)
+    }
+
+    /// Parses a hexadecimal string (without `0x` prefix, case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBigUintError`] if the string is empty or contains a
+    /// non-hexadecimal character.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError::Empty);
+        }
+        let mut value = BigUint::zero();
+        for c in s.chars() {
+            let digit = c.to_digit(16).ok_or(ParseBigUintError::InvalidDigit(c))? as u64;
+            value = value.shl_bits(4);
+            value.add_assign_ref(&BigUint::from_u64(digit));
+        }
+        Ok(value)
+    }
+
+    /// Formats as a lowercase hexadecimal string without a `0x` prefix
+    /// (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        for (i, &limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&format!("{limb:x}"));
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        s
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    /// Parses a hexadecimal string, accepting an optional `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        BigUint::from_hex(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[1],
+            &[0xff],
+            &[1, 0],
+            &[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0x11],
+        ];
+        for &bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            assert_eq!(n.to_bytes_be(), bytes.to_vec());
+        }
+    }
+
+    #[test]
+    fn leading_zeros_are_ignored_on_parse() {
+        let a = BigUint::from_bytes_be(&[0, 0, 1, 2]);
+        let b = BigUint::from_bytes_be(&[1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn padded_bytes() {
+        let n = BigUint::from_u64(0x1234);
+        assert_eq!(n.to_bytes_be_padded(4), Some(vec![0, 0, 0x12, 0x34]));
+        assert_eq!(n.to_bytes_be_padded(2), Some(vec![0x12, 0x34]));
+        assert_eq!(n.to_bytes_be_padded(1), None);
+        assert_eq!(BigUint::zero().to_bytes_be_padded(3), Some(vec![0, 0, 0]));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeef", "0123456789abcdef0123456789abcdef01"] {
+            let n = BigUint::from_hex(s).unwrap();
+            let expected = s.trim_start_matches('0');
+            let expected = if expected.is_empty() { "0" } else { expected };
+            assert_eq!(n.to_hex(), expected);
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_prefix() {
+        assert_eq!("0xff".parse::<BigUint>().unwrap().to_u64(), Some(255));
+        assert_eq!("ff".parse::<BigUint>().unwrap().to_u64(), Some(255));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(BigUint::from_hex(""), Err(ParseBigUintError::Empty));
+        assert_eq!(BigUint::from_hex("xyz"), Err(ParseBigUintError::InvalidDigit('x')));
+        assert!("0x".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn hex_matches_bytes() {
+        let n = BigUint::from_bytes_be(&[0xab, 0xcd, 0xef, 0x01, 0x23]);
+        assert_eq!(n.to_hex(), "abcdef0123");
+    }
+}

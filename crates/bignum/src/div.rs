@@ -1,0 +1,130 @@
+//! Division and remainder.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Divides `self` by `divisor`, returning `(quotient, remainder)`.
+    ///
+    /// The algorithm is shift-and-subtract long division, with a fast path
+    /// for single-limb divisors. It is O(bits · limbs) which is more than
+    /// adequate for the RSA key sizes this crate supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self.cmp_magnitude(divisor) == std::cmp::Ordering::Less {
+            return (Self::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient = Self::zero();
+        let mut shifted = divisor.shl_bits(shift);
+        for i in (0..=shift).rev() {
+            if remainder.cmp_magnitude(&shifted) != std::cmp::Ordering::Less {
+                remainder.sub_assign_ref(&shifted);
+                quotient.set_bit(i, true);
+            }
+            shifted = shifted.shr_bits(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Divides by a single machine word, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Self, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Computes `self mod modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem_of(&self, modulus: &Self) -> Self {
+        self.div_rem(modulus).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_division() {
+        let a = BigUint::from_u64(1_000_000);
+        let b = BigUint::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_u64(), Some(142_857));
+        assert_eq!(r.to_u64(), Some(1));
+    }
+
+    #[test]
+    fn divide_by_larger_gives_zero_quotient() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u64(10);
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let a = BigUint::from_u128(1u128 << 100);
+        let b = BigUint::from_u128(1u128 << 40);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigUint::from_u128(1u128 << 60));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn multi_limb_division_identity() {
+        // a = q*b + r reconstructed exactly
+        let a = BigUint::from_hex("f0e1d2c3b4a5968778695a4b3c2d1e0f00112233445566778899aabbccddeeff")
+            .unwrap();
+        let b = BigUint::from_hex("0123456789abcdef0011223344556677").unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        let recon = &(&q * &b) + &r;
+        assert_eq!(recon, a);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_generic() {
+        let a = BigUint::from_hex("ffeeddccbbaa99887766554433221100aabbccdd").unwrap();
+        let (q1, r1) = a.div_rem_u64(1_000_003);
+        let (q2, r2) = a.div_rem(&BigUint::from_u64(1_000_003));
+        assert_eq!(q1, q2);
+        assert_eq!(BigUint::from_u64(r1), r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = BigUint::from_u64(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn rem_of_is_remainder() {
+        let a = BigUint::from_u64(100);
+        let m = BigUint::from_u64(7);
+        assert_eq!(a.rem_of(&m).to_u64(), Some(2));
+    }
+}

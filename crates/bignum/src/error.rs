@@ -1,0 +1,46 @@
+//! Error types for this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a [`crate::BigUint`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseBigUintError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a hexadecimal digit.
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigUintError::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseBigUintError::InvalidDigit(c) => {
+                write!(f, "invalid hexadecimal digit {c:?}")
+            }
+        }
+    }
+}
+
+impl Error for ParseBigUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ParseBigUintError::Empty.to_string(),
+            "cannot parse integer from empty string"
+        );
+        assert!(ParseBigUintError::InvalidDigit('g').to_string().contains('g'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ParseBigUintError>();
+    }
+}

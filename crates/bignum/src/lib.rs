@@ -1,0 +1,49 @@
+//! Arbitrary-precision unsigned integer arithmetic.
+//!
+//! This crate is the numeric substrate for the from-scratch RSA-1024
+//! implementation in [`oma-crypto`]. It provides a little-endian,
+//! 64-bit-limb unsigned big integer ([`BigUint`]) together with the
+//! operations RSA needs:
+//!
+//! * schoolbook multiplication and long division,
+//! * modular exponentiation through a Montgomery multiplication context
+//!   ([`Montgomery`]),
+//! * modular inversion (extended Euclid),
+//! * Miller–Rabin primality testing and random prime generation
+//!   ([`prime`]),
+//! * the PKCS#1 octet-string conversions I2OSP / OS2IP ([`BigUint::from_bytes_be`],
+//!   [`BigUint::to_bytes_be_padded`]).
+//!
+//! The implementation favours clarity and portability over raw speed: it is
+//! meant to model the software path of an embedded terminal, not to compete
+//! with production bignum libraries.
+//!
+//! # Example
+//!
+//! ```
+//! use oma_bignum::BigUint;
+//!
+//! let a = BigUint::from_u64(1_000_000_007);
+//! let b = BigUint::from_u64(998_244_353);
+//! let m = BigUint::from_u64(4_294_967_291);
+//! let p = a.modpow(&b, &m);
+//! assert!(p < m);
+//! ```
+//!
+//! [`oma-crypto`]: ../oma_crypto/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod div;
+mod error;
+mod modular;
+mod montgomery;
+mod mul;
+pub mod prime;
+mod uint;
+
+pub use error::ParseBigUintError;
+pub use montgomery::Montgomery;
+pub use uint::BigUint;

@@ -1,0 +1,211 @@
+//! Modular arithmetic helpers that are not tied to a Montgomery context:
+//! modular addition/subtraction/multiplication, GCD and modular inversion.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Computes `(self + other) mod modulus` (operands need not be reduced).
+    pub fn add_mod(&self, other: &Self, modulus: &Self) -> Self {
+        (self + other).rem_of(modulus)
+    }
+
+    /// Computes `(self - other) mod modulus`, wrapping around the modulus.
+    ///
+    /// Both operands are reduced modulo `modulus` first, so the result is
+    /// always in `[0, modulus)`.
+    pub fn sub_mod(&self, other: &Self, modulus: &Self) -> Self {
+        let a = self.rem_of(modulus);
+        let b = other.rem_of(modulus);
+        if a >= b {
+            &a - &b
+        } else {
+            &(&a + modulus) - &b
+        }
+    }
+
+    /// Computes `(self * other) mod modulus`.
+    pub fn mul_mod(&self, other: &Self, modulus: &Self) -> Self {
+        (self * other).rem_of(modulus)
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    ///
+    /// ```
+    /// use oma_bignum::BigUint;
+    /// let g = BigUint::from_u64(48).gcd(&BigUint::from_u64(36));
+    /// assert_eq!(g.to_u64(), Some(12));
+    /// ```
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem_of(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes the modular inverse `self⁻¹ mod modulus`, if it exists.
+    ///
+    /// Returns `None` when `gcd(self, modulus) != 1` or the modulus is zero
+    /// or one.
+    ///
+    /// ```
+    /// use oma_bignum::BigUint;
+    /// let inv = BigUint::from_u64(3).mod_inverse(&BigUint::from_u64(11)).unwrap();
+    /// assert_eq!(inv.to_u64(), Some(4)); // 3 * 4 = 12 ≡ 1 (mod 11)
+    /// ```
+    pub fn mod_inverse(&self, modulus: &Self) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        // Extended Euclid with signed coefficients tracked as (sign, magnitude).
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem_of(modulus);
+        // t coefficients: t0 = 0, t1 = 1
+        let mut t0 = Signed::zero();
+        let mut t1 = Signed::positive(BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            let t2 = t0.sub(&t1.mul_uint(&q));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        Some(t0.rem_positive(modulus))
+    }
+}
+
+/// Minimal signed big integer used only inside the extended Euclid algorithm.
+#[derive(Clone, Debug)]
+struct Signed {
+    negative: bool,
+    magnitude: BigUint,
+}
+
+impl Signed {
+    fn zero() -> Self {
+        Signed {
+            negative: false,
+            magnitude: BigUint::zero(),
+        }
+    }
+
+    fn positive(magnitude: BigUint) -> Self {
+        Signed {
+            negative: false,
+            magnitude,
+        }
+    }
+
+    fn mul_uint(&self, factor: &BigUint) -> Self {
+        Signed {
+            negative: self.negative && !factor.is_zero(),
+            magnitude: &self.magnitude * factor,
+        }
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        match (self.negative, other.negative) {
+            (false, true) => Signed::positive(&self.magnitude + &other.magnitude),
+            (true, false) => Signed {
+                negative: !(&self.magnitude + &other.magnitude).is_zero(),
+                magnitude: &self.magnitude + &other.magnitude,
+            },
+            (a_neg, _) => {
+                // Same sign: result magnitude is |a| - |b| with sign depending on ordering.
+                if self.magnitude >= other.magnitude {
+                    let mag = &self.magnitude - &other.magnitude;
+                    Signed {
+                        negative: a_neg && !mag.is_zero(),
+                        magnitude: mag,
+                    }
+                } else {
+                    let mag = &other.magnitude - &self.magnitude;
+                    Signed {
+                        negative: !a_neg && !mag.is_zero(),
+                        magnitude: mag,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reduces into `[0, modulus)` treating the value as an integer mod `modulus`.
+    fn rem_positive(&self, modulus: &BigUint) -> BigUint {
+        let r = self.magnitude.rem_of(modulus);
+        if self.negative && !r.is_zero() {
+            modulus - &r
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(
+            BigUint::from_u64(270).gcd(&BigUint::from_u64(192)).to_u64(),
+            Some(6)
+        );
+        assert_eq!(BigUint::from_u64(17).gcd(&BigUint::from_u64(5)).to_u64(), Some(1));
+        assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(9)).to_u64(), Some(9));
+    }
+
+    #[test]
+    fn inverse_small_prime_modulus() {
+        let p = BigUint::from_u64(1_000_000_007);
+        for a in [2u64, 3, 999, 123_456_789] {
+            let inv = BigUint::from_u64(a).mod_inverse(&p).unwrap();
+            let product = BigUint::from_u64(a).mul_mod(&inv, &p);
+            assert!(product.is_one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn inverse_nonexistent() {
+        // gcd(6, 9) = 3, no inverse
+        assert!(BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)).is_none());
+        assert!(BigUint::from_u64(5).mod_inverse(&BigUint::one()).is_none());
+        assert!(BigUint::from_u64(5).mod_inverse(&BigUint::zero()).is_none());
+    }
+
+    #[test]
+    fn inverse_multi_limb() {
+        // modulus = 2^127 - 1 (prime), value spans two limbs.
+        let p = BigUint::from_u128((1u128 << 127) - 1);
+        let a = BigUint::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+        let inv = a.mod_inverse(&p).unwrap();
+        assert!(a.mul_mod(&inv, &p).is_one());
+    }
+
+    #[test]
+    fn rsa_style_inverse() {
+        // e = 65537 inverse modulo a composite phi.
+        let phi = BigUint::from_u128(3_233_462_188_000_328_320u128); // arbitrary even composite
+        let e = BigUint::from_u64(65_537);
+        if let Some(d) = e.mod_inverse(&phi) {
+            assert!(e.mul_mod(&d, &phi).is_one());
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_mod() {
+        let m = BigUint::from_u64(97);
+        let a = BigUint::from_u64(90);
+        let b = BigUint::from_u64(15);
+        assert_eq!(a.add_mod(&b, &m).to_u64(), Some(8));
+        assert_eq!(a.sub_mod(&b, &m).to_u64(), Some(75));
+        assert_eq!(b.sub_mod(&a, &m).to_u64(), Some(22));
+        assert_eq!(a.mul_mod(&b, &m).to_u64(), Some(90 * 15 % 97));
+    }
+}

@@ -1,0 +1,254 @@
+//! Montgomery multiplication context.
+//!
+//! Modular exponentiation for RSA is performed in the Montgomery domain to
+//! avoid a long division per multiplication. The [`Montgomery`] context
+//! precomputes the constants (`n'`, `R² mod n`) for a fixed odd modulus and
+//! exposes Montgomery multiplication and exponentiation on values reduced
+//! modulo that modulus.
+
+use crate::BigUint;
+
+/// Precomputed Montgomery reduction context for an odd modulus.
+///
+/// # Example
+///
+/// ```
+/// use oma_bignum::{BigUint, Montgomery};
+///
+/// let modulus = BigUint::from_u64(101);
+/// let ctx = Montgomery::new(modulus.clone()).expect("odd modulus");
+/// let r = ctx.modpow(&BigUint::from_u64(3), &BigUint::from_u64(100));
+/// assert_eq!(r.to_u64(), Some(1)); // Fermat's little theorem
+/// ```
+#[derive(Debug, Clone)]
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Number of 64-bit limbs in the modulus.
+    limbs: usize,
+    /// `-modulus⁻¹ mod 2⁶⁴`.
+    n_prime: u64,
+    /// `R² mod modulus` where `R = 2^(64·limbs)`.
+    r_squared: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context for `modulus`.
+    ///
+    /// Returns `None` if the modulus is zero or even (Montgomery reduction
+    /// requires an odd modulus).
+    pub fn new(modulus: BigUint) -> Option<Self> {
+        if modulus.is_zero() || modulus.is_even() {
+            return None;
+        }
+        let limbs = modulus.limbs().len();
+        let n0 = modulus.limbs()[0];
+        // Newton iteration: invert n0 modulo 2^64, then negate.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+
+        // R^2 mod n with R = 2^(64*limbs).
+        let r_squared = BigUint::one().shl_bits(64 * limbs * 2).rem_of(&modulus);
+
+        Some(Montgomery {
+            modulus,
+            limbs,
+            n_prime,
+            r_squared,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Montgomery reduction of a double-width product held in `t`
+    /// (little-endian limbs, length `2 * self.limbs + 1`).
+    fn redc(&self, mut t: Vec<u64>) -> BigUint {
+        let k = self.limbs;
+        let n = self.modulus.limbs();
+        t.resize(2 * k + 1, 0);
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n_prime);
+            // t += m * n * 2^(64*i)
+            let mut carry = 0u128;
+            for (j, &nj) in n.iter().enumerate() {
+                let cur = t[i + j] as u128 + (m as u128) * (nj as u128) + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        let reduced = BigUint::from_limbs(t[k..].to_vec());
+        if reduced.cmp_magnitude(&self.modulus) != std::cmp::Ordering::Less {
+            &reduced - &self.modulus
+        } else {
+            reduced
+        }
+    }
+
+    /// Montgomery product of two values already in the Montgomery domain.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let product = a * b;
+        let mut limbs = product.limbs().to_vec();
+        limbs.resize(2 * self.limbs + 1, 0);
+        self.redc(limbs)
+    }
+
+    /// Converts a reduced value into the Montgomery domain.
+    fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &self.r_squared)
+    }
+
+    /// Converts a value out of the Montgomery domain.
+    fn from_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &BigUint::one())
+    }
+
+    /// Computes `a * b mod n` for values reduced modulo `n`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Computes `base^exponent mod n` using left-to-right square-and-multiply
+    /// in the Montgomery domain.
+    ///
+    /// `base` does not have to be reduced; it is reduced modulo `n` first.
+    pub fn modpow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if self.modulus.is_one() {
+            return BigUint::zero();
+        }
+        let base = base.rem_of(&self.modulus);
+        if exponent.is_zero() {
+            return BigUint::one();
+        }
+        let base_m = self.to_mont(&base);
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exponent.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+impl BigUint {
+    /// Computes `self^exponent mod modulus`.
+    ///
+    /// For odd moduli this uses Montgomery exponentiation; for even moduli it
+    /// falls back to square-and-multiply with explicit reductions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exponent: &Self, modulus: &Self) -> Self {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return Self::zero();
+        }
+        if let Some(ctx) = Montgomery::new(modulus.clone()) {
+            return ctx.modpow(self, exponent);
+        }
+        // Even modulus fallback (not used by RSA, but keeps the API total).
+        let mut result = Self::one();
+        let base = self.rem_of(modulus);
+        for i in (0..exponent.bits()).rev() {
+            result = result.square().rem_of(modulus);
+            if exponent.bit(i) {
+                result = (&result * &base).rem_of(modulus);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_even_or_zero_modulus() {
+        assert!(Montgomery::new(BigUint::from_u64(100)).is_none());
+        assert!(Montgomery::new(BigUint::zero()).is_none());
+        assert!(Montgomery::new(BigUint::from_u64(101)).is_some());
+    }
+
+    #[test]
+    fn mul_mod_small() {
+        let ctx = Montgomery::new(BigUint::from_u64(97)).unwrap();
+        let r = ctx.mul_mod(&BigUint::from_u64(45), &BigUint::from_u64(67));
+        assert_eq!(r.to_u64(), Some(45 * 67 % 97));
+    }
+
+    #[test]
+    fn modpow_matches_naive_small() {
+        let m = BigUint::from_u64(1_000_003);
+        for (b, e) in [(2u64, 10u64), (3, 0), (7, 65537), (999_999, 12345)] {
+            let expected = naive_modpow(b, e, 1_000_003);
+            let got = BigUint::from_u64(b)
+                .modpow(&BigUint::from_u64(e), &m)
+                .to_u64()
+                .unwrap();
+            assert_eq!(got, expected, "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn modpow_even_modulus_fallback() {
+        let m = BigUint::from_u64(1_000_000);
+        let got = BigUint::from_u64(3)
+            .modpow(&BigUint::from_u64(13), &m)
+            .to_u64()
+            .unwrap();
+        assert_eq!(got, naive_modpow(3, 13, 1_000_000));
+    }
+
+    #[test]
+    fn modpow_modulus_one_is_zero() {
+        let r = BigUint::from_u64(5).modpow(&BigUint::from_u64(5), &BigUint::one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn fermat_little_theorem_multi_limb() {
+        // p is a 128-bit prime: 2^127 - 1 is prime (Mersenne).
+        let p = BigUint::from_u128((1u128 << 127) - 1);
+        let a = BigUint::from_u64(0xdead_beef_1234_5678);
+        let r = a.modpow(&(&p - &BigUint::one()), &p);
+        assert!(r.is_one());
+    }
+
+    #[test]
+    fn exponent_zero_gives_one() {
+        let m = BigUint::from_u64(101);
+        assert!(BigUint::from_u64(7).modpow(&BigUint::zero(), &m).is_one());
+    }
+
+    fn naive_modpow(mut b: u64, mut e: u64, m: u64) -> u64 {
+        let mut r: u128 = 1;
+        let mut base = b as u128 % m as u128;
+        while e > 0 {
+            if e & 1 == 1 {
+                r = r * base % m as u128;
+            }
+            base = base * base % m as u128;
+            e >>= 1;
+            b = b.wrapping_mul(b);
+        }
+        r as u64
+    }
+}

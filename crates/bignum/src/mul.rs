@@ -1,0 +1,93 @@
+//! Multiplication and squaring.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Schoolbook multiplication, O(n·m) limb products.
+    pub(crate) fn mul_schoolbook(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Squares the value (`self * self`).
+    pub fn square(&self) -> Self {
+        self.mul_schoolbook(self)
+    }
+
+    /// Multiplies by a single machine word.
+    pub fn mul_u64(&self, factor: u64) -> Self {
+        if factor == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &l in &self.limbs {
+            let cur = (l as u128) * (factor as u128) + carry;
+            out.push(cur as u64);
+            carry = cur >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        let a = BigUint::from_u64(1234);
+        let b = BigUint::from_u64(5678);
+        assert_eq!((&a * &b).to_u64(), Some(1234 * 5678));
+    }
+
+    #[test]
+    fn multiply_by_zero_and_one() {
+        let a = BigUint::from_u128(0xffff_ffff_ffff_ffff_ffff);
+        assert!((&a * &BigUint::zero()).is_zero());
+        assert_eq!(&a * &BigUint::one(), a);
+    }
+
+    #[test]
+    fn carries_across_limbs() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = a.square();
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let expected = BigUint::from_u128(u128::MAX - (1u128 << 65) + 2);
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn mul_u64_matches_full_mul() {
+        let a = BigUint::from_u128(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+        assert_eq!(a.mul_u64(9999), &a * &BigUint::from_u64(9999));
+        assert!(a.mul_u64(0).is_zero());
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let a = BigUint::from_u128(0xdead_beef_cafe_babe_0123_4567);
+        assert_eq!(a.square(), &a * &a);
+    }
+}

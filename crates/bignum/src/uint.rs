@@ -1,0 +1,488 @@
+//! The [`BigUint`] type: representation, comparison, addition, subtraction,
+//! shifts and bit access.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Rem, Shl, Shr, Sub, SubAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// The value is stored as little-endian 64-bit limbs with the invariant that
+/// the most significant limb is non-zero (zero is represented by an empty
+/// limb vector). All arithmetic is non-negative; subtraction panics on
+/// underflow (use [`BigUint::checked_sub`] for the fallible form).
+///
+/// # Example
+///
+/// ```
+/// use oma_bignum::BigUint;
+///
+/// let a = BigUint::from_u64(10);
+/// let b = BigUint::from_u64(32);
+/// assert_eq!((&a + &b).to_u64(), Some(42));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint { limbs: vec![lo, hi] };
+        n.normalize();
+        n
+    }
+
+    /// Builds a value directly from little-endian limbs.
+    pub(crate) fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Returns the little-endian limbs of the value.
+    pub(crate) fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    ///
+    /// ```
+    /// use oma_bignum::BigUint;
+    /// assert_eq!(BigUint::from_u64(0).bits(), 0);
+    /// assert_eq!(BigUint::from_u64(255).bits(), 8);
+    /// assert_eq!(BigUint::from_u64(256).bits(), 9);
+    /// ```
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian bit numbering), `false` beyond the top.
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the number if needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let limb = i / 64;
+        let off = i % 64;
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if let Some(l) = self.limbs.get_mut(limb) {
+            *l &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Compares two values.
+    pub fn cmp_magnitude(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Adds `other` into `self`.
+    pub fn add_assign_ref(&mut self, other: &Self) {
+        let mut carry = 0u64;
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// Subtracts `other` from `self`, returning `None` on underflow.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self.cmp_magnitude(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = self.clone();
+        out.sub_assign_ref(other);
+        Some(out)
+    }
+
+    /// Subtracts `other` from `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub_assign_ref(&mut self, other: &Self) {
+        assert!(
+            self.cmp_magnitude(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            self.limbs[i] = d2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        self.normalize();
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> Self {
+        if self.is_zero() || bits == 0 {
+            if bits == 0 {
+                return self.clone();
+            }
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> Self {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_magnitude(other)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        &self - &rhs
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_schoolbook(rhs)
+    }
+}
+
+impl Mul for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        &self * &rhs
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, bits: usize) -> BigUint {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, bits: usize) -> BigUint {
+        self.shr_bits(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(!BigUint::one().is_zero());
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        for v in [0u64, 1, 2, u64::MAX, 0xdead_beef] {
+            assert_eq!(BigUint::from_u64(v).to_u64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_u128_splits_limbs() {
+        let v = 0x0123_4567_89ab_cdef_fedc_ba98_7654_3210u128;
+        let n = BigUint::from_u128(v);
+        assert_eq!(n.limbs(), &[0xfedc_ba98_7654_3210, 0x0123_4567_89ab_cdef]);
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let a = BigUint::from_u64(u64::MAX);
+        let b = BigUint::from_u64(1);
+        let s = &a + &b;
+        assert_eq!(s.limbs(), &[0, 1]);
+        assert_eq!(s.bits(), 65);
+    }
+
+    #[test]
+    fn subtraction_with_borrow() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = BigUint::from_u64(1);
+        let d = &a - &b;
+        assert_eq!(d.to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn checked_sub_underflow_is_none() {
+        let a = BigUint::from_u64(1);
+        let b = BigUint::from_u64(2);
+        assert!(a.checked_sub(&b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::from_u64(1) - &BigUint::from_u64(2);
+    }
+
+    #[test]
+    fn bit_counts() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from_u64(0x8000_0000_0000_0000).bits(), 64);
+        assert_eq!(BigUint::from_u128(1u128 << 64).bits(), 65);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut n = BigUint::zero();
+        n.set_bit(70, true);
+        assert!(n.bit(70));
+        assert!(!n.bit(69));
+        assert_eq!(n.bits(), 71);
+        n.set_bit(70, false);
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let n = BigUint::from_u128(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        for s in [0usize, 1, 7, 63, 64, 65, 100] {
+            let shifted = n.shl_bits(s).shr_bits(s);
+            assert_eq!(shifted, n, "shift by {s}");
+        }
+    }
+
+    #[test]
+    fn shr_past_end_is_zero() {
+        assert!(BigUint::from_u64(5).shr_bits(64).is_zero());
+    }
+
+    #[test]
+    fn ordering() {
+        let a = BigUint::from_u64(5);
+        let b = BigUint::from_u128(1u128 << 64);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert!(BigUint::from_u64(42).is_even());
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let n = BigUint::from_u64(255);
+        assert_eq!(format!("{n}"), "0xff");
+        assert!(format!("{n:?}").contains("ff"));
+        assert_eq!(format!("{:x}", n), "ff");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the bignum arithmetic core.
+
+use oma_bignum::BigUint;
+use proptest::prelude::*;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(|bytes| BigUint::from_bytes_be(&bytes))
+}
+
+fn small_biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 1..16).prop_map(|bytes| BigUint::from_bytes_be(&bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn addition_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn addition_associates(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_then_sub_roundtrips(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn multiplication_distributes(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn division_identity(a in biguint_strategy(), b in small_biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn byte_roundtrip(a in biguint_strategy()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint_strategy()) {
+        let parsed = BigUint::from_hex(&a.to_hex()).unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in biguint_strategy(), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn modpow_matches_mul_mod(a in small_biguint_strategy(), m in small_biguint_strategy()) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        // a^2 mod m computed two ways
+        let two = BigUint::from_u64(2);
+        let via_pow = a.modpow(&two, &m);
+        let via_mul = a.mul_mod(&a, &m);
+        prop_assert_eq!(via_pow, via_mul);
+    }
+
+    #[test]
+    fn modpow_exponent_addition_law(a in small_biguint_strategy(), m in small_biguint_strategy()) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        // a^(2+3) = a^2 * a^3 (mod m)
+        let e2 = BigUint::from_u64(2);
+        let e3 = BigUint::from_u64(3);
+        let e5 = BigUint::from_u64(5);
+        let lhs = a.modpow(&e5, &m);
+        let rhs = a.modpow(&e2, &m).mul_mod(&a.modpow(&e3, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in small_biguint_strategy(), m in small_biguint_strategy()) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert!(a.mul_mod(&inv, &m).is_one());
+            prop_assert!(inv < m);
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in small_biguint_strategy(), b in small_biguint_strategy()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        prop_assert!(a.rem_of(&g).is_zero());
+        prop_assert!(b.rem_of(&g).is_zero());
+    }
+
+    #[test]
+    fn padded_bytes_parse_back(a in biguint_strategy(), extra in 0usize..8) {
+        let len = a.to_bytes_be().len() + extra;
+        let padded = a.to_bytes_be_padded(len).unwrap();
+        prop_assert_eq!(padded.len(), len);
+        prop_assert_eq!(BigUint::from_bytes_be(&padded), a);
+    }
+}

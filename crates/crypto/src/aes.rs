@@ -1,0 +1,377 @@
+//! The AES-128 block cipher (FIPS 197).
+//!
+//! Only the 128-bit key size is implemented because it is the one mandated
+//! by OMA DRM 2 for both content encryption (AES-CBC) and key wrapping
+//! (AES-WRAP). The S-box and its inverse are computed at construction time
+//! from the GF(2⁸) inverse and the affine transform rather than hard-coded,
+//! and the implementation is validated against the FIPS 197 and NIST SP
+//! 800-38A test vectors in the unit tests.
+
+/// Block size of AES in bytes.
+pub const BLOCK_SIZE: usize = 16;
+
+/// Key size of AES-128 in bytes.
+pub const KEY_SIZE: usize = 16;
+
+/// Number of rounds for AES-128.
+const ROUNDS: usize = 10;
+
+/// An AES-128 block cipher instance with an expanded key schedule.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::aes::Aes128;
+///
+/// let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+///            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c];
+/// let cipher = Aes128::new(&key);
+/// let plain = *b"theblockis16byte";
+/// let ct = cipher.encrypt_block(&plain);
+/// assert_eq!(cipher.decrypt_block(&ct), plain);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    /// Round keys: 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").field("rounds", &ROUNDS).finish()
+    }
+}
+
+/// The AES S-box and inverse S-box, computed once.
+struct SBoxes {
+    forward: [u8; 256],
+    inverse: [u8; 256],
+}
+
+fn sboxes() -> &'static SBoxes {
+    use std::sync::OnceLock;
+    static SBOXES: OnceLock<SBoxes> = OnceLock::new();
+    SBOXES.get_or_init(|| {
+        let mut forward = [0u8; 256];
+        let mut inverse = [0u8; 256];
+        for x in 0u16..256 {
+            let x = x as u8;
+            let inv = if x == 0 { 0 } else { gf_inverse(x) };
+            // Affine transform: b ^= rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+            let mut b = inv;
+            let mut res = inv;
+            for _ in 0..4 {
+                b = b.rotate_left(1);
+                res ^= b;
+            }
+            res ^= 0x63;
+            forward[x as usize] = res;
+            inverse[res as usize] = x;
+        }
+        SBoxes { forward, inverse }
+    })
+}
+
+/// Multiplication in GF(2⁸) with the AES reduction polynomial x⁸+x⁴+x³+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸) by exponentiation (a²⁵⁴).
+fn gf_inverse(a: u8) -> u8 {
+    debug_assert_ne!(a, 0);
+    // a^254 = a^-1 in GF(2^8)*
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not exactly 16 bytes; use
+    /// [`Aes128::try_new`] for a fallible constructor.
+    pub fn new(key: &[u8]) -> Self {
+        Self::try_new(key).expect("AES-128 key must be 16 bytes")
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CryptoError::InvalidKeyLength`] if `key` is not 16 bytes.
+    pub fn try_new(key: &[u8]) -> Result<Self, crate::CryptoError> {
+        if key.len() != KEY_SIZE {
+            return Err(crate::CryptoError::InvalidKeyLength {
+                expected: KEY_SIZE,
+                actual: key.len(),
+            });
+        }
+        let sbox = &sboxes().forward;
+        // Key expansion into 44 words.
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let rcon: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = sbox[*byte as usize];
+                }
+                temp[0] ^= rcon[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Ok(Aes128 { round_keys })
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        let sbox = &sboxes().forward;
+        for b in state.iter_mut() {
+            *b = sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        let sbox = &sboxes().inverse;
+        for b in state.iter_mut() {
+            *b = sbox[*b as usize];
+        }
+    }
+
+    /// State layout: `state[4*c + r]` is row `r`, column `c`
+    /// (i.e. bytes are stored column-major exactly as the block bytes).
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+
+    /// Decrypts a single 16-byte block.
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        for round in (1..ROUNDS).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn sbox_known_values() {
+        let sb = &sboxes().forward;
+        assert_eq!(sb[0x00], 0x63);
+        assert_eq!(sb[0x01], 0x7c);
+        assert_eq!(sb[0x53], 0xed);
+        assert_eq!(sb[0xff], 0x16);
+        let inv = &sboxes().inverse;
+        assert_eq!(inv[0x63], 0x00);
+        assert_eq!(inv[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let sb = &sboxes().forward;
+        let mut seen = [false; 256];
+        for &v in sb.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        let inv = &sboxes().inverse;
+        for x in 0..256 {
+            assert_eq!(inv[sb[x] as usize] as usize, x);
+        }
+    }
+
+    #[test]
+    fn gf_mul_known_products() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x02, 0x80), 0x1b ^ 0x00);
+    }
+
+    #[test]
+    fn gf_inverse_roundtrip() {
+        for x in 1u16..256 {
+            let x = x as u8;
+            assert_eq!(gf_mul(x, gf_inverse(x)), 1, "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let plain = hex("3243f6a8885a308d313198a2e0370734");
+        let expected = hex("3925841d02dc09fbdc118597196a0b32");
+        let cipher = Aes128::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&plain);
+        assert_eq!(cipher.encrypt_block(&block).to_vec(), expected);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let plain = hex("00112233445566778899aabbccddeeff");
+        let expected = hex("69c4e0d86a7b0430d8cdb78070b4c55a");
+        let cipher = Aes128::new(&key);
+        let mut block = [0u8; 16];
+        block.copy_from_slice(&plain);
+        let ct = cipher.encrypt_block(&block);
+        assert_eq!(ct.to_vec(), expected);
+        assert_eq!(cipher.decrypt_block(&ct), block);
+    }
+
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let cipher = Aes128::new(&key);
+        let cases = [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+            ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"),
+            ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"),
+        ];
+        for (p, c) in cases {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&hex(p));
+            assert_eq!(cipher.encrypt_block(&block).to_vec(), hex(c));
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_random_blocks() {
+        use rand::RngCore;
+        let mut rng = rand::thread_rng();
+        let mut key = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        let cipher = Aes128::new(&key);
+        for _ in 0..64 {
+            let mut block = [0u8; 16];
+            rng.fill_bytes(&mut block);
+            assert_eq!(cipher.decrypt_block(&cipher.encrypt_block(&block)), block);
+        }
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        assert!(Aes128::try_new(&[0u8; 15]).is_err());
+        assert!(Aes128::try_new(&[0u8; 17]).is_err());
+        assert!(Aes128::try_new(&[0u8; 16]).is_ok());
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let cipher = Aes128::new(&[7u8; 16]);
+        let s = format!("{cipher:?}");
+        assert!(!s.contains('7') || !s.contains("round_keys"));
+        assert!(s.contains("Aes128"));
+    }
+}

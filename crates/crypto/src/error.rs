@@ -1,0 +1,84 @@
+//! Error type shared by the cryptographic modules.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the cryptographic primitives in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A key had the wrong length for the requested algorithm.
+    InvalidKeyLength {
+        /// Expected key length in bytes.
+        expected: usize,
+        /// Actual key length in bytes.
+        actual: usize,
+    },
+    /// Ciphertext or wrapped-key input had an invalid length.
+    InvalidInputLength {
+        /// Human-readable description of the expectation.
+        expected: &'static str,
+        /// Actual input length in bytes.
+        actual: usize,
+    },
+    /// PKCS#7 padding was malformed after decryption.
+    InvalidPadding,
+    /// The integrity check of an AES key unwrap failed (RFC 3394 IV mismatch).
+    KeyUnwrapIntegrity,
+    /// A value passed to an RSA primitive was out of range
+    /// (message representative not in `[0, n-1]`).
+    MessageRepresentativeOutOfRange,
+    /// An RSA-PSS signature failed to verify.
+    InvalidSignature,
+    /// The RSA key was too small for the requested operation.
+    KeyTooSmall,
+    /// Decryption produced data that could not be interpreted
+    /// (e.g. wrapped key of the wrong size).
+    MalformedPlaintext(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::InvalidInputLength { expected, actual } => {
+                write!(f, "invalid input length: expected {expected}, got {actual} bytes")
+            }
+            CryptoError::InvalidPadding => write!(f, "invalid PKCS#7 padding"),
+            CryptoError::KeyUnwrapIntegrity => {
+                write!(f, "AES key unwrap integrity check failed")
+            }
+            CryptoError::MessageRepresentativeOutOfRange => {
+                write!(f, "message representative out of range for RSA modulus")
+            }
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::KeyTooSmall => write!(f, "RSA key too small for this operation"),
+            CryptoError::MalformedPlaintext(what) => {
+                write!(f, "decrypted data is malformed: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::InvalidKeyLength { expected: 16, actual: 10 };
+        assert!(e.to_string().contains("16"));
+        assert!(e.to_string().contains("10"));
+        assert!(!CryptoError::InvalidPadding.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CryptoError>();
+    }
+}

@@ -1,0 +1,158 @@
+//! HMAC with SHA-1 (RFC 2104), the MAC algorithm mandated by OMA DRM 2 for
+//! Rights Object integrity protection.
+
+use crate::sha1::{Sha1, BLOCK_SIZE, DIGEST_SIZE};
+
+/// Computes `HMAC-SHA1(key, message)`.
+///
+/// Keys longer than the SHA-1 block size are hashed first, exactly as RFC
+/// 2104 prescribes.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::hmac::hmac_sha1;
+/// let tag = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(tag[0], 0xef);
+/// ```
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; DIGEST_SIZE] {
+    HmacSha1::new(key).chain(message).finalize()
+}
+
+/// Incremental HMAC-SHA1 computation.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::hmac::{hmac_sha1, HmacSha1};
+/// let mut mac = HmacSha1::new(b"key");
+/// mac.update(b"part one ");
+/// mac.update(b"part two");
+/// assert_eq!(mac.finalize(), hmac_sha1(b"key", b"part one part two"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    outer_key_pad: [u8; BLOCK_SIZE],
+}
+
+impl HmacSha1 {
+    /// Creates an HMAC context keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut normalized_key = [0u8; BLOCK_SIZE];
+        if key.len() > BLOCK_SIZE {
+            let digest = crate::sha1::sha1(key);
+            normalized_key[..DIGEST_SIZE].copy_from_slice(&digest);
+        } else {
+            normalized_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK_SIZE];
+        let mut opad = [0x5cu8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            ipad[i] ^= normalized_key[i];
+            opad[i] ^= normalized_key[i];
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad);
+        HmacSha1 {
+            inner,
+            outer_key_pad: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, message: &[u8]) {
+        self.inner.update(message);
+    }
+
+    /// Builder-style [`HmacSha1::update`].
+    pub fn chain(mut self, message: &[u8]) -> Self {
+        self.update(message);
+        self
+    }
+
+    /// Finishes the MAC and returns the 20-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_SIZE] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha1::new();
+        outer.update(&self.outer_key_pad);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// Verifies `expected` against the computed tag in constant time.
+    pub fn verify(self, expected: &[u8]) -> bool {
+        let tag = self.finalize();
+        if expected.len() != tag.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in tag.iter().zip(expected.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_test_case_1() {
+        let tag = hmac_sha1(&[0x0b; 20], b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_test_case_2() {
+        let tag = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_test_case_3() {
+        let tag = hmac_sha1(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(hex(&tag), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_test_case_6_long_key() {
+        let tag = hmac_sha1(&[0xaa; 80], b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"registration-session-key";
+        let message: Vec<u8> = (0u32..777).map(|i| i as u8).collect();
+        let expected = hmac_sha1(key, &message);
+        let mut mac = HmacSha1::new(key);
+        for chunk in message.chunks(13) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), expected);
+    }
+
+    #[test]
+    fn verify_accepts_correct_and_rejects_tampered() {
+        let key = b"k";
+        let msg = b"rights object body";
+        let tag = hmac_sha1(key, msg);
+        assert!(HmacSha1::new(key).chain(msg).verify(&tag));
+        let mut bad = tag;
+        bad[3] ^= 1;
+        assert!(!HmacSha1::new(key).chain(msg).verify(&bad));
+        assert!(!HmacSha1::new(key).chain(msg).verify(&tag[..10]));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        let msg = b"same message";
+        assert_ne!(hmac_sha1(b"key-a", msg), hmac_sha1(b"key-b", msg));
+    }
+}

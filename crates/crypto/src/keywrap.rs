@@ -1,0 +1,205 @@
+//! The AES Key Wrap algorithm (RFC 3394), called "AES-WRAP" by OMA DRM 2.
+//!
+//! Key wrapping is used twice in the standard: the Rights Issuer wraps
+//! `K_MAC ‖ K_REK` under the KDF2-derived KEK to form `C2`, and the DRM
+//! Agent re-wraps the same keys under its device key `K_DEV` at installation
+//! time to form `C2dev` (Figure 3 of the paper).
+
+use crate::aes::{Aes128, BLOCK_SIZE};
+use crate::CryptoError;
+
+/// The default initial value from RFC 3394 §2.2.3.
+pub const DEFAULT_IV: [u8; 8] = [0xa6; 8];
+
+/// Wraps `key_data` (a multiple of 8 bytes, at least 16) under `kek`.
+///
+/// The output is 8 bytes longer than the input.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidKeyLength`] for a KEK that is not 16 bytes,
+/// and [`CryptoError::InvalidInputLength`] when the key data is shorter than
+/// 16 bytes or not a multiple of 8.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::keywrap;
+/// # fn main() -> Result<(), oma_crypto::CryptoError> {
+/// let kek = [0u8; 16];
+/// let keys = [0x11u8; 32]; // K_MAC || K_REK
+/// let wrapped = keywrap::wrap(&kek, &keys)?;
+/// assert_eq!(wrapped.len(), 40);
+/// assert_eq!(keywrap::unwrap(&kek, &wrapped)?, keys);
+/// # Ok(()) }
+/// ```
+pub fn wrap(kek: &[u8], key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let cipher = Aes128::try_new(kek)?;
+    if key_data.len() < 16 || key_data.len() % 8 != 0 {
+        return Err(CryptoError::InvalidInputLength {
+            expected: "key data of >= 16 bytes, multiple of 8",
+            actual: key_data.len(),
+        });
+    }
+    let n = key_data.len() / 8;
+    let mut a = DEFAULT_IV;
+    let mut r: Vec<[u8; 8]> = key_data
+        .chunks_exact(8)
+        .map(|c| {
+            let mut block = [0u8; 8];
+            block.copy_from_slice(c);
+            block
+        })
+        .collect();
+
+    for j in 0..6u64 {
+        for (i, ri) in r.iter_mut().enumerate() {
+            let mut block = [0u8; BLOCK_SIZE];
+            block[..8].copy_from_slice(&a);
+            block[8..].copy_from_slice(ri);
+            let b = cipher.encrypt_block(&block);
+            let t = (n as u64) * j + (i as u64 + 1);
+            a.copy_from_slice(&b[..8]);
+            for (k, byte) in t.to_be_bytes().iter().enumerate() {
+                a[k] ^= byte;
+            }
+            ri.copy_from_slice(&b[8..]);
+        }
+    }
+
+    let mut out = Vec::with_capacity(key_data.len() + 8);
+    out.extend_from_slice(&a);
+    for block in &r {
+        out.extend_from_slice(block);
+    }
+    Ok(out)
+}
+
+/// Unwraps `wrapped` (produced by [`wrap`]) under `kek` and checks the
+/// RFC 3394 integrity value.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::KeyUnwrapIntegrity`] when the integrity check
+/// fails — the symptom of a wrong KEK or tampered wrapped data — plus the
+/// same input-validation errors as [`wrap`].
+pub fn unwrap(kek: &[u8], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let cipher = Aes128::try_new(kek)?;
+    if wrapped.len() < 24 || wrapped.len() % 8 != 0 {
+        return Err(CryptoError::InvalidInputLength {
+            expected: "wrapped data of >= 24 bytes, multiple of 8",
+            actual: wrapped.len(),
+        });
+    }
+    let n = wrapped.len() / 8 - 1;
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&wrapped[..8]);
+    let mut r: Vec<[u8; 8]> = wrapped[8..]
+        .chunks_exact(8)
+        .map(|c| {
+            let mut block = [0u8; 8];
+            block.copy_from_slice(c);
+            block
+        })
+        .collect();
+
+    for j in (0..6u64).rev() {
+        for i in (0..n).rev() {
+            let t = (n as u64) * j + (i as u64 + 1);
+            let mut a_x = a;
+            for (k, byte) in t.to_be_bytes().iter().enumerate() {
+                a_x[k] ^= byte;
+            }
+            let mut block = [0u8; BLOCK_SIZE];
+            block[..8].copy_from_slice(&a_x);
+            block[8..].copy_from_slice(&r[i]);
+            let b = cipher.decrypt_block(&block);
+            a.copy_from_slice(&b[..8]);
+            r[i].copy_from_slice(&b[8..]);
+        }
+    }
+
+    if a != DEFAULT_IV {
+        return Err(CryptoError::KeyUnwrapIntegrity);
+    }
+    let mut out = Vec::with_capacity(n * 8);
+    for block in &r {
+        out.extend_from_slice(block);
+    }
+    Ok(out)
+}
+
+/// Number of AES block-cipher invocations performed when wrapping or
+/// unwrapping `key_data_len` bytes of key material (6 per 64-bit block,
+/// per RFC 3394).
+pub fn block_operations(key_data_len: usize) -> u64 {
+    6 * (key_data_len / 8) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    #[test]
+    fn rfc3394_128bit_key_128bit_kek() {
+        let kek = hex("000102030405060708090a0b0c0d0e0f");
+        let key_data = hex("00112233445566778899aabbccddeeff");
+        let expected = hex("1fa68b0a8112b447aef34bd8fb5a7b829d3e862371d2cfe5");
+        let wrapped = wrap(&kek, &key_data).unwrap();
+        assert_eq!(wrapped, expected);
+        assert_eq!(unwrap(&kek, &wrapped).unwrap(), key_data);
+    }
+
+    #[test]
+    fn wrap_256_bits_of_key_material() {
+        // The OMA DRM case: K_MAC || K_REK is 32 bytes, C2 is 40 bytes.
+        let kek = [0x55u8; 16];
+        let keys = [0xabu8; 32];
+        let wrapped = wrap(&kek, &keys).unwrap();
+        assert_eq!(wrapped.len(), 40);
+        assert_eq!(unwrap(&kek, &wrapped).unwrap(), keys);
+    }
+
+    #[test]
+    fn wrong_kek_detected() {
+        let wrapped = wrap(&[1u8; 16], &[9u8; 32]).unwrap();
+        assert_eq!(unwrap(&[2u8; 16], &wrapped), Err(CryptoError::KeyUnwrapIntegrity));
+    }
+
+    #[test]
+    fn tampered_data_detected() {
+        let mut wrapped = wrap(&[1u8; 16], &[9u8; 32]).unwrap();
+        wrapped[12] ^= 0x80;
+        assert_eq!(unwrap(&[1u8; 16], &wrapped), Err(CryptoError::KeyUnwrapIntegrity));
+    }
+
+    #[test]
+    fn invalid_lengths_rejected() {
+        assert!(wrap(&[0u8; 16], &[0u8; 8]).is_err()); // too short
+        assert!(wrap(&[0u8; 16], &[0u8; 20]).is_err()); // not multiple of 8
+        assert!(wrap(&[0u8; 8], &[0u8; 16]).is_err()); // bad kek
+        assert!(unwrap(&[0u8; 16], &[0u8; 16]).is_err()); // too short
+        assert!(unwrap(&[0u8; 16], &[0u8; 25]).is_err()); // not multiple of 8
+    }
+
+    #[test]
+    fn block_operation_count() {
+        assert_eq!(block_operations(16), 12);
+        assert_eq!(block_operations(32), 24);
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let kek = [0x77u8; 16];
+        for blocks in [2usize, 3, 4, 8, 16] {
+            let data: Vec<u8> = (0..blocks * 8).map(|i| i as u8).collect();
+            let wrapped = wrap(&kek, &data).unwrap();
+            assert_eq!(wrapped.len(), data.len() + 8);
+            assert_eq!(unwrap(&kek, &wrapped).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! RSA key generation and the PKCS#1 v2.1 primitives RSAEP, RSADP, RSASP1
+//! and RSAVP1, as mandated by OMA DRM 2 for its 1024-bit PKI operations.
+//!
+//! The private-key operations use the Chinese Remainder Theorem
+//! representation (`dP`, `dQ`, `qInv`) — the same optimisation an embedded
+//! software implementation would use, and the one the paper's software cycle
+//! count for "RSA 1024 Private Key Op" corresponds to.
+
+use crate::CryptoError;
+use oma_bignum::{prime, BigUint};
+use rand::RngCore;
+
+/// Default RSA modulus size used by OMA DRM 2 (bits).
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// The conventional public exponent `F4 = 65537`.
+pub const PUBLIC_EXPONENT: u64 = 65_537;
+
+/// An RSA public key `(n, e)`.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::rsa::RsaKeyPair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pair = RsaKeyPair::generate(512, &mut rng);
+/// assert_eq!(pair.public().modulus_bits(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    d: BigUint,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl std::fmt::Debug for RsaPrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Do not print private material.
+        f.debug_struct("RsaPrivateKey")
+            .field("modulus_bits", &self.public.modulus_bits())
+            .finish()
+    }
+}
+
+/// A matching RSA public/private key pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaKeyPair {
+    private: RsaPrivateKey,
+}
+
+impl RsaPublicKey {
+    /// Constructs a public key from raw modulus and exponent.
+    pub fn new(n: BigUint, e: BigUint) -> Self {
+        RsaPublicKey { n, e }
+    }
+
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    pub fn exponent(&self) -> &BigUint {
+        &self.e
+    }
+
+    /// Size of the modulus in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bits()
+    }
+
+    /// Size of the modulus in bytes (`k` in PKCS#1 terms).
+    pub fn modulus_bytes(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// RSAEP / RSAVP1: computes `m^e mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageRepresentativeOutOfRange`] if
+    /// `m >= n`.
+    pub fn rsaep(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m >= &self.n {
+            return Err(CryptoError::MessageRepresentativeOutOfRange);
+        }
+        Ok(m.modpow(&self.e, &self.n))
+    }
+
+    /// Encrypts an octet string no longer than the modulus, returning a
+    /// ciphertext padded to exactly [`RsaPublicKey::modulus_bytes`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageRepresentativeOutOfRange`] if the
+    /// integer interpretation of `data` is `>= n`.
+    pub fn encrypt_os(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let m = BigUint::from_bytes_be(data);
+        let c = self.rsaep(&m)?;
+        c.to_bytes_be_padded(self.modulus_bytes())
+            .ok_or(CryptoError::MessageRepresentativeOutOfRange)
+    }
+}
+
+impl RsaPrivateKey {
+    /// The corresponding public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// RSADP / RSASP1 using the CRT representation: computes `c^d mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageRepresentativeOutOfRange`] if `c >= n`.
+    pub fn rsadp(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
+        if c >= &self.public.n {
+            return Err(CryptoError::MessageRepresentativeOutOfRange);
+        }
+        // m1 = c^dP mod p ; m2 = c^dQ mod q
+        let m1 = c.modpow(&self.dp, &self.p);
+        let m2 = c.modpow(&self.dq, &self.q);
+        // h = qInv * (m1 - m2) mod p
+        let diff = m1.sub_mod(&m2, &self.p);
+        let h = self.qinv.mul_mod(&diff, &self.p);
+        // m = m2 + h * q
+        Ok(&m2 + &(&h * &self.q))
+    }
+
+    /// Decrypts an octet string produced by [`RsaPublicKey::encrypt_os`],
+    /// returning exactly `modulus_bytes` bytes (left-padded with zeros).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CryptoError::MessageRepresentativeOutOfRange`] for an
+    /// out-of-range ciphertext.
+    pub fn decrypt_os(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let c = BigUint::from_bytes_be(data);
+        let m = self.rsadp(&c)?;
+        m.to_bytes_be_padded(self.public.modulus_bytes())
+            .ok_or(CryptoError::MessageRepresentativeOutOfRange)
+    }
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64` or `bits` is odd.
+    pub fn generate<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 64, "RSA modulus must be at least 64 bits");
+        assert!(bits % 2 == 0, "RSA modulus size must be even");
+        let e = BigUint::from_u64(PUBLIC_EXPONENT);
+        loop {
+            let p = prime::generate_rsa_prime(bits / 2, &e, rng);
+            let q = loop {
+                let q = prime::generate_rsa_prime(bits / 2, &e, rng);
+                if q != p {
+                    break q;
+                }
+            };
+            let n = &p * &q;
+            if n.bits() != bits {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = &p - &one;
+            let q1 = &q - &one;
+            let phi = &p1 * &q1;
+            let d = match e.mod_inverse(&phi) {
+                Some(d) => d,
+                None => continue,
+            };
+            let dp = d.rem_of(&p1);
+            let dq = d.rem_of(&q1);
+            let qinv = match q.mod_inverse(&p) {
+                Some(v) => v,
+                None => continue,
+            };
+            let public = RsaPublicKey { n, e: e.clone() };
+            return RsaKeyPair {
+                private: RsaPrivateKey {
+                    public,
+                    d,
+                    p,
+                    q,
+                    dp,
+                    dq,
+                    qinv,
+                },
+            };
+        }
+    }
+
+    /// Generates the standard OMA DRM 1024-bit key pair.
+    pub fn generate_default<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::generate(DEFAULT_MODULUS_BITS, rng)
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.private.public
+    }
+
+    /// The private half.
+    pub fn private(&self) -> &RsaPrivateKey {
+        &self.private
+    }
+
+    /// Consumes the pair and returns the private key (which still carries the
+    /// public key).
+    pub fn into_private(self) -> RsaPrivateKey {
+        self.private
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xfeed_cafe)
+    }
+
+    fn small_pair() -> RsaKeyPair {
+        RsaKeyPair::generate(256, &mut rng())
+    }
+
+    #[test]
+    fn generated_modulus_has_requested_size() {
+        let pair = small_pair();
+        assert_eq!(pair.public().modulus_bits(), 256);
+        assert_eq!(pair.public().modulus_bytes(), 32);
+        assert_eq!(pair.public().exponent().to_u64(), Some(PUBLIC_EXPONENT));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let pair = small_pair();
+        let m = BigUint::from_u64(0x1234_5678_9abc_def0);
+        let c = pair.public().rsaep(&m).unwrap();
+        assert_ne!(c, m);
+        assert_eq!(pair.private().rsadp(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn sign_verify_primitive_roundtrip() {
+        // RSASP1 = RSADP, RSAVP1 = RSAEP: applying private then public
+        // recovers the representative.
+        let pair = small_pair();
+        let m = BigUint::from_u64(0xdead_beef);
+        let s = pair.private().rsadp(&m).unwrap();
+        assert_eq!(pair.public().rsaep(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn octet_string_roundtrip() {
+        let pair = small_pair();
+        let msg = vec![0x01u8; 31]; // shorter than modulus
+        let ct = pair.public().encrypt_os(&msg).unwrap();
+        assert_eq!(ct.len(), 32);
+        let pt = pair.private().decrypt_os(&ct).unwrap();
+        assert_eq!(&pt[pt.len() - 31..], &msg[..]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let pair = small_pair();
+        let too_big = pair.public().modulus().clone();
+        assert_eq!(
+            pair.public().rsaep(&too_big),
+            Err(CryptoError::MessageRepresentativeOutOfRange)
+        );
+        assert_eq!(
+            pair.private().rsadp(&too_big),
+            Err(CryptoError::MessageRepresentativeOutOfRange)
+        );
+    }
+
+    #[test]
+    fn distinct_keys_from_distinct_seeds() {
+        let a = RsaKeyPair::generate(256, &mut StdRng::seed_from_u64(1));
+        let b = RsaKeyPair::generate(256, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a.public().modulus(), b.public().modulus());
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let pair = small_pair();
+        let m = BigUint::from_u64(42);
+        let plain = m.modpow(&pair.private().d, pair.public().modulus());
+        let crt = pair.private().rsadp(&m).unwrap();
+        assert_eq!(plain, crt);
+    }
+
+    #[test]
+    fn debug_hides_private_material() {
+        let pair = small_pair();
+        let s = format!("{:?}", pair.private());
+        assert!(s.contains("modulus_bits"));
+        assert!(!s.contains("qinv"));
+    }
+
+    #[test]
+    fn thousand_bit_keygen_smoke() {
+        // The real OMA size; kept as a single smoke test because it is the
+        // slowest operation in the suite.
+        let pair = RsaKeyPair::generate_default(&mut rng());
+        assert_eq!(pair.public().modulus_bits(), 1024);
+        let m = BigUint::from_u64(7777);
+        let c = pair.public().rsaep(&m).unwrap();
+        assert_eq!(pair.private().rsadp(&c).unwrap(), m);
+    }
+}

@@ -1,0 +1,229 @@
+//! The SHA-1 hash function (FIPS 180-1).
+//!
+//! OMA DRM 2 mandates SHA-1 as the hash for DCF integrity checks, as the
+//! core of HMAC-SHA-1, inside KDF2 and inside the EMSA-PSS signature
+//! encoding. Both a one-shot [`sha1`] helper and an incremental
+//! [`Sha1`] hasher are provided; the incremental form is used when hashing
+//! multi-megabyte DCF payloads in streaming fashion.
+
+/// Digest size of SHA-1 in bytes.
+pub const DIGEST_SIZE: usize = 20;
+
+/// Internal block size of SHA-1 in bytes.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Incremental SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use oma_crypto::sha1::{sha1, Sha1};
+///
+/// let mut hasher = Sha1::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), sha1(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; BLOCK_SIZE],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            buffer: [0u8; BLOCK_SIZE],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buffer_len > 0 {
+            let take = (BLOCK_SIZE - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == BLOCK_SIZE {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            } else {
+                // Buffer still partially filled and all input consumed.
+                return;
+            }
+        }
+        let mut chunks = data.chunks_exact(BLOCK_SIZE);
+        for chunk in &mut chunks {
+            let mut block = [0u8; BLOCK_SIZE];
+            block.copy_from_slice(chunk);
+            self.compress(&block);
+        }
+        let rest = chunks.remainder();
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffer_len = rest.len();
+    }
+
+    /// Finishes the hash and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_SIZE] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Append 0x80 then zeros until 56 mod 64, then the 64-bit length.
+        self.update_padding(&[0x80]);
+        while self.buffer_len != 56 {
+            self.update_padding(&[0x00]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; DIGEST_SIZE];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Like `update` but without counting toward the message length
+    /// (used only for the padding bytes).
+    fn update_padding(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffer_len] = b;
+            self.buffer_len += 1;
+            if self.buffer_len == BLOCK_SIZE {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_SIZE]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5a827999),
+                20..=39 => (b ^ c ^ d, 0x6ed9eba1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+///
+/// ```
+/// use oma_crypto::sha1::sha1;
+/// let d = sha1(b"abc");
+/// assert_eq!(hex(&d), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_SIZE] {
+    let mut hasher = Sha1::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_180_1_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn empty_and_fox() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut hasher = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            hasher.update(&chunk);
+        }
+        assert_eq!(hex(&hasher.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_odd_boundaries() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 7 + 3) as u8).collect();
+        let expected = sha1(&data);
+        for split in [0usize, 1, 63, 64, 65, 127, 500, 999, 1000] {
+            let mut hasher = Sha1::new();
+            hasher.update(&data[..split]);
+            hasher.update(&data[split..]);
+            assert_eq!(hasher.finalize(), expected, "split={split}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        for len in [55usize, 56, 63, 64, 119, 120, 128] {
+            let data = vec![0xabu8; len];
+            let one = sha1(&data);
+            let mut inc = Sha1::new();
+            for byte in &data {
+                inc.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(inc.finalize(), one, "len={len}");
+        }
+    }
+
+    #[test]
+    fn default_equals_new() {
+        let a = Sha1::default().finalize();
+        let b = Sha1::new().finalize();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the cryptographic primitives.
+
+use oma_crypto::rsa::RsaKeyPair;
+use oma_crypto::{cbc, hmac, kdf, keywrap, pss, sha1};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// A fixed 512-bit test key pair, generated once (RSA keygen is the slowest
+/// operation in the suite; property tests reuse one key and vary the data).
+fn test_pair() -> &'static RsaKeyPair {
+    static PAIR: OnceLock<RsaKeyPair> = OnceLock::new();
+    PAIR.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0xabcd)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cbc_roundtrip(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(),
+                     plaintext in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let ct = cbc::encrypt(&key, &iv, &plaintext).unwrap();
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > plaintext.len());
+        prop_assert_eq!(cbc::decrypt(&key, &iv, &ct).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn cbc_ciphertext_differs_from_plaintext(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(),
+                                             plaintext in proptest::collection::vec(any::<u8>(), 16..256)) {
+        let ct = cbc::encrypt(&key, &iv, &plaintext).unwrap();
+        prop_assert_ne!(&ct[..plaintext.len()], &plaintext[..]);
+    }
+
+    #[test]
+    fn keywrap_roundtrip(kek in any::<[u8; 16]>(), blocks in 2usize..8) {
+        let data: Vec<u8> = (0..blocks * 8).map(|i| i as u8).collect();
+        let wrapped = keywrap::wrap(&kek, &data).unwrap();
+        prop_assert_eq!(wrapped.len(), data.len() + 8);
+        prop_assert_eq!(keywrap::unwrap(&kek, &wrapped).unwrap(), data);
+    }
+
+    #[test]
+    fn keywrap_detects_any_single_bit_flip(kek in any::<[u8; 16]>(), byte in 0usize..40, bit in 0u8..8) {
+        let data = [0x5au8; 32];
+        let mut wrapped = keywrap::wrap(&kek, &data).unwrap();
+        wrapped[byte] ^= 1 << bit;
+        prop_assert!(keywrap::unwrap(&kek, &wrapped).is_err());
+    }
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                       split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut hasher = sha1::Sha1::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), sha1::sha1(&data));
+    }
+
+    #[test]
+    fn hmac_is_deterministic_and_key_sensitive(key in proptest::collection::vec(any::<u8>(), 1..80),
+                                               data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let a = hmac::hmac_sha1(&key, &data);
+        let b = hmac::hmac_sha1(&key, &data);
+        prop_assert_eq!(a, b);
+        let mut other_key = key.clone();
+        other_key[0] ^= 1;
+        prop_assert_ne!(hmac::hmac_sha1(&other_key, &data), a);
+    }
+
+    #[test]
+    fn kdf2_prefix_consistency(z in proptest::collection::vec(any::<u8>(), 1..64),
+                               len_a in 1usize..40, len_b in 1usize..40) {
+        // KDF2 output for a shorter length is a prefix of the longer output.
+        let short = len_a.min(len_b);
+        let long = len_a.max(len_b);
+        let a = kdf::kdf2(&z, b"", short);
+        let b = kdf::kdf2(&z, b"", long);
+        prop_assert_eq!(&b[..short], &a[..]);
+    }
+
+    #[test]
+    fn pss_sign_verify(message in proptest::collection::vec(any::<u8>(), 0..512), seed in any::<u64>()) {
+        let pair = test_pair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = pss::sign(pair.private(), &message, &mut rng).unwrap();
+        prop_assert!(pss::verify(pair.public(), &message, &sig));
+    }
+
+    #[test]
+    fn pss_rejects_modified_message(message in proptest::collection::vec(any::<u8>(), 1..256),
+                                    flip in 0usize..256, seed in any::<u64>()) {
+        let pair = test_pair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sig = pss::sign(pair.private(), &message, &mut rng).unwrap();
+        let mut tampered = message.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!pss::verify(pair.public(), &tampered, &sig));
+    }
+
+    #[test]
+    fn kem_roundtrip(kmac in any::<[u8; 16]>(), krek in any::<[u8; 16]>(), seed in any::<u64>()) {
+        let pair = test_pair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wrapped = oma_crypto::kem::wrap_keys(pair.public(), &kmac, &krek, &mut rng).unwrap();
+        let (m, r) = oma_crypto::kem::unwrap_keys(pair.private(), &wrapped).unwrap();
+        prop_assert_eq!(m, kmac);
+        prop_assert_eq!(r, krek);
+    }
+
+    #[test]
+    fn rsa_primitive_roundtrip(payload in proptest::collection::vec(any::<u8>(), 1..48)) {
+        // 48 bytes < 64-byte modulus, so always in range.
+        let pair = test_pair();
+        let mut data = payload;
+        data[0] |= 1; // avoid the all-zero corner case after stripping
+        let ct = pair.public().encrypt_os(&data).unwrap();
+        let pt = pair.private().decrypt_os(&ct).unwrap();
+        prop_assert_eq!(&pt[pt.len() - data.len()..], &data[..]);
+    }
+}

@@ -1,0 +1,836 @@
+//! The DRM Agent: the trusted logical entity inside the user's terminal.
+//!
+//! The agent drives the four phases of the consumption life-cycle and is the
+//! only actor whose cryptographic footprint matters for the paper's cost
+//! model. Every operation runs through the agent's instrumented
+//! [`CryptoEngine`]; callers (in particular `oma-perf`) snapshot the engine
+//! trace around each phase to obtain the per-phase operation lists.
+
+use crate::dcf::Dcf;
+use crate::domain::DomainId;
+use crate::error::DrmError;
+use crate::rel::Permission;
+use crate::ri::RightsIssuer;
+use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId};
+use crate::roap::{
+    DeviceHello, JoinDomainRequest, RegistrationRequest, RegistrationResponse, RoRequest,
+    RoResponse, RoapError, NONCE_LEN,
+};
+use crate::storage::{DeviceStorage, InstalledRightsObject};
+use oma_crypto::rsa::RsaKeyPair;
+use oma_crypto::CryptoEngine;
+use oma_pki::{
+    verify::verify_certificate_role, Certificate, CertificationAuthority, EntityRole, Timestamp,
+    ValidityPeriod,
+};
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// Maximum age of an OCSP response the agent accepts (one week).
+pub const OCSP_MAX_AGE_SECONDS: u64 = 7 * 24 * 3600;
+
+/// Validity requested for the device certificate (10 years).
+const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
+
+/// The trusted relationship a DRM Agent keeps per Rights Issuer after a
+/// successful registration ("RI Context" in the standard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiContext {
+    /// Rights Issuer identifier.
+    pub ri_id: String,
+    /// The verified Rights Issuer certificate.
+    pub ri_certificate: Certificate,
+    /// When the registration completed.
+    pub registered_at: Timestamp,
+    /// The ROAP session id used during registration.
+    pub session_id: u64,
+}
+
+/// The DRM Agent actor.
+#[derive(Debug)]
+pub struct DrmAgent {
+    device_id: String,
+    keys: RsaKeyPair,
+    certificate: Certificate,
+    ca_root: Certificate,
+    engine: CryptoEngine,
+    storage: DeviceStorage,
+    ri_contexts: HashMap<String, RiContext>,
+}
+
+impl DrmAgent {
+    /// Creates a DRM Agent: generates the device RSA key pair and the
+    /// device storage key `K_DEV`, and obtains a device certificate from
+    /// `ca`.
+    pub fn new<R: RngCore + ?Sized>(
+        device_id: &str,
+        modulus_bits: usize,
+        ca: &mut CertificationAuthority,
+        rng: &mut R,
+    ) -> Self {
+        let keys = RsaKeyPair::generate(modulus_bits, rng);
+        let certificate = ca.issue(
+            device_id,
+            EntityRole::DrmAgent,
+            keys.public().clone(),
+            ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
+        );
+        let engine = CryptoEngine::with_seed(rng.next_u64());
+        let mut kdev = [0u8; 16];
+        rng.fill_bytes(&mut kdev);
+        DrmAgent {
+            device_id: device_id.to_string(),
+            keys,
+            certificate,
+            ca_root: ca.root_certificate().clone(),
+            engine,
+            storage: DeviceStorage::new(kdev),
+            ri_contexts: HashMap::new(),
+        }
+    }
+
+    /// The device identifier.
+    pub fn device_id(&self) -> &str {
+        &self.device_id
+    }
+
+    /// The device certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The instrumented crypto engine. `oma-perf` snapshots its trace around
+    /// each protocol phase.
+    pub fn engine(&self) -> &CryptoEngine {
+        &self.engine
+    }
+
+    /// Whether a trusted relationship with `ri_id` exists.
+    pub fn is_registered_with(&self, ri_id: &str) -> bool {
+        self.ri_contexts.contains_key(ri_id)
+    }
+
+    /// The RI Context for `ri_id`, if registered.
+    pub fn ri_context(&self, ri_id: &str) -> Option<&RiContext> {
+        self.ri_contexts.get(ri_id)
+    }
+
+    /// Identifiers of all installed Rights Objects.
+    pub fn installed_rights(&self) -> Vec<RightsObjectId> {
+        self.storage.installed_ids().cloned().collect()
+    }
+
+    /// Installed Rights Objects covering `content_id`.
+    pub fn rights_for_content(&self, content_id: &str) -> Vec<RightsObjectId> {
+        self.storage
+            .find_for_content(content_id)
+            .map(|ro| ro.payload.id.clone())
+            .collect()
+    }
+
+    /// Remaining use count for `permission` under an installed Rights
+    /// Object, if it is count-constrained.
+    pub fn remaining_count(&self, ro_id: &RightsObjectId, permission: Permission) -> Option<u32> {
+        self.storage
+            .get(ro_id)
+            .and_then(|ro| ro.usage.get(&permission))
+            .and_then(|state| state.remaining_count())
+    }
+
+    /// Domains this device has joined.
+    pub fn joined_domains(&self) -> Vec<DomainId> {
+        self.storage.domains().cloned().collect()
+    }
+
+    // ----- phase 1: registration -------------------------------------------------
+
+    /// Runs the 4-pass ROAP registration protocol with `ri`, establishing an
+    /// RI Context (paper §2.4.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DrmError::Roap`] when the Rights Issuer rejects the
+    /// registration, and with [`DrmError::Pki`] when the Rights Issuer
+    /// certificate or its OCSP response does not verify.
+    pub fn register(&mut self, ri: &mut RightsIssuer, now: Timestamp) -> Result<(), DrmError> {
+        // Pass 1 and 2: the hello exchange negotiates algorithms; it involves
+        // no cryptography.
+        let hello = ri.hello(&DeviceHello::new(&self.device_id));
+
+        // Pass 3: signed RegistrationRequest.
+        let device_nonce = self.engine.random_nonce(NONCE_LEN);
+        let signed = RegistrationRequest::signed_bytes(
+            hello.session_id,
+            &self.device_id,
+            &device_nonce,
+            now,
+            &self.certificate,
+        );
+        let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
+        let request = RegistrationRequest {
+            session_id: hello.session_id,
+            device_id: self.device_id.clone(),
+            device_nonce: device_nonce.clone(),
+            request_time: now,
+            certificate: self.certificate.clone(),
+            signature,
+        };
+
+        // Pass 4: verify the RegistrationResponse.
+        let response = ri.process_registration(&request, now)?;
+        if response.device_nonce != device_nonce || response.ri_id != ri.id() {
+            return Err(DrmError::Roap(RoapError::Malformed));
+        }
+        let signed = RegistrationResponse::signed_bytes(
+            response.session_id,
+            &response.ri_id,
+            &response.device_nonce,
+            &response.ri_certificate,
+            &response.ocsp_response,
+        );
+        if !self.engine.pss_verify(
+            response.ri_certificate.public_key(),
+            &signed,
+            &response.signature,
+        ) {
+            return Err(DrmError::Roap(RoapError::SignatureInvalid));
+        }
+        verify_certificate_role(
+            &self.engine,
+            &response.ri_certificate,
+            &self.ca_root,
+            EntityRole::RightsIssuer,
+            now,
+        )?;
+        response.ocsp_response.verify(
+            &self.engine,
+            &response.ri_certificate,
+            &self.ca_root,
+            None,
+            now,
+            OCSP_MAX_AGE_SECONDS,
+        )?;
+
+        self.ri_contexts.insert(
+            response.ri_id.clone(),
+            RiContext {
+                ri_id: response.ri_id.clone(),
+                ri_certificate: response.ri_certificate.clone(),
+                registered_at: now,
+                session_id: response.session_id,
+            },
+        );
+        Ok(())
+    }
+
+    // ----- phase 2: acquisition ----------------------------------------------------
+
+    /// Acquires a Device Rights Object for `content_id` (paper §2.4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without a prior [`DrmAgent::register`],
+    /// [`DrmError::Roap`] when the Rights Issuer rejects the request or its
+    /// response does not verify.
+    pub fn acquire_rights(
+        &mut self,
+        ri: &mut RightsIssuer,
+        content_id: &str,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
+        self.acquire(ri, content_id, None, now)
+    }
+
+    /// Acquires a Domain Rights Object for `content_id` targeting
+    /// `domain_id`. The device must have joined the domain first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DrmAgent::acquire_rights`], plus [`DrmError::NotInDomain`]
+    /// when the device has not joined `domain_id`.
+    pub fn acquire_domain_rights(
+        &mut self,
+        ri: &mut RightsIssuer,
+        content_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
+        if self.storage.domain_key(domain_id).is_none() {
+            return Err(DrmError::NotInDomain);
+        }
+        self.acquire(ri, content_id, Some(domain_id.clone()), now)
+    }
+
+    fn acquire(
+        &mut self,
+        ri: &mut RightsIssuer,
+        content_id: &str,
+        domain_id: Option<DomainId>,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
+        let context = self
+            .ri_contexts
+            .get(ri.id())
+            .cloned()
+            .ok_or(DrmError::NotRegistered)?;
+        let device_nonce = self.engine.random_nonce(NONCE_LEN);
+        let signed = RoRequest::signed_bytes(
+            &self.device_id,
+            &context.ri_id,
+            content_id,
+            domain_id.as_ref(),
+            &device_nonce,
+            now,
+        );
+        let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
+        let request = RoRequest {
+            device_id: self.device_id.clone(),
+            ri_id: context.ri_id.clone(),
+            content_id: content_id.to_string(),
+            domain_id,
+            device_nonce: device_nonce.clone(),
+            request_time: now,
+            signature,
+        };
+        let response = ri.process_ro_request(&request, now)?;
+        if response.device_nonce != device_nonce {
+            return Err(DrmError::Roap(RoapError::Malformed));
+        }
+        let signed = RoResponse::signed_bytes(
+            &response.device_id,
+            &response.ri_id,
+            &response.device_nonce,
+            &response.rights_object,
+        );
+        if !self.engine.pss_verify(
+            context.ri_certificate.public_key(),
+            &signed,
+            &response.signature,
+        ) {
+            return Err(DrmError::Roap(RoapError::SignatureInvalid));
+        }
+        Ok(response)
+    }
+
+    // ----- phase 3: installation ----------------------------------------------------
+
+    /// Installs the Rights Object carried by a verified `ROResponse`
+    /// (paper §2.4.3 and Figure 3): unwraps `K_MAC ‖ K_REK`, checks the RO
+    /// MAC (and signature for Domain ROs), then re-wraps the keys under the
+    /// device key `K_DEV` so later accesses need only symmetric operations.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::RightsObjectIntegrity`] when the MAC check fails,
+    /// [`DrmError::RightsObjectSignature`] when the mandatory Domain RO
+    /// signature is missing or invalid, [`DrmError::NotInDomain`] when the
+    /// device lacks the domain key, and [`DrmError::Crypto`] when key
+    /// unwrapping fails (wrong recipient).
+    pub fn install_rights(
+        &mut self,
+        response: &RoResponse,
+        now: Timestamp,
+    ) -> Result<RightsObjectId, DrmError> {
+        self.install_protected_ro(&response.rights_object, &response.ri_id, now)
+    }
+
+    /// Installs a protected Rights Object obtained outside a `ROResponse`
+    /// (e.g. a Domain RO copied from another member device).
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::install_rights`]; additionally
+    /// [`DrmError::NotRegistered`] if no RI Context exists for `ri_id`.
+    pub fn install_protected_ro(
+        &mut self,
+        ro: &ProtectedRightsObject,
+        ri_id: &str,
+        _now: Timestamp,
+    ) -> Result<RightsObjectId, DrmError> {
+        let context = self
+            .ri_contexts
+            .get(ri_id)
+            .cloned()
+            .ok_or(DrmError::NotRegistered)?;
+
+        // Recover K_MAC || K_REK.
+        let (kmac, krek, domain_id) = match &ro.key_protection {
+            KeyProtection::Device(wrapped) => {
+                let (kmac, krek) = self.engine.kem_unwrap(self.keys.private(), wrapped)?;
+                (kmac, krek, None)
+            }
+            KeyProtection::Domain { domain_id, generation, wrapped } => {
+                let (stored_generation, key) = self
+                    .storage
+                    .domain_key(domain_id)
+                    .ok_or(DrmError::NotInDomain)?;
+                if stored_generation != *generation {
+                    return Err(DrmError::NotInDomain);
+                }
+                let key = *key;
+                let material = self.engine.aes_unwrap(&key, wrapped)?;
+                if material.len() != 32 {
+                    return Err(DrmError::Crypto(oma_crypto::CryptoError::MalformedPlaintext(
+                        "domain-wrapped key material must be 32 bytes",
+                    )));
+                }
+                let mut kmac = [0u8; 16];
+                let mut krek = [0u8; 16];
+                kmac.copy_from_slice(&material[..16]);
+                krek.copy_from_slice(&material[16..]);
+                (kmac, krek, Some(domain_id.clone()))
+            }
+        };
+
+        // Integrity and authenticity.
+        let payload_bytes = ro.payload.to_bytes();
+        if !self.engine.hmac_sha1_verify(&kmac, &payload_bytes, &ro.mac) {
+            return Err(DrmError::RightsObjectIntegrity);
+        }
+        match (&ro.signature, ro.key_protection.is_domain()) {
+            (Some(signature), _) => {
+                if !self.engine.pss_verify(
+                    context.ri_certificate.public_key(),
+                    &payload_bytes,
+                    signature,
+                ) {
+                    return Err(DrmError::RightsObjectSignature);
+                }
+            }
+            (None, true) => return Err(DrmError::RightsObjectSignature),
+            (None, false) => {}
+        }
+
+        // Re-wrap K_MAC || K_REK under the device key (C2dev of Figure 3).
+        let mut key_material = [0u8; 32];
+        key_material[..16].copy_from_slice(&kmac);
+        key_material[16..].copy_from_slice(&krek);
+        let c2dev = self.engine.aes_wrap(self.storage.kdev(), &key_material)?;
+
+        let id = ro.payload.id.clone();
+        self.storage.install(InstalledRightsObject {
+            payload: ro.payload.clone(),
+            mac: ro.mac,
+            c2dev,
+            domain_id,
+            usage: HashMap::new(),
+        });
+        Ok(id)
+    }
+
+    // ----- phase 4: consumption -------------------------------------------------------
+
+    /// Consumes protected content: performs the per-access processing steps
+    /// of paper §2.4.4 and returns the decrypted plaintext.
+    ///
+    /// Steps, in order: unwrap `C2dev` with `K_DEV`; verify the RO MAC;
+    /// verify the DCF hash; enforce the REL constraint for `permission`;
+    /// unwrap `K_CEK` with `K_REK`; AES-CBC-decrypt the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::RightsObjectNotInstalled`], [`DrmError::ContentMismatch`],
+    /// [`DrmError::RightsObjectIntegrity`], [`DrmError::DcfIntegrity`],
+    /// [`DrmError::PermissionNotGranted`], [`DrmError::ConstraintViolated`],
+    /// or [`DrmError::Crypto`] for key-unwrap failures.
+    pub fn consume(
+        &mut self,
+        ro_id: &RightsObjectId,
+        dcf: &Dcf,
+        permission: Permission,
+        now: Timestamp,
+    ) -> Result<Vec<u8>, DrmError> {
+        let kdev = *self.storage.kdev();
+        let installed = self
+            .storage
+            .get(ro_id)
+            .ok_or(DrmError::RightsObjectNotInstalled)?;
+
+        if installed.payload.content_id != dcf.content_id() {
+            return Err(DrmError::ContentMismatch);
+        }
+
+        // Step 1: decrypt C2dev using K_DEV.
+        let material = self.engine.aes_unwrap(&kdev, &installed.c2dev)?;
+        let mut kmac = [0u8; 16];
+        let mut krek = [0u8; 16];
+        kmac.copy_from_slice(&material[..16]);
+        krek.copy_from_slice(&material[16..]);
+
+        // Step 2: verify RO integrity via its MAC.
+        let payload_bytes = installed.payload.to_bytes();
+        if !self.engine.hmac_sha1_verify(&kmac, &payload_bytes, &installed.mac) {
+            return Err(DrmError::RightsObjectIntegrity);
+        }
+
+        // Step 3: verify DCF integrity against the hash inside the RO.
+        let dcf_hash = dcf.hash_with(&self.engine);
+        if dcf_hash != installed.payload.dcf_hash {
+            return Err(DrmError::DcfIntegrity);
+        }
+
+        // Step 4: enforce the usage rights.
+        let constraint = installed
+            .payload
+            .rights
+            .constraint_for(permission)
+            .ok_or(DrmError::PermissionNotGranted)?;
+        let encrypted_cek = installed.payload.encrypted_cek.clone();
+        let iv = *dcf.iv();
+        {
+            let installed = self
+                .storage
+                .get_mut(ro_id)
+                .ok_or(DrmError::RightsObjectNotInstalled)?;
+            installed
+                .usage_mut(permission)
+                .check_and_consume(constraint, now)
+                .map_err(|_| DrmError::ConstraintViolated)?;
+        }
+
+        // Step 5: unwrap K_CEK with K_REK and decrypt the content.
+        let cek = self.engine.aes_unwrap(&krek, &encrypted_cek)?;
+        let plaintext = self
+            .engine
+            .aes_cbc_decrypt(&cek, &iv, dcf.encrypted_payload())?;
+        Ok(plaintext)
+    }
+
+    // ----- domains ----------------------------------------------------------------------
+
+    /// Joins a domain operated by `ri`, obtaining and storing the shared
+    /// domain key.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without a prior registration, or
+    /// [`DrmError::Roap`] when the Rights Issuer rejects the join or its
+    /// response does not verify.
+    pub fn join_domain(
+        &mut self,
+        ri: &mut RightsIssuer,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<(), DrmError> {
+        let context = self
+            .ri_contexts
+            .get(ri.id())
+            .cloned()
+            .ok_or(DrmError::NotRegistered)?;
+        let device_nonce = self.engine.random_nonce(NONCE_LEN);
+        let signed = JoinDomainRequest::signed_bytes(
+            &self.device_id,
+            &context.ri_id,
+            domain_id,
+            &device_nonce,
+            now,
+        );
+        let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
+        let request = JoinDomainRequest {
+            device_id: self.device_id.clone(),
+            ri_id: context.ri_id.clone(),
+            domain_id: domain_id.clone(),
+            device_nonce: device_nonce.clone(),
+            request_time: now,
+            signature,
+        };
+        let response = ri.process_join_domain(&request, now)?;
+        if response.device_nonce != device_nonce || &response.domain_id != domain_id {
+            return Err(DrmError::Roap(RoapError::Malformed));
+        }
+        let signed = crate::roap::JoinDomainResponse::signed_bytes(
+            &response.device_id,
+            &response.ri_id,
+            &response.domain_id,
+            response.generation,
+            &response.encrypted_domain_key,
+            &response.device_nonce,
+        );
+        if !self.engine.pss_verify(
+            context.ri_certificate.public_key(),
+            &signed,
+            &response.signature,
+        ) {
+            return Err(DrmError::Roap(RoapError::SignatureInvalid));
+        }
+        let decrypted = self
+            .engine
+            .rsa_decrypt(self.keys.private(), &response.encrypted_domain_key)?;
+        if decrypted.len() < 16 {
+            return Err(DrmError::Crypto(oma_crypto::CryptoError::MalformedPlaintext(
+                "domain key too short",
+            )));
+        }
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&decrypted[decrypted.len() - 16..]);
+        self.storage
+            .store_domain_key(domain_id.clone(), response.generation, key);
+        Ok(())
+    }
+
+    /// Leaves a domain: forgets the domain key locally and notifies `ri`.
+    pub fn leave_domain(&mut self, ri: &mut RightsIssuer, domain_id: &DomainId) -> bool {
+        let left_locally = self.storage.remove_domain_key(domain_id);
+        let left_remotely = ri.process_leave_domain(&self.device_id, domain_id);
+        left_locally || left_remotely
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::RightsTemplate;
+    use crate::ContentIssuer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        ca: CertificationAuthority,
+        ri: RightsIssuer,
+        agent: DrmAgent,
+        dcf: Dcf,
+    }
+
+    fn world(template: RightsTemplate) -> World {
+        let mut rng = StdRng::seed_from_u64(0x0acace);
+        let mut ca = CertificationAuthority::new("cmla", 512, &mut rng);
+        let mut ri = RightsIssuer::new("ri.example.com", 512, &mut ca, &mut rng);
+        let agent = DrmAgent::new("phone-001", 512, &mut ca, &mut rng);
+        let ci = ContentIssuer::new("ci.example.com");
+        let (dcf, cek) = ci.package(b"some protected audio content", "cid:track", &mut rng);
+        ri.add_content("cid:track", cek, &dcf, template);
+        World { ca, ri, agent, dcf }
+    }
+
+    #[test]
+    fn full_lifecycle_device_ro() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        assert!(!w.agent.is_registered_with("ri.example.com"));
+        w.agent.register(&mut w.ri, now).unwrap();
+        assert!(w.agent.is_registered_with("ri.example.com"));
+        assert!(w.ri.is_registered("phone-001"));
+        assert_eq!(w.agent.ri_context("ri.example.com").unwrap().ri_id, "ri.example.com");
+
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        assert_eq!(w.agent.installed_rights(), vec![ro_id.clone()]);
+        assert_eq!(w.agent.rights_for_content("cid:track"), vec![ro_id.clone()]);
+
+        let plaintext = w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap();
+        assert_eq!(plaintext, b"some protected audio content");
+        // Unconstrained play works repeatedly.
+        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now.plus(5)).is_ok());
+    }
+
+    #[test]
+    fn acquisition_requires_registration() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        assert_eq!(
+            w.agent.acquire_rights(&mut w.ri, "cid:track", now),
+            Err(DrmError::NotRegistered)
+        );
+    }
+
+    #[test]
+    fn unknown_content_rejected_by_ri() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        assert_eq!(
+            w.agent.acquire_rights(&mut w.ri, "cid:other", now),
+            Err(DrmError::Roap(RoapError::UnknownRightsObject))
+        );
+    }
+
+    #[test]
+    fn count_constraint_enforced_across_consumptions() {
+        let mut w = world(RightsTemplate::counted(Permission::Play, 2));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        assert_eq!(w.agent.remaining_count(&ro_id, Permission::Play), None, "state starts lazily");
+        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).is_ok());
+        assert_eq!(w.agent.remaining_count(&ro_id, Permission::Play), Some(1));
+        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).is_ok());
+        assert_eq!(
+            w.agent.consume(&ro_id, &w.dcf, Permission::Play, now),
+            Err(DrmError::ConstraintViolated)
+        );
+    }
+
+    #[test]
+    fn wrong_permission_rejected() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        assert_eq!(
+            w.agent.consume(&ro_id, &w.dcf, Permission::Print, now),
+            Err(DrmError::PermissionNotGranted)
+        );
+    }
+
+    #[test]
+    fn tampered_dcf_detected() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        let tampered = w.dcf.tampered();
+        assert_eq!(
+            w.agent.consume(&ro_id, &tampered, Permission::Play, now),
+            Err(DrmError::DcfIntegrity)
+        );
+    }
+
+    #[test]
+    fn tampered_rights_object_detected_at_install() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        let mut response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        // Flip a MAC bit.
+        response.rights_object.mac[0] ^= 1;
+        assert_eq!(
+            w.agent.install_protected_ro(&response.rights_object, "ri.example.com", now),
+            Err(DrmError::RightsObjectIntegrity)
+        );
+    }
+
+    #[test]
+    fn rights_object_for_other_device_cannot_be_installed() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut other = DrmAgent::new("phone-002", 512, &mut w.ca, &mut rng);
+        w.agent.register(&mut w.ri, now).unwrap();
+        other.register(&mut w.ri, now).unwrap();
+        // The RO is addressed to `agent`, not `other`.
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let result = other.install_protected_ro(&response.rights_object, "ri.example.com", now);
+        assert!(result.is_err(), "foreign device must not unwrap the keys");
+    }
+
+    #[test]
+    fn revoked_rights_issuer_is_rejected_at_registration() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.ca.revoke(w.ri.certificate().serial());
+        w.ri.refresh_ocsp(&w.ca, now);
+        let err = w.agent.register(&mut w.ri, now).unwrap_err();
+        assert_eq!(err, DrmError::Pki(oma_pki::PkiError::CertificateRevoked));
+        assert!(!w.agent.is_registered_with("ri.example.com"));
+    }
+
+    #[test]
+    fn stale_ocsp_requires_refresh() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        // The RI fetched its OCSP response at t=0; far in the future it is stale.
+        let far_future = Timestamp::new(OCSP_MAX_AGE_SECONDS + 10_000);
+        let err = w.agent.register(&mut w.ri, far_future).unwrap_err();
+        assert_eq!(err, DrmError::Pki(oma_pki::PkiError::OcspResponseStale));
+        w.ri.refresh_ocsp(&w.ca, far_future);
+        assert!(w.agent.register(&mut w.ri, far_future).is_ok());
+    }
+
+    #[test]
+    fn domain_lifecycle_share_license_between_devices() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        let mut rng = StdRng::seed_from_u64(88);
+        let mut player = DrmAgent::new("mp3-player", 512, &mut w.ca, &mut rng);
+
+        w.agent.register(&mut w.ri, now).unwrap();
+        player.register(&mut w.ri, now).unwrap();
+
+        let domain = w.ri.create_domain("family", 4);
+        w.agent.join_domain(&mut w.ri, &domain, now).unwrap();
+        player.join_domain(&mut w.ri, &domain, now).unwrap();
+        assert_eq!(w.ri.domain_member_count(&domain), Some(2));
+        assert_eq!(w.agent.joined_domains(), vec![domain.clone()]);
+
+        // The phone acquires a Domain RO; the player installs the very same RO.
+        let response = w
+            .agent
+            .acquire_domain_rights(&mut w.ri, "cid:track", &domain, now)
+            .unwrap();
+        assert!(response.rights_object.is_domain_ro());
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        let ro_id_player = player
+            .install_protected_ro(&response.rights_object, "ri.example.com", now)
+            .unwrap();
+        assert_eq!(ro_id, ro_id_player);
+
+        assert_eq!(
+            w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap(),
+            b"some protected audio content"
+        );
+        assert_eq!(
+            player.consume(&ro_id_player, &w.dcf, Permission::Play, now).unwrap(),
+            b"some protected audio content"
+        );
+
+        // A device outside the domain cannot install the Domain RO.
+        let mut outsider = DrmAgent::new("outsider", 512, &mut w.ca, &mut rng);
+        outsider.register(&mut w.ri, now).unwrap();
+        assert_eq!(
+            outsider.install_protected_ro(&response.rights_object, "ri.example.com", now),
+            Err(DrmError::NotInDomain)
+        );
+
+        // Leaving the domain removes the key.
+        assert!(w.agent.leave_domain(&mut w.ri, &domain));
+        assert!(w.agent.joined_domains().is_empty());
+        assert_eq!(w.ri.domain_member_count(&domain), Some(1));
+    }
+
+    #[test]
+    fn domain_rights_require_membership() {
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.register(&mut w.ri, now).unwrap();
+        let domain = w.ri.create_domain("family", 4);
+        assert_eq!(
+            w.agent.acquire_domain_rights(&mut w.ri, "cid:track", &domain, now),
+            Err(DrmError::NotInDomain)
+        );
+    }
+
+    #[test]
+    fn engine_trace_accumulates_per_phase() {
+        use oma_crypto::Algorithm;
+        let mut w = world(RightsTemplate::unlimited(Permission::Play));
+        let now = Timestamp::new(1_000);
+        w.agent.engine().reset_trace();
+
+        w.agent.register(&mut w.ri, now).unwrap();
+        let registration = w.agent.engine().take_trace();
+        assert_eq!(registration.count(Algorithm::RsaPrivate).invocations, 1);
+        assert_eq!(registration.count(Algorithm::RsaPublic).invocations, 3);
+
+        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let acquisition = w.agent.engine().take_trace();
+        assert_eq!(acquisition.count(Algorithm::RsaPrivate).invocations, 1);
+        assert_eq!(acquisition.count(Algorithm::RsaPublic).invocations, 1);
+
+        let ro_id = w.agent.install_rights(&response, now).unwrap();
+        let installation = w.agent.engine().take_trace();
+        assert_eq!(installation.count(Algorithm::RsaPrivate).invocations, 1);
+        assert!(installation.count(Algorithm::AesDecrypt).blocks > 0);
+        assert!(installation.count(Algorithm::AesEncrypt).blocks > 0);
+        assert_eq!(installation.count(Algorithm::HmacSha1).invocations, 1);
+
+        w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap();
+        let consumption = w.agent.engine().take_trace();
+        assert_eq!(consumption.count(Algorithm::RsaPrivate).invocations, 0);
+        assert_eq!(consumption.count(Algorithm::RsaPublic).invocations, 0);
+        assert_eq!(consumption.count(Algorithm::HmacSha1).invocations, 1);
+        assert_eq!(consumption.count(Algorithm::Sha1).invocations, 1);
+        assert!(consumption.count(Algorithm::AesDecrypt).blocks > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The DRM Content Format (DCF): the container that carries encrypted media
+//! together with descriptive headers.
+//!
+//! A DCF holds the AES-CBC-encrypted payload, the IV, descriptive metadata
+//! (title, author) and the RightsIssuerURL the user can visit to obtain a
+//! license. The payload stays encrypted at rest — the paper stresses that
+//! secure memory is far too scarce to store content in clear, which is why
+//! the consumption phase has to hash and decrypt the whole file on every
+//! access.
+
+use oma_crypto::sha1::DIGEST_SIZE;
+
+/// Descriptive (non-protected) metadata carried in DCF headers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DcfHeaders {
+    /// Human-readable title of the content.
+    pub title: String,
+    /// Author / artist.
+    pub author: String,
+    /// MIME type of the plaintext content.
+    pub content_type: String,
+    /// URL of the Rights Issuer where a license can be acquired.
+    pub rights_issuer_url: String,
+}
+
+/// A packaged piece of DRM-protected content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dcf {
+    content_id: String,
+    headers: DcfHeaders,
+    iv: [u8; 16],
+    encrypted_payload: Vec<u8>,
+    plaintext_len: usize,
+}
+
+impl Dcf {
+    /// Assembles a DCF from its parts (used by the Content Issuer).
+    pub fn new(
+        content_id: &str,
+        headers: DcfHeaders,
+        iv: [u8; 16],
+        encrypted_payload: Vec<u8>,
+        plaintext_len: usize,
+    ) -> Self {
+        Dcf {
+            content_id: content_id.to_string(),
+            headers,
+            iv,
+            encrypted_payload,
+            plaintext_len,
+        }
+    }
+
+    /// The globally unique content identifier (`cid:` URI in the standard).
+    pub fn content_id(&self) -> &str {
+        &self.content_id
+    }
+
+    /// Descriptive headers.
+    pub fn headers(&self) -> &DcfHeaders {
+        &self.headers
+    }
+
+    /// Initialisation vector of the CBC encryption.
+    pub fn iv(&self) -> &[u8; 16] {
+        &self.iv
+    }
+
+    /// The encrypted payload.
+    pub fn encrypted_payload(&self) -> &[u8] {
+        &self.encrypted_payload
+    }
+
+    /// Length of the original plaintext in bytes.
+    pub fn plaintext_len(&self) -> usize {
+        self.plaintext_len
+    }
+
+    /// Total size of the DCF as stored on the device (headers + payload).
+    pub fn stored_len(&self) -> usize {
+        self.encrypted_payload.len()
+            + self.headers.title.len()
+            + self.headers.author.len()
+            + self.headers.content_type.len()
+            + self.headers.rights_issuer_url.len()
+            + self.content_id.len()
+            + 16
+    }
+
+    /// The byte string whose SHA-1 hash is recorded inside the Rights Object
+    /// ("a hash value of the DCF is included in the Rights Object").
+    ///
+    /// The hash covers the encrypted payload, so integrity can be verified
+    /// without decrypting.
+    pub fn hash_input(&self) -> &[u8] {
+        &self.encrypted_payload
+    }
+
+    /// Computes the DCF hash through an instrumented engine (used by the
+    /// DRM Agent so the hashing cost is recorded).
+    pub fn hash_with(&self, engine: &oma_crypto::CryptoEngine) -> [u8; DIGEST_SIZE] {
+        engine.sha1(self.hash_input())
+    }
+
+    /// Computes the DCF hash without instrumentation (used by the Rights
+    /// Issuer when it builds the Rights Object — server-side cost).
+    pub fn hash(&self) -> [u8; DIGEST_SIZE] {
+        oma_crypto::sha1::sha1(self.hash_input())
+    }
+
+    /// Returns a copy with a tampered payload byte, for integrity tests.
+    pub fn tampered(&self) -> Dcf {
+        let mut out = self.clone();
+        if let Some(byte) = out.encrypted_payload.first_mut() {
+            *byte ^= 0x01;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dcf {
+        Dcf::new(
+            "cid:song@example",
+            DcfHeaders {
+                title: "Song".into(),
+                author: "Artist".into(),
+                content_type: "audio/mpeg".into(),
+                rights_issuer_url: "https://ri.example.com".into(),
+            },
+            [7u8; 16],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            5,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let dcf = sample();
+        assert_eq!(dcf.content_id(), "cid:song@example");
+        assert_eq!(dcf.headers().title, "Song");
+        assert_eq!(dcf.iv(), &[7u8; 16]);
+        assert_eq!(dcf.encrypted_payload().len(), 8);
+        assert_eq!(dcf.plaintext_len(), 5);
+        assert!(dcf.stored_len() > dcf.encrypted_payload().len());
+    }
+
+    #[test]
+    fn hash_is_over_encrypted_payload() {
+        let dcf = sample();
+        assert_eq!(dcf.hash(), oma_crypto::sha1::sha1(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let engine = oma_crypto::CryptoEngine::with_seed(1);
+        assert_eq!(dcf.hash_with(&engine), dcf.hash());
+        assert_eq!(engine.trace().count(oma_crypto::Algorithm::Sha1).invocations, 1);
+    }
+
+    #[test]
+    fn tampering_changes_hash() {
+        let dcf = sample();
+        assert_ne!(dcf.tampered().hash(), dcf.hash());
+        assert_eq!(dcf.tampered().content_id(), dcf.content_id());
+    }
+}

@@ -1,0 +1,126 @@
+//! The error type of the DRM layer.
+
+use crate::roap::RoapError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the DRM Agent, Rights Issuer and Content Issuer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DrmError {
+    /// No trusted relationship (RI Context) exists with the Rights Issuer.
+    NotRegistered,
+    /// The referenced Rights Object is not installed on the device.
+    RightsObjectNotInstalled,
+    /// The Rights Issuer does not offer rights for the requested content.
+    UnknownContent,
+    /// The Rights Object does not grant the requested permission.
+    PermissionNotGranted,
+    /// A count constraint is exhausted or a datetime/interval constraint is
+    /// violated.
+    ConstraintViolated,
+    /// The Rights Object MAC check failed (integrity violation).
+    RightsObjectIntegrity,
+    /// The mandatory signature on a Domain Rights Object is missing or wrong.
+    RightsObjectSignature,
+    /// The DCF hash does not match the hash recorded in the Rights Object.
+    DcfIntegrity,
+    /// The Rights Object references a different content identifier.
+    ContentMismatch,
+    /// The device is not a member of the domain the Rights Object targets.
+    NotInDomain,
+    /// A ROAP protocol failure.
+    Roap(RoapError),
+    /// A PKI failure (certificate, OCSP).
+    Pki(oma_pki::PkiError),
+    /// An underlying cryptographic failure.
+    Crypto(oma_crypto::CryptoError),
+}
+
+impl fmt::Display for DrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrmError::NotRegistered => write!(f, "no ri context: device is not registered"),
+            DrmError::RightsObjectNotInstalled => write!(f, "rights object not installed"),
+            DrmError::UnknownContent => write!(f, "rights issuer has no rights for this content"),
+            DrmError::PermissionNotGranted => write!(f, "permission not granted by rights object"),
+            DrmError::ConstraintViolated => write!(f, "usage constraint violated"),
+            DrmError::RightsObjectIntegrity => write!(f, "rights object mac verification failed"),
+            DrmError::RightsObjectSignature => {
+                write!(f, "rights object signature missing or invalid")
+            }
+            DrmError::DcfIntegrity => write!(f, "dcf hash mismatch"),
+            DrmError::ContentMismatch => write!(f, "rights object covers different content"),
+            DrmError::NotInDomain => write!(f, "device is not a member of the domain"),
+            DrmError::Roap(e) => write!(f, "roap failure: {e}"),
+            DrmError::Pki(e) => write!(f, "pki failure: {e}"),
+            DrmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for DrmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DrmError::Roap(e) => Some(e),
+            DrmError::Pki(e) => Some(e),
+            DrmError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoapError> for DrmError {
+    fn from(e: RoapError) -> Self {
+        DrmError::Roap(e)
+    }
+}
+
+impl From<oma_pki::PkiError> for DrmError {
+    fn from(e: oma_pki::PkiError) -> Self {
+        DrmError::Pki(e)
+    }
+}
+
+impl From<oma_crypto::CryptoError> for DrmError {
+    fn from(e: oma_crypto::CryptoError) -> Self {
+        DrmError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources() {
+        let errors = [
+            DrmError::NotRegistered,
+            DrmError::ConstraintViolated,
+            DrmError::Pki(oma_pki::PkiError::CertificateRevoked),
+            DrmError::Crypto(oma_crypto::CryptoError::InvalidPadding),
+            DrmError::Roap(RoapError::UnknownSession),
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(errors[2].source().is_some());
+        assert!(errors[0].source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DrmError = oma_pki::PkiError::CertificateExpired.into();
+        assert_eq!(e, DrmError::Pki(oma_pki::PkiError::CertificateExpired));
+        let e: DrmError = oma_crypto::CryptoError::KeyUnwrapIntegrity.into();
+        assert!(matches!(e, DrmError::Crypto(_)));
+        let e: DrmError = RoapError::SignatureInvalid.into();
+        assert!(matches!(e, DrmError::Roap(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<DrmError>();
+    }
+}

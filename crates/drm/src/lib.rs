@@ -1,0 +1,73 @@
+//! A functional model of OMA DRM 2 (Open Mobile Alliance Digital Rights
+//! Management, version 2), the system analysed by Thull & Sannino,
+//! *"Performance Considerations for an Embedded Implementation of OMA DRM 2"*
+//! (DATE 2005).
+//!
+//! The crate models the four actors of the standard and the four phases of
+//! the content-consumption life-cycle:
+//!
+//! | Actor | Type | Phases it participates in |
+//! |---|---|---|
+//! | Content Issuer | [`ContentIssuer`] | packages DCFs |
+//! | Rights Issuer | [`RightsIssuer`] | Registration, Acquisition, domain management |
+//! | DRM Agent | [`DrmAgent`] | Registration, Acquisition, Installation, Consumption |
+//! | Certification Authority | [`oma_pki::CertificationAuthority`] | issues certificates, answers OCSP |
+//!
+//! Every cryptographic operation a [`DrmAgent`] performs goes through an
+//! instrumented [`oma_crypto::CryptoEngine`], so a protocol run doubles as a
+//! measurement: the per-phase operation traces drive the performance model in
+//! `oma-perf` exactly the way the authors' Java model drove their spreadsheet
+//! analysis.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oma_drm::{ContentIssuer, DrmAgent, Permission, RightsIssuer, RightsTemplate};
+//! use oma_pki::{CertificationAuthority, Timestamp};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), oma_drm::DrmError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // Small RSA keys keep the example fast; the real system uses 1024 bits.
+//! let mut ca = CertificationAuthority::new("cmla", 512, &mut rng);
+//! let mut ri = RightsIssuer::new("ri.example.com", 512, &mut ca, &mut rng);
+//! let ci = ContentIssuer::new("ci.example.com");
+//! let mut agent = DrmAgent::new("phone-001", 512, &mut ca, &mut rng);
+//!
+//! // Content Issuer packages a track and hands the CEK to the Rights Issuer.
+//! let now = Timestamp::new(1_000);
+//! let (dcf, cek) = ci.package(b"music bytes", "cid:track-1", &mut rng);
+//! ri.add_content("cid:track-1", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+//!
+//! // Registration -> Acquisition -> Installation -> Consumption.
+//! agent.register(&mut ri, now)?;
+//! let response = agent.acquire_rights(&mut ri, "cid:track-1", now)?;
+//! let ro_id = agent.install_rights(&response, now)?;
+//! let plaintext = agent.consume(&ro_id, &dcf, Permission::Play, now)?;
+//! assert_eq!(plaintext, b"music bytes");
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod ci;
+pub mod dcf;
+pub mod domain;
+mod error;
+pub mod rel;
+pub mod ri;
+pub mod ro;
+pub mod roap;
+pub mod storage;
+
+pub use agent::{DrmAgent, RiContext};
+pub use ci::ContentIssuer;
+pub use dcf::Dcf;
+pub use domain::{Domain, DomainId};
+pub use error::DrmError;
+pub use rel::{Constraint, Permission, Rights, RightsTemplate};
+pub use ri::RightsIssuer;
+pub use ro::{ProtectedRightsObject, RightsObjectId};
+pub use roap::RoapError;

@@ -1,0 +1,206 @@
+//! The DRM Agent's protected storage.
+//!
+//! The standard leaves storage details to the Certification Authority's
+//! robustness rules; the paper (§2.4.3) describes the scheme modelled here:
+//! content stays encrypted (the DCF is never stored in clear), Rights
+//! Objects keep their MAC for integrity, and `K_MAC ‖ K_REK` — originally
+//! protected by the expensive PKI wrap — is re-wrapped under a
+//! device-generated symmetric key `K_DEV` at installation time (`C2dev`),
+//! so that every later access only needs symmetric cryptography.
+
+use crate::domain::DomainId;
+use crate::rel::{Permission, UsageState};
+use crate::ro::{RightsObjectId, RightsObjectPayload};
+use oma_crypto::sha1::DIGEST_SIZE;
+use std::collections::HashMap;
+
+/// A Rights Object as it rests on the device after installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstalledRightsObject {
+    /// The MAC-protected payload (kept verbatim so the MAC can be re-checked
+    /// on every consumption).
+    pub payload: RightsObjectPayload,
+    /// The original MAC from the Rights Issuer.
+    pub mac: [u8; DIGEST_SIZE],
+    /// `AES-WRAP(K_DEV, K_MAC ‖ K_REK)` — the re-wrapped key material.
+    pub c2dev: Vec<u8>,
+    /// Whether the Rights Object arrived as a Domain Rights Object.
+    pub domain_id: Option<DomainId>,
+    /// Per-permission usage state (remaining counts, interval anchors).
+    pub usage: HashMap<Permission, UsageState>,
+}
+
+impl InstalledRightsObject {
+    /// Mutable usage state for `permission`, created on first use.
+    pub fn usage_mut(&mut self, permission: Permission) -> &mut UsageState {
+        let rights = &self.payload.rights;
+        self.usage
+            .entry(permission)
+            .or_insert_with(|| UsageState::for_rights(rights, permission))
+    }
+}
+
+/// The device's secure storage: the device key, installed Rights Objects and
+/// domain keys.
+#[derive(Debug, Default)]
+pub struct DeviceStorage {
+    kdev: [u8; 16],
+    installed: HashMap<RightsObjectId, InstalledRightsObject>,
+    domain_keys: HashMap<DomainId, (u32, [u8; 16])>,
+}
+
+impl DeviceStorage {
+    /// Creates storage protected by the device key `kdev`.
+    pub fn new(kdev: [u8; 16]) -> Self {
+        DeviceStorage {
+            kdev,
+            installed: HashMap::new(),
+            domain_keys: HashMap::new(),
+        }
+    }
+
+    /// The device-generated storage protection key `K_DEV`.
+    pub fn kdev(&self) -> &[u8; 16] {
+        &self.kdev
+    }
+
+    /// Stores an installed Rights Object, replacing any previous one with the
+    /// same identifier. Returns the previous entry if present.
+    pub fn install(&mut self, ro: InstalledRightsObject) -> Option<InstalledRightsObject> {
+        self.installed.insert(ro.payload.id.clone(), ro)
+    }
+
+    /// Looks up an installed Rights Object.
+    pub fn get(&self, id: &RightsObjectId) -> Option<&InstalledRightsObject> {
+        self.installed.get(id)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, id: &RightsObjectId) -> Option<&mut InstalledRightsObject> {
+        self.installed.get_mut(id)
+    }
+
+    /// Removes an installed Rights Object.
+    pub fn remove(&mut self, id: &RightsObjectId) -> Option<InstalledRightsObject> {
+        self.installed.remove(id)
+    }
+
+    /// Identifiers of all installed Rights Objects.
+    pub fn installed_ids(&self) -> impl Iterator<Item = &RightsObjectId> {
+        self.installed.keys()
+    }
+
+    /// Number of installed Rights Objects.
+    pub fn installed_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Finds installed Rights Objects covering `content_id`.
+    pub fn find_for_content<'a>(
+        &'a self,
+        content_id: &'a str,
+    ) -> impl Iterator<Item = &'a InstalledRightsObject> {
+        self.installed
+            .values()
+            .filter(move |ro| ro.payload.content_id == content_id)
+    }
+
+    /// Stores a domain key (replacing an older generation).
+    pub fn store_domain_key(&mut self, domain_id: DomainId, generation: u32, key: [u8; 16]) {
+        self.domain_keys.insert(domain_id, (generation, key));
+    }
+
+    /// Looks up a domain key and its generation.
+    pub fn domain_key(&self, domain_id: &DomainId) -> Option<(u32, &[u8; 16])> {
+        self.domain_keys.get(domain_id).map(|(g, k)| (*g, k))
+    }
+
+    /// Removes a domain key (leave-domain).
+    pub fn remove_domain_key(&mut self, domain_id: &DomainId) -> bool {
+        self.domain_keys.remove(domain_id).is_some()
+    }
+
+    /// Domains this device currently belongs to.
+    pub fn domains(&self) -> impl Iterator<Item = &DomainId> {
+        self.domain_keys.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::{Constraint, Rights};
+    use oma_pki::Timestamp;
+
+    fn installed(id: &str, content: &str) -> InstalledRightsObject {
+        InstalledRightsObject {
+            payload: RightsObjectPayload {
+                id: RightsObjectId::new(id),
+                rights_issuer: "ri".into(),
+                content_id: content.into(),
+                rights: Rights::new().grant(Permission::Play, Constraint::Count(2)),
+                dcf_hash: [0u8; 20],
+                encrypted_cek: vec![0u8; 24],
+                issued_at: Timestamp::new(0),
+            },
+            mac: [0u8; 20],
+            c2dev: vec![0u8; 40],
+            domain_id: None,
+            usage: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn install_lookup_remove() {
+        let mut storage = DeviceStorage::new([9u8; 16]);
+        assert_eq!(storage.kdev(), &[9u8; 16]);
+        assert!(storage.install(installed("ro-1", "cid:a")).is_none());
+        assert!(storage.install(installed("ro-2", "cid:b")).is_none());
+        assert_eq!(storage.installed_count(), 2);
+        assert!(storage.get(&RightsObjectId::new("ro-1")).is_some());
+        assert!(storage.get(&RightsObjectId::new("ro-3")).is_none());
+        assert_eq!(storage.find_for_content("cid:a").count(), 1);
+        assert_eq!(storage.installed_ids().count(), 2);
+        assert!(storage.remove(&RightsObjectId::new("ro-1")).is_some());
+        assert_eq!(storage.installed_count(), 1);
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let mut storage = DeviceStorage::new([0u8; 16]);
+        storage.install(installed("ro-1", "cid:a"));
+        let replaced = storage.install(installed("ro-1", "cid:b"));
+        assert!(replaced.is_some());
+        assert_eq!(storage.installed_count(), 1);
+        assert_eq!(
+            storage.get(&RightsObjectId::new("ro-1")).unwrap().payload.content_id,
+            "cid:b"
+        );
+    }
+
+    #[test]
+    fn usage_state_initialised_from_rights() {
+        let mut storage = DeviceStorage::new([0u8; 16]);
+        storage.install(installed("ro-1", "cid:a"));
+        let ro = storage.get_mut(&RightsObjectId::new("ro-1")).unwrap();
+        let state = ro.usage_mut(Permission::Play);
+        assert_eq!(state.remaining_count(), Some(2));
+        // A verb the RO does not constrain starts unconstrained.
+        let ro = storage.get_mut(&RightsObjectId::new("ro-1")).unwrap();
+        assert_eq!(ro.usage_mut(Permission::Display).remaining_count(), None);
+    }
+
+    #[test]
+    fn domain_key_lifecycle() {
+        let mut storage = DeviceStorage::new([0u8; 16]);
+        let id = DomainId::new("family");
+        assert!(storage.domain_key(&id).is_none());
+        storage.store_domain_key(id.clone(), 0, [1u8; 16]);
+        assert_eq!(storage.domain_key(&id), Some((0, &[1u8; 16])));
+        storage.store_domain_key(id.clone(), 1, [2u8; 16]);
+        assert_eq!(storage.domain_key(&id), Some((1, &[2u8; 16])));
+        assert_eq!(storage.domains().count(), 1);
+        assert!(storage.remove_domain_key(&id));
+        assert!(!storage.remove_domain_key(&id));
+    }
+}

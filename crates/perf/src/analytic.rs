@@ -1,0 +1,224 @@
+//! Closed-form (analytic) operation counts per phase.
+//!
+//! This is the spreadsheet half of the paper's methodology: the list of
+//! cryptographic operations performed in each phase, expressed as a function
+//! of the content size and the (representative) ROAP message sizes. The
+//! [`crate::runner`] module provides the *measured* counterpart, obtained by
+//! actually running the protocol implementation; the two are cross-checked
+//! against each other in the test suite.
+
+use crate::phases::PhaseTraces;
+use crate::usecase::UseCaseSpec;
+use oma_crypto::{Algorithm, OpTrace};
+
+/// Representative ROAP message and Rights Object sizes, in bytes.
+///
+/// These drive only the SHA-1 / HMAC block counts for protocol messages,
+/// which are negligible next to the RSA operations; the values below are the
+/// sizes produced by the reference implementation in `oma-drm` for typical
+/// identifiers and 1024-bit certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageSizes {
+    /// Signed portion of the RegistrationRequest (includes the device
+    /// certificate).
+    pub registration_request: usize,
+    /// Signed portion of the RegistrationResponse (includes the RI
+    /// certificate and the OCSP response).
+    pub registration_response: usize,
+    /// Canonical encoding of a certificate (hashed when verifying it).
+    pub certificate: usize,
+    /// Canonical encoding of an OCSP response.
+    pub ocsp_response: usize,
+    /// Signed portion of the RORequest.
+    pub ro_request: usize,
+    /// Signed portion of the ROResponse (includes the RO payload).
+    pub ro_response: usize,
+    /// Canonical encoding of the Rights Object payload (the MAC input).
+    pub ro_payload: usize,
+}
+
+impl Default for MessageSizes {
+    fn default() -> Self {
+        MessageSizes {
+            registration_request: 360,
+            registration_response: 420,
+            certificate: 230,
+            ocsp_response: 80,
+            ro_request: 140,
+            ro_response: 560,
+            ro_payload: 430,
+        }
+    }
+}
+
+fn blocks(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(16).max(1)
+}
+
+/// Number of SHA-1 input blocks KDF2 processes when deriving a 128-bit KEK
+/// from a `modulus_bits`-bit KEM secret.
+fn kdf_blocks(modulus_bits: usize) -> u64 {
+    ((modulus_bits / 8 + 4) as u64).div_ceil(16)
+}
+
+/// AES block-cipher operations to (un)wrap `key_bytes` of key material with
+/// RFC 3394 (6 per 64-bit block).
+fn wrap_blocks(key_bytes: usize) -> u64 {
+    6 * (key_bytes as u64 / 8)
+}
+
+/// Analytic registration-phase trace (paper §2.4.1): one device signature,
+/// verification of the RI response signature, the RI certificate and the
+/// OCSP response.
+pub fn registration_trace(sizes: &MessageSizes) -> OpTrace {
+    let mut t = OpTrace::new();
+    // Sign the RegistrationRequest.
+    t.record(Algorithm::RsaPrivate, 1, 1);
+    t.record(Algorithm::Sha1, 1, blocks(sizes.registration_request));
+    // Verify the RegistrationResponse signature, the RI certificate and the
+    // OCSP response.
+    t.record(Algorithm::RsaPublic, 3, 3);
+    t.record(Algorithm::Sha1, 1, blocks(sizes.registration_response));
+    t.record(Algorithm::Sha1, 1, blocks(sizes.certificate));
+    t.record(Algorithm::Sha1, 1, blocks(sizes.ocsp_response));
+    t
+}
+
+/// Analytic acquisition-phase trace (paper §2.4.2): one signed request, one
+/// verified response.
+pub fn acquisition_trace(sizes: &MessageSizes) -> OpTrace {
+    let mut t = OpTrace::new();
+    t.record(Algorithm::RsaPrivate, 1, 1);
+    t.record(Algorithm::Sha1, 1, blocks(sizes.ro_request));
+    t.record(Algorithm::RsaPublic, 1, 1);
+    t.record(Algorithm::Sha1, 1, blocks(sizes.ro_response));
+    t
+}
+
+/// Analytic installation-phase trace (paper §2.4.3, Figure 3): RSADP on
+/// `C1`, KDF2, AES-unwrap of `C2`, MAC verification, and the re-wrap of
+/// `K_MAC ‖ K_REK` under `K_DEV`.
+pub fn installation_trace(sizes: &MessageSizes, rsa_modulus_bits: usize) -> OpTrace {
+    let mut t = OpTrace::new();
+    // RSADP(C1) + KDF2 + AESUNWRAP(C2).
+    t.record(Algorithm::RsaPrivate, 1, 1);
+    t.record(Algorithm::Sha1, 1, kdf_blocks(rsa_modulus_bits));
+    t.record(Algorithm::AesDecrypt, 1, wrap_blocks(32));
+    // RO integrity check.
+    t.record(Algorithm::HmacSha1, 1, blocks(sizes.ro_payload));
+    // Re-wrap under K_DEV -> C2dev.
+    t.record(Algorithm::AesEncrypt, 1, wrap_blocks(32));
+    t
+}
+
+/// Analytic consumption trace for a *single* access (paper §2.4.4 plus the
+/// content decryption itself): unwrap `C2dev`, check the RO MAC, hash the
+/// DCF, unwrap `K_CEK` and CBC-decrypt the payload.
+pub fn consumption_trace(sizes: &MessageSizes, content_len: usize) -> OpTrace {
+    let content_blocks = (content_len / 16 + 1) as u64;
+    let mut t = OpTrace::new();
+    // Step 1: decrypt C2dev with K_DEV.
+    t.record(Algorithm::AesDecrypt, 1, wrap_blocks(32));
+    // Step 2: verify RO MAC.
+    t.record(Algorithm::HmacSha1, 1, blocks(sizes.ro_payload));
+    // Step 3: verify DCF hash.
+    t.record(Algorithm::Sha1, 1, content_blocks);
+    // Unwrap K_CEK with K_REK.
+    t.record(Algorithm::AesDecrypt, 1, wrap_blocks(16));
+    // Decrypt the content for rendering.
+    t.record(Algorithm::AesDecrypt, 1, content_blocks);
+    t
+}
+
+/// Builds the full analytic [`PhaseTraces`] for a use case.
+pub fn phase_traces(spec: &UseCaseSpec) -> PhaseTraces {
+    phase_traces_with_sizes(spec, &MessageSizes::default())
+}
+
+/// [`phase_traces`] with explicit message sizes.
+pub fn phase_traces_with_sizes(spec: &UseCaseSpec, sizes: &MessageSizes) -> PhaseTraces {
+    PhaseTraces {
+        registration: registration_trace(sizes),
+        acquisition: acquisition_trace(sizes),
+        installation: installation_trace(sizes, spec.rsa_modulus_bits()),
+        consumption_per_access: consumption_trace(sizes, spec.content_len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_has_one_private_and_three_public_ops() {
+        let t = registration_trace(&MessageSizes::default());
+        assert_eq!(t.count(Algorithm::RsaPrivate).invocations, 1);
+        assert_eq!(t.count(Algorithm::RsaPublic).invocations, 3);
+        assert_eq!(t.count(Algorithm::AesDecrypt).blocks, 0);
+    }
+
+    #[test]
+    fn acquisition_is_one_sign_one_verify() {
+        let t = acquisition_trace(&MessageSizes::default());
+        assert_eq!(t.count(Algorithm::RsaPrivate).invocations, 1);
+        assert_eq!(t.count(Algorithm::RsaPublic).invocations, 1);
+    }
+
+    #[test]
+    fn installation_unwraps_and_rewraps() {
+        let t = installation_trace(&MessageSizes::default(), 1024);
+        assert_eq!(t.count(Algorithm::RsaPrivate).invocations, 1);
+        assert_eq!(t.count(Algorithm::RsaPublic).invocations, 0);
+        assert_eq!(t.count(Algorithm::AesDecrypt).blocks, 24);
+        assert_eq!(t.count(Algorithm::AesEncrypt).blocks, 24);
+        assert_eq!(t.count(Algorithm::HmacSha1).invocations, 1);
+        // KDF2 over a 1024-bit secret: 9 hash blocks.
+        assert_eq!(t.count(Algorithm::Sha1).blocks, 9);
+    }
+
+    #[test]
+    fn consumption_has_no_pki_operations() {
+        let t = consumption_trace(&MessageSizes::default(), 30_720);
+        assert_eq!(t.count(Algorithm::RsaPrivate).invocations, 0);
+        assert_eq!(t.count(Algorithm::RsaPublic).invocations, 0);
+        // Content hashing and decryption dominate the block counts.
+        assert_eq!(t.count(Algorithm::Sha1).blocks, 30_720 / 16 + 1);
+        assert_eq!(t.count(Algorithm::AesDecrypt).blocks, (30_720 / 16 + 1) + 24 + 12);
+    }
+
+    #[test]
+    fn whole_lifecycle_has_three_private_key_ops() {
+        // The paper's §4 observation: the PKI work is fixed at three RSA
+        // private-key operations regardless of content size.
+        for spec in [UseCaseSpec::music_player(), UseCaseSpec::ringtone()] {
+            let traces = phase_traces(&spec);
+            let setup = traces.setup_total();
+            assert_eq!(setup.count(Algorithm::RsaPrivate).invocations, 3, "{}", spec.name());
+            assert_eq!(setup.count(Algorithm::RsaPublic).invocations, 4, "{}", spec.name());
+            let total = traces.total(spec.accesses());
+            assert_eq!(total.count(Algorithm::RsaPrivate).invocations, 3, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn consumption_scales_with_content_size_not_pki() {
+        let small = consumption_trace(&MessageSizes::default(), 30_720);
+        let large = consumption_trace(&MessageSizes::default(), 3_670_016);
+        assert!(large.count(Algorithm::Sha1).blocks > 100 * small.count(Algorithm::Sha1).blocks);
+        assert_eq!(
+            small.count(Algorithm::HmacSha1).blocks,
+            large.count(Algorithm::HmacSha1).blocks
+        );
+    }
+
+    #[test]
+    fn helper_block_math() {
+        assert_eq!(blocks(0), 1);
+        assert_eq!(blocks(16), 1);
+        assert_eq!(blocks(17), 2);
+        assert_eq!(kdf_blocks(1024), 9);
+        assert_eq!(kdf_blocks(512), 5);
+        assert_eq!(wrap_blocks(32), 24);
+        assert_eq!(wrap_blocks(16), 12);
+    }
+}

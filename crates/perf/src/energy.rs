@@ -1,0 +1,126 @@
+//! First-order energy model.
+//!
+//! The paper assumes "energy consumption to be directly related to processing
+//! performance", i.e. energy ∝ cycles, and reports as future work that early
+//! measurements suggest the hardware/software gap is *wider* for energy than
+//! for time. [`EnergyModel`] captures both: by default one nanojoule per
+//! software cycle and a configurable efficiency factor for hardware macros
+//! (1.0 reproduces the paper's first-order assumption; values below 1.0
+//! model the wider gap the authors anticipate).
+
+use crate::arch::{Architecture, Implementation};
+use crate::cost::CostTable;
+use oma_crypto::OpTrace;
+
+/// Energy-per-cycle parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per cycle spent on the processor core, in nanojoules.
+    pub software_nj_per_cycle: f64,
+    /// Energy per cycle spent inside a hardware macro, in nanojoules.
+    pub hardware_nj_per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    /// The paper's first-order assumption: energy strictly proportional to
+    /// cycles, identical per-cycle cost for both realisations.
+    fn default() -> Self {
+        EnergyModel { software_nj_per_cycle: 1.0, hardware_nj_per_cycle: 1.0 }
+    }
+}
+
+impl EnergyModel {
+    /// The paper's first-order model (energy ∝ cycles).
+    pub fn proportional() -> Self {
+        Self::default()
+    }
+
+    /// A model where hardware macros additionally consume `factor` times the
+    /// per-cycle energy of the core (use `factor < 1` for the wider-gap
+    /// hypothesis of the paper's future-work section).
+    pub fn with_hardware_factor(factor: f64) -> Self {
+        EnergyModel { software_nj_per_cycle: 1.0, hardware_nj_per_cycle: factor }
+    }
+
+    /// Energy in millijoules to execute `trace` on `architecture` under
+    /// `table`.
+    pub fn millijoules(
+        &self,
+        trace: &OpTrace,
+        architecture: &Architecture,
+        table: &CostTable,
+    ) -> f64 {
+        let nanojoules: f64 = trace
+            .iter()
+            .map(|(alg, count)| {
+                let implementation = architecture.implementation_of(alg);
+                let cycles = table.cost(alg, implementation).cycles(count) as f64;
+                let per_cycle = match implementation {
+                    Implementation::Software => self.software_nj_per_cycle,
+                    Implementation::Hardware => self.hardware_nj_per_cycle,
+                };
+                cycles * per_cycle
+            })
+            .sum();
+        nanojoules / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oma_crypto::Algorithm;
+
+    fn trace() -> OpTrace {
+        let mut t = OpTrace::new();
+        t.record(Algorithm::AesDecrypt, 1, 10_000);
+        t.record(Algorithm::RsaPrivate, 1, 1);
+        t
+    }
+
+    #[test]
+    fn proportional_model_matches_cycle_ratio() {
+        let table = CostTable::paper();
+        let model = EnergyModel::proportional();
+        let trace = trace();
+        for arch in Architecture::standard_variants() {
+            let energy = model.millijoules(&trace, &arch, &table);
+            let cycles = arch.cycles(&trace, &table) as f64;
+            assert!((energy - cycles / 1.0e6).abs() < 1e-9, "{}", arch.name());
+        }
+    }
+
+    #[test]
+    fn hardware_energy_savings_exceed_time_savings_with_efficient_macros() {
+        let table = CostTable::paper();
+        let trace = trace();
+        let sw = Architecture::software();
+        let hw = Architecture::full_hardware();
+        let time_gap = sw.cycles(&trace, &table) as f64 / hw.cycles(&trace, &table) as f64;
+
+        let efficient = EnergyModel::with_hardware_factor(0.5);
+        let energy_gap = efficient.millijoules(&trace, &sw, &table)
+            / efficient.millijoules(&trace, &hw, &table);
+        assert!(
+            energy_gap > time_gap,
+            "energy gap {energy_gap} should exceed time gap {time_gap}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_costs_no_energy() {
+        let model = EnergyModel::default();
+        let e = model.millijoules(&OpTrace::new(), &Architecture::software(), &CostTable::paper());
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn software_only_architecture_ignores_hardware_factor() {
+        let table = CostTable::paper();
+        let trace = trace();
+        let sw = Architecture::software();
+        let a = EnergyModel::with_hardware_factor(0.1).millijoules(&trace, &sw, &table);
+        let b = EnergyModel::proportional().millijoules(&trace, &sw, &table);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The end-user use cases of the paper's evaluation (chapter 4).
+//!
+//! * **Music Player** — a 3.5 MB encrypted track; the user registers,
+//!   acquires and installs a license, then listens to the track five times.
+//! * **Ringtone** — a 30 KB high-quality polyphonic ringtone; the user
+//!   registers, acquires and installs a license, then the phone rings 25
+//!   times and the DRM Agent must unlock the file for every ring.
+//!
+//! The two differ only in content size and number of accesses, which is
+//! exactly why they discriminate so sharply between bulk-data acceleration
+//! (AES/SHA-1) and PKI acceleration (RSA).
+
+/// Parameters of one evaluation use case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseCaseSpec {
+    name: String,
+    content_len: usize,
+    accesses: u64,
+    rsa_modulus_bits: usize,
+}
+
+impl UseCaseSpec {
+    /// Creates a custom use case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `content_len` is zero.
+    pub fn new(name: &str, content_len: usize, accesses: u64) -> Self {
+        assert!(content_len > 0, "use case content must be non-empty");
+        UseCaseSpec {
+            name: name.to_string(),
+            content_len,
+            accesses,
+            rsa_modulus_bits: 1024,
+        }
+    }
+
+    /// The paper's Music Player use case: 3.5 MB DCF, five playbacks
+    /// (3.5 · 2²⁰ bytes, the interpretation that reproduces Figure 6).
+    pub fn music_player() -> Self {
+        Self::new("Music Player", 3_670_016, 5)
+    }
+
+    /// The paper's Ringtone use case: 30 KB DCF, 25 calls (30 · 2¹⁰ bytes).
+    pub fn ringtone() -> Self {
+        Self::new("Ringtone", 30_720, 25)
+    }
+
+    /// Both paper use cases, in figure order (Ringtone, Music Player —
+    /// the order of Figure 5's x-axis).
+    pub fn paper_use_cases() -> Vec<UseCaseSpec> {
+        vec![Self::ringtone(), Self::music_player()]
+    }
+
+    /// Use case name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Plaintext content size in bytes.
+    pub fn content_len(&self) -> usize {
+        self.content_len
+    }
+
+    /// Number of content accesses (playbacks / rings).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// RSA modulus size used by the PKI (1024 bits in the standard).
+    pub fn rsa_modulus_bits(&self) -> usize {
+        self.rsa_modulus_bits
+    }
+
+    /// Returns a copy with a different access count (e.g. for sweeps over
+    /// the number of playbacks).
+    pub fn with_accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Returns a copy with a different content size (e.g. for sweeps over
+    /// file size to locate the SW/HW crossover).
+    pub fn with_content_len(mut self, content_len: usize) -> Self {
+        assert!(content_len > 0, "use case content must be non-empty");
+        self.content_len = content_len;
+        self
+    }
+
+    /// Returns a copy with a different RSA modulus size (used by the
+    /// measured runner to keep tests fast; the cost model always charges
+    /// RSA per 1024-bit operation as the paper does).
+    pub fn with_rsa_modulus_bits(mut self, bits: usize) -> Self {
+        self.rsa_modulus_bits = bits;
+        self
+    }
+
+    /// Number of 128-bit blocks in the *encrypted* content (including the
+    /// CBC padding block).
+    pub fn encrypted_content_blocks(&self) -> u64 {
+        (self.content_len / 16 + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_use_cases_match_the_text() {
+        let music = UseCaseSpec::music_player();
+        assert_eq!(music.name(), "Music Player");
+        assert_eq!(music.content_len(), 3_670_016);
+        assert_eq!(music.accesses(), 5);
+        let ring = UseCaseSpec::ringtone();
+        assert_eq!(ring.content_len(), 30_720);
+        assert_eq!(ring.accesses(), 25);
+        assert_eq!(UseCaseSpec::paper_use_cases().len(), 2);
+        assert_eq!(music.rsa_modulus_bits(), 1024);
+    }
+
+    #[test]
+    fn builders() {
+        let sweep = UseCaseSpec::ringtone().with_accesses(100).with_content_len(64_000);
+        assert_eq!(sweep.accesses(), 100);
+        assert_eq!(sweep.content_len(), 64_000);
+        assert_eq!(sweep.name(), "Ringtone");
+        assert_eq!(UseCaseSpec::music_player().with_rsa_modulus_bits(512).rsa_modulus_bits(), 512);
+    }
+
+    #[test]
+    fn encrypted_blocks_include_padding() {
+        assert_eq!(UseCaseSpec::new("x", 16, 1).encrypted_content_blocks(), 2);
+        assert_eq!(UseCaseSpec::new("x", 15, 1).encrypted_content_blocks(), 1);
+        assert_eq!(
+            UseCaseSpec::music_player().encrypted_content_blocks(),
+            3_670_016 / 16 + 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_content_rejected() {
+        UseCaseSpec::new("bad", 0, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! The Certification Authority: issues certificates, tracks revocation and
+//! operates the OCSP responder.
+
+use crate::certificate::{Certificate, CertificateRequest, EntityRole, TbsCertificate};
+use crate::ocsp::{CertificateStatus, OcspRequest, OcspResponse, TbsOcspResponse};
+use crate::{Timestamp, ValidityPeriod};
+use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use oma_crypto::CryptoEngine;
+use rand::RngCore;
+use std::collections::HashSet;
+
+/// A Certification Authority, the trust anchor of the OMA DRM 2 system
+/// (the role the CMLA plays in the real deployment).
+///
+/// The CA signs certificates for DRM Agents and Rights Issuers and answers
+/// OCSP status requests about the certificates it has issued. Its own
+/// cryptographic work happens server-side and is therefore *not* part of the
+/// terminal cost model; it uses a private [`CryptoEngine`] whose trace is
+/// simply ignored.
+#[derive(Debug)]
+pub struct CertificationAuthority {
+    name: String,
+    keys: RsaKeyPair,
+    root: Certificate,
+    next_serial: u64,
+    revoked: HashSet<u64>,
+    engine: CryptoEngine,
+}
+
+impl CertificationAuthority {
+    /// Creates a CA with a fresh key pair of `modulus_bits` bits and a
+    /// self-signed root certificate.
+    pub fn new<R: RngCore + ?Sized>(name: &str, modulus_bits: usize, rng: &mut R) -> Self {
+        let keys = RsaKeyPair::generate(modulus_bits, rng);
+        let engine = CryptoEngine::new();
+        let tbs = TbsCertificate {
+            serial: 0,
+            issuer: name.to_string(),
+            subject: name.to_string(),
+            role: EntityRole::CertificationAuthority,
+            public_key: keys.public().clone(),
+            validity: ValidityPeriod::new(Timestamp::new(0), Timestamp::new(u64::MAX)),
+        };
+        let signature = engine
+            .pss_sign(keys.private(), &tbs.to_bytes())
+            .expect("CA key large enough for PSS");
+        let root = Certificate::new(tbs, signature);
+        CertificationAuthority {
+            name: name.to_string(),
+            keys,
+            root,
+            next_serial: 1,
+            revoked: HashSet::new(),
+            engine,
+        }
+    }
+
+    /// The CA's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The self-signed root certificate that devices and Rights Issuers use
+    /// as their trust anchor.
+    pub fn root_certificate(&self) -> &Certificate {
+        &self.root
+    }
+
+    /// The CA public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// Issues a certificate binding `subject` / `role` to `public_key`.
+    pub fn issue(
+        &mut self,
+        subject: &str,
+        role: EntityRole,
+        public_key: RsaPublicKey,
+        validity: ValidityPeriod,
+    ) -> Certificate {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let tbs = TbsCertificate {
+            serial,
+            issuer: self.name.clone(),
+            subject: subject.to_string(),
+            role,
+            public_key,
+            validity,
+        };
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &tbs.to_bytes())
+            .expect("CA key large enough for PSS");
+        Certificate::new(tbs, signature)
+    }
+
+    /// Issues a certificate for a [`CertificateRequest`].
+    pub fn issue_request(&mut self, request: &CertificateRequest) -> Certificate {
+        self.issue(
+            &request.subject,
+            request.role,
+            request.public_key.clone(),
+            request.validity,
+        )
+    }
+
+    /// Marks a previously issued certificate as revoked.
+    pub fn revoke(&mut self, serial: u64) {
+        self.revoked.insert(serial);
+    }
+
+    /// Whether `serial` has been revoked.
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revoked.contains(&serial)
+    }
+
+    /// Number of certificates issued so far (excluding the root).
+    pub fn issued_count(&self) -> u64 {
+        self.next_serial - 1
+    }
+
+    /// Answers an OCSP request about one of this CA's certificates.
+    ///
+    /// The response is signed with the CA key and echoes the request nonce,
+    /// as RFC 2560 prescribes.
+    pub fn ocsp_respond(&self, request: &OcspRequest, produced_at: Timestamp) -> OcspResponse {
+        let status = if self.revoked.contains(&request.serial) {
+            CertificateStatus::Revoked
+        } else if request.serial < self.next_serial {
+            CertificateStatus::Good
+        } else {
+            CertificateStatus::Unknown
+        };
+        let tbs = TbsOcspResponse {
+            responder: self.name.clone(),
+            serial: request.serial,
+            status,
+            produced_at,
+            nonce: request.nonce.clone(),
+        };
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &tbs.to_bytes())
+            .expect("CA key large enough for PSS");
+        OcspResponse::new(tbs, signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ca() -> CertificationAuthority {
+        CertificationAuthority::new("cmla-test", 384, &mut StdRng::seed_from_u64(11))
+    }
+
+    #[test]
+    fn root_certificate_is_self_signed_ca_role() {
+        let ca = ca();
+        let root = ca.root_certificate();
+        assert_eq!(root.issuer(), root.subject());
+        assert_eq!(root.role(), EntityRole::CertificationAuthority);
+        assert_eq!(root.serial(), 0);
+        assert_eq!(root.public_key(), ca.public_key());
+    }
+
+    #[test]
+    fn serials_increase_monotonically() {
+        let mut ca = ca();
+        let keys = RsaKeyPair::generate(384, &mut StdRng::seed_from_u64(12));
+        let v = ValidityPeriod::new(Timestamp::new(0), Timestamp::new(1000));
+        let a = ca.issue("a", EntityRole::DrmAgent, keys.public().clone(), v);
+        let b = ca.issue("b", EntityRole::RightsIssuer, keys.public().clone(), v);
+        assert_eq!(a.serial(), 1);
+        assert_eq!(b.serial(), 2);
+        assert_eq!(ca.issued_count(), 2);
+    }
+
+    #[test]
+    fn issue_request_copies_fields() {
+        let mut ca = ca();
+        let keys = RsaKeyPair::generate(384, &mut StdRng::seed_from_u64(13));
+        let req = CertificateRequest {
+            subject: "phone-7".into(),
+            role: EntityRole::DrmAgent,
+            public_key: keys.public().clone(),
+            validity: ValidityPeriod::new(Timestamp::new(5), Timestamp::new(50)),
+        };
+        let cert = ca.issue_request(&req);
+        assert_eq!(cert.subject(), "phone-7");
+        assert_eq!(cert.role(), EntityRole::DrmAgent);
+        assert_eq!(cert.validity().not_before().seconds(), 5);
+    }
+
+    #[test]
+    fn revocation_is_tracked() {
+        let mut ca = ca();
+        assert!(!ca.is_revoked(1));
+        ca.revoke(1);
+        assert!(ca.is_revoked(1));
+    }
+
+    #[test]
+    fn ocsp_status_reflects_revocation_and_issuance() {
+        let mut ca = ca();
+        let keys = RsaKeyPair::generate(384, &mut StdRng::seed_from_u64(14));
+        let v = ValidityPeriod::new(Timestamp::new(0), Timestamp::new(1000));
+        let cert = ca.issue("ri-1", EntityRole::RightsIssuer, keys.public().clone(), v);
+
+        let request = OcspRequest { serial: cert.serial(), nonce: vec![1, 2, 3] };
+        let response = ca.ocsp_respond(&request, Timestamp::new(10));
+        assert_eq!(response.status(), CertificateStatus::Good);
+        assert_eq!(response.tbs().nonce, vec![1, 2, 3]);
+
+        ca.revoke(cert.serial());
+        let response = ca.ocsp_respond(&request, Timestamp::new(11));
+        assert_eq!(response.status(), CertificateStatus::Revoked);
+
+        let unknown = ca.ocsp_respond(&OcspRequest { serial: 99, nonce: vec![] }, Timestamp::new(12));
+        assert_eq!(unknown.status(), CertificateStatus::Unknown);
+    }
+}

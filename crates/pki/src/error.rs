@@ -1,0 +1,85 @@
+//! PKI error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while issuing or verifying certificates and OCSP
+/// responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PkiError {
+    /// The certificate signature did not verify under the issuer key.
+    BadCertificateSignature,
+    /// The certificate is outside its validity period.
+    CertificateExpired,
+    /// The certificate issuer does not match the provided trust anchor.
+    UnknownIssuer,
+    /// The trust anchor is not a CA certificate.
+    NotACertificationAuthority,
+    /// The OCSP response signature did not verify.
+    BadOcspSignature,
+    /// The OCSP response reports the certificate as revoked.
+    CertificateRevoked,
+    /// The OCSP response covers a different certificate serial.
+    OcspSerialMismatch,
+    /// The OCSP response nonce does not match the request nonce.
+    OcspNonceMismatch,
+    /// The OCSP response is too old to be trusted.
+    OcspResponseStale,
+    /// An underlying cryptographic failure.
+    Crypto(oma_crypto::CryptoError),
+}
+
+impl fmt::Display for PkiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkiError::BadCertificateSignature => write!(f, "certificate signature invalid"),
+            PkiError::CertificateExpired => write!(f, "certificate outside validity period"),
+            PkiError::UnknownIssuer => write!(f, "certificate issuer is not the trust anchor"),
+            PkiError::NotACertificationAuthority => {
+                write!(f, "trust anchor is not a certification authority certificate")
+            }
+            PkiError::BadOcspSignature => write!(f, "ocsp response signature invalid"),
+            PkiError::CertificateRevoked => write!(f, "certificate revoked"),
+            PkiError::OcspSerialMismatch => write!(f, "ocsp response covers a different serial"),
+            PkiError::OcspNonceMismatch => write!(f, "ocsp response nonce mismatch"),
+            PkiError::OcspResponseStale => write!(f, "ocsp response too old"),
+            PkiError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for PkiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PkiError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<oma_crypto::CryptoError> for PkiError {
+    fn from(e: oma_crypto::CryptoError) -> Self {
+        PkiError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(!PkiError::CertificateRevoked.to_string().is_empty());
+        let wrapped = PkiError::from(oma_crypto::CryptoError::InvalidPadding);
+        assert!(wrapped.to_string().contains("padding"));
+        assert!(wrapped.source().is_some());
+        assert!(PkiError::CertificateExpired.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PkiError>();
+    }
+}

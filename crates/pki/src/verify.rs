@@ -1,0 +1,196 @@
+//! Certificate verification entry points used by the DRM layer.
+
+use crate::certificate::{Certificate, EntityRole};
+use crate::error::PkiError;
+use crate::Timestamp;
+use oma_crypto::CryptoEngine;
+
+/// Verifies `certificate` against the `trust_anchor` (a CA root certificate)
+/// at time `now`.
+///
+/// The checks performed, in order:
+///
+/// 1. the trust anchor carries the [`EntityRole::CertificationAuthority`] role,
+/// 2. the certificate names the trust anchor as its issuer,
+/// 3. the issuer's RSA-PSS signature over the canonical encoding verifies
+///    (this is the RSA public-key operation + hashing the cost model charges
+///    for certificate validation),
+/// 4. the certificate is inside its validity window at `now`.
+///
+/// Revocation is *not* checked here — that is the job of the OCSP response
+/// ([`crate::ocsp::OcspResponse::verify`]), matching the structure of the
+/// standard where OCSP responses travel separately inside ROAP messages.
+///
+/// # Errors
+///
+/// Returns the [`PkiError`] corresponding to the first failing check.
+pub fn verify_certificate(
+    engine: &CryptoEngine,
+    certificate: &Certificate,
+    trust_anchor: &Certificate,
+    now: Timestamp,
+) -> Result<(), PkiError> {
+    if trust_anchor.role() != EntityRole::CertificationAuthority {
+        return Err(PkiError::NotACertificationAuthority);
+    }
+    if certificate.issuer() != trust_anchor.subject() {
+        return Err(PkiError::UnknownIssuer);
+    }
+    if !engine.pss_verify(
+        trust_anchor.public_key(),
+        &certificate.tbs().to_bytes(),
+        certificate.signature(),
+    ) {
+        return Err(PkiError::BadCertificateSignature);
+    }
+    if !certificate.is_valid_at(now) {
+        return Err(PkiError::CertificateExpired);
+    }
+    Ok(())
+}
+
+/// Verifies a two-element chain: an end-entity certificate and its issuing
+/// root, checking the root's self-signature as well.
+///
+/// # Errors
+///
+/// Same as [`verify_certificate`], applied to both links.
+pub fn verify_chain(
+    engine: &CryptoEngine,
+    certificate: &Certificate,
+    trust_anchor: &Certificate,
+    now: Timestamp,
+) -> Result<(), PkiError> {
+    // Root self-signature.
+    verify_certificate(engine, trust_anchor, trust_anchor, now)?;
+    verify_certificate(engine, certificate, trust_anchor, now)
+}
+
+/// Verifies that `certificate` belongs to `expected_role` in addition to the
+/// checks of [`verify_certificate`]. Used by the DRM Agent to insist that the
+/// peer it registers with really is a Rights Issuer.
+///
+/// # Errors
+///
+/// Returns [`PkiError::UnknownIssuer`] if the role does not match, or any
+/// error from [`verify_certificate`].
+pub fn verify_certificate_role(
+    engine: &CryptoEngine,
+    certificate: &Certificate,
+    trust_anchor: &Certificate,
+    expected_role: EntityRole,
+    now: Timestamp,
+) -> Result<(), PkiError> {
+    verify_certificate(engine, certificate, trust_anchor, now)?;
+    if certificate.role() != expected_role {
+        return Err(PkiError::UnknownIssuer);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificationAuthority;
+    use crate::{ValidityPeriod};
+    use oma_crypto::pss::PssSignature;
+    use oma_crypto::rsa::RsaKeyPair;
+    use oma_crypto::Algorithm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (CertificationAuthority, Certificate, CryptoEngine) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+        let keys = RsaKeyPair::generate(384, &mut rng);
+        let cert = ca.issue(
+            "agent-1",
+            EntityRole::DrmAgent,
+            keys.public().clone(),
+            ValidityPeriod::new(Timestamp::new(10), Timestamp::new(1000)),
+        );
+        (ca, cert, CryptoEngine::with_seed(5))
+    }
+
+    #[test]
+    fn valid_certificate_verifies_and_records_rsa_public_op() {
+        let (ca, cert, engine) = setup();
+        assert!(verify_certificate(&engine, &cert, ca.root_certificate(), Timestamp::new(500)).is_ok());
+        let trace = engine.trace();
+        assert_eq!(trace.count(Algorithm::RsaPublic).invocations, 1);
+        assert!(trace.count(Algorithm::Sha1).blocks > 0);
+    }
+
+    #[test]
+    fn expired_and_not_yet_valid_rejected() {
+        let (ca, cert, engine) = setup();
+        assert_eq!(
+            verify_certificate(&engine, &cert, ca.root_certificate(), Timestamp::new(5)),
+            Err(PkiError::CertificateExpired)
+        );
+        assert_eq!(
+            verify_certificate(&engine, &cert, ca.root_certificate(), Timestamp::new(2000)),
+            Err(PkiError::CertificateExpired)
+        );
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (ca, cert, engine) = setup();
+        let forged = Certificate::new(
+            cert.tbs().clone(),
+            PssSignature::from_bytes(vec![0u8; cert.signature().len()]),
+        );
+        assert_eq!(
+            verify_certificate(&engine, &forged, ca.root_certificate(), Timestamp::new(500)),
+            Err(PkiError::BadCertificateSignature)
+        );
+    }
+
+    #[test]
+    fn wrong_issuer_and_wrong_anchor_rejected() {
+        let (_ca, cert, engine) = setup();
+        let mut rng = StdRng::seed_from_u64(32);
+        let other_ca = CertificationAuthority::new("other-ca", 384, &mut rng);
+        assert_eq!(
+            verify_certificate(&engine, &cert, other_ca.root_certificate(), Timestamp::new(500)),
+            Err(PkiError::UnknownIssuer)
+        );
+        // Using a non-CA certificate as anchor is refused outright.
+        assert_eq!(
+            verify_certificate(&engine, &cert, &cert, Timestamp::new(500)),
+            Err(PkiError::NotACertificationAuthority)
+        );
+    }
+
+    #[test]
+    fn role_check_enforced() {
+        let (ca, cert, engine) = setup();
+        assert!(verify_certificate_role(
+            &engine,
+            &cert,
+            ca.root_certificate(),
+            EntityRole::DrmAgent,
+            Timestamp::new(500)
+        )
+        .is_ok());
+        assert_eq!(
+            verify_certificate_role(
+                &engine,
+                &cert,
+                ca.root_certificate(),
+                EntityRole::RightsIssuer,
+                Timestamp::new(500)
+            ),
+            Err(PkiError::UnknownIssuer)
+        );
+    }
+
+    #[test]
+    fn chain_verification_includes_root() {
+        let (ca, cert, engine) = setup();
+        assert!(verify_chain(&engine, &cert, ca.root_certificate(), Timestamp::new(500)).is_ok());
+        // Two signature verifications: root self-signature + end entity.
+        assert_eq!(engine.trace().count(Algorithm::RsaPublic).invocations, 2);
+    }
+}

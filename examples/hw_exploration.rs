@@ -1,0 +1,94 @@
+//! Design-space exploration: which cryptographic accelerators should a
+//! terminal SoC include?
+//!
+//! Sweeps single-macro and combined partitionings over a range of content
+//! sizes and access counts, printing the total DRM processing time for each
+//! point — the kind of exploration a system architect would run on top of
+//! the paper's model before committing silicon area (§3: "a system designer
+//! has to identify crucial processing intensive parts of the application and
+//! decide whether to provide these using dedicated hardware cells").
+//!
+//! Run with: `cargo run --release --example hw_exploration`
+
+use oma_drm2::crypto::Algorithm;
+use oma_drm2::perf::analytic;
+use oma_drm2::perf::arch::{Architecture, Implementation, DEFAULT_CLOCK_HZ};
+use oma_drm2::perf::cost::CostTable;
+use oma_drm2::perf::energy::EnergyModel;
+use oma_drm2::perf::usecase::UseCaseSpec;
+
+fn variants() -> Vec<Architecture> {
+    let mk = |name: &str, hw: &'static [Algorithm]| {
+        Architecture::custom(
+            name,
+            move |alg| {
+                if hw.contains(&alg) {
+                    Implementation::Hardware
+                } else {
+                    Implementation::Software
+                }
+            },
+            DEFAULT_CLOCK_HZ,
+        )
+    };
+    vec![
+        Architecture::software(),
+        mk("AES", &[Algorithm::AesEncrypt, Algorithm::AesDecrypt]),
+        mk("SHA", &[Algorithm::Sha1, Algorithm::HmacSha1]),
+        mk("RSA", &[Algorithm::RsaPublic, Algorithm::RsaPrivate]),
+        Architecture::hybrid(),
+        Architecture::full_hardware(),
+    ]
+}
+
+fn main() {
+    let table = CostTable::paper();
+    let variants = variants();
+
+    println!("Total DRM processing time [ms] per partitioning (200 MHz clock)\n");
+    print!("{:<28}", "workload");
+    for arch in &variants {
+        print!("{:>10}", arch.name());
+    }
+    println!();
+
+    let workloads = [
+        ("ringtone 30KB x25", UseCaseSpec::ringtone()),
+        ("music 3.5MB x5", UseCaseSpec::music_player()),
+        ("podcast 16MB x2", UseCaseSpec::new("podcast", 16 * 1024 * 1024, 2)),
+        ("video 64MB x1", UseCaseSpec::new("video", 64 * 1024 * 1024, 1)),
+        ("wallpaper 100KB x1", UseCaseSpec::new("wallpaper", 100 * 1024, 1)),
+    ];
+
+    for (label, spec) in &workloads {
+        let traces = analytic::phase_traces(spec);
+        let total = traces.total(spec.accesses());
+        print!("{label:<28}");
+        for arch in &variants {
+            print!("{:>10.1}", arch.millis(&total, &table));
+        }
+        println!();
+    }
+
+    println!("\nEnergy estimate [mJ] for the Music Player use case");
+    println!("(first row: energy proportional to cycles; second row: hardware macros twice as efficient per cycle)");
+    let spec = UseCaseSpec::music_player();
+    let traces = analytic::phase_traces(&spec);
+    let total = traces.total(spec.accesses());
+    for (label, model) in [
+        ("proportional", EnergyModel::proportional()),
+        ("efficient HW", EnergyModel::with_hardware_factor(0.5)),
+    ] {
+        print!("{label:<28}");
+        for arch in &variants {
+            print!("{:>10.2}", model.millijoules(&total, arch, &table));
+        }
+        println!();
+    }
+
+    println!("\nObservations (matching the paper's conclusions):");
+    println!(" - AES+SHA-1 macros cut the Music Player case by roughly an order of magnitude;");
+    println!(" - an RSA-only accelerator helps little unless licenses are acquired very often;");
+    println!(" - for small, frequently accessed content the PKI phases dominate, so only the");
+    println!("   full-hardware variant brings the Ringtone case down to ~12 ms.");
+}

@@ -1,0 +1,56 @@
+//! # oma-drm2
+//!
+//! An OMA DRM 2 functional model together with the embedded
+//! hardware/software performance model of Thull & Sannino,
+//! *"Performance Considerations for an Embedded Implementation of OMA DRM 2"*
+//! (DATE 2005).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`bignum`] — arbitrary-precision arithmetic (RSA substrate),
+//! * [`crypto`] — from-scratch AES-128, SHA-1, HMAC, AES key wrap, KDF2,
+//!   RSA-1024 and RSA-PSS, plus the instrumented
+//!   [`CryptoEngine`](crypto::CryptoEngine),
+//! * [`pki`] — certificates, certification authority and OCSP,
+//! * [`drm`] — DCF, Rights Objects, ROAP, DRM Agent, Rights Issuer, Content
+//!   Issuer and domains,
+//! * [`perf`] — the Table 1 cost model, architecture variants, use cases and
+//!   figure generators.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench` for the benchmark harness that regenerates every table and
+//! figure of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use oma_drm2::drm::{ContentIssuer, DrmAgent, Permission, RightsIssuer, RightsTemplate};
+//! use oma_drm2::pki::{CertificationAuthority, Timestamp};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), oma_drm2::drm::DrmError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut ca = CertificationAuthority::new("cmla", 512, &mut rng);
+//! let mut ri = RightsIssuer::new("ri.example.com", 512, &mut ca, &mut rng);
+//! let ci = ContentIssuer::new("ci.example.com");
+//! let mut agent = DrmAgent::new("phone-001", 512, &mut ca, &mut rng);
+//!
+//! let now = Timestamp::new(1_000);
+//! let (dcf, cek) = ci.package(b"ringtone bytes", "cid:ring", &mut rng);
+//! ri.add_content("cid:ring", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+//!
+//! agent.register(&mut ri, now)?;
+//! let response = agent.acquire_rights(&mut ri, "cid:ring", now)?;
+//! let ro_id = agent.install_rights(&response, now)?;
+//! assert_eq!(agent.consume(&ro_id, &dcf, Permission::Play, now)?, b"ringtone bytes");
+//! # Ok(()) }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use oma_bignum as bignum;
+pub use oma_crypto as crypto;
+pub use oma_drm as drm;
+pub use oma_perf as perf;
+pub use oma_pki as pki;

@@ -1,0 +1,109 @@
+//! Integration tests that reproduce the paper's headline numbers from the
+//! public API of the umbrella crate — the executable form of EXPERIMENTS.md.
+
+use oma_drm2::perf::arch::Architecture;
+use oma_drm2::perf::cost::CostTable;
+use oma_drm2::perf::report;
+use oma_drm2::perf::runner;
+use oma_drm2::perf::usecase::UseCaseSpec;
+
+fn assert_close(actual: f64, expected: f64, tolerance: f64, what: &str) {
+    assert!(
+        (actual - expected).abs() / expected <= tolerance,
+        "{what}: model {actual:.1} vs paper {expected:.1} (tolerance {tolerance})"
+    );
+}
+
+#[test]
+fn figure6_music_player_totals() {
+    let comparison = report::architecture_comparison(
+        &UseCaseSpec::music_player(),
+        &CostTable::paper(),
+        &Architecture::standard_variants(),
+    );
+    assert_close(comparison.total_millis("SW").unwrap(), 7_730.0, 0.15, "Figure 6 SW");
+    assert_close(comparison.total_millis("SW/HW").unwrap(), 800.0, 0.15, "Figure 6 SW/HW");
+    assert_close(comparison.total_millis("HW").unwrap(), 190.0, 0.15, "Figure 6 HW");
+}
+
+#[test]
+fn figure7_ringtone_totals() {
+    let comparison = report::architecture_comparison(
+        &UseCaseSpec::ringtone(),
+        &CostTable::paper(),
+        &Architecture::standard_variants(),
+    );
+    assert_close(comparison.total_millis("SW").unwrap(), 900.0, 0.15, "Figure 7 SW");
+    assert_close(comparison.total_millis("SW/HW").unwrap(), 620.0, 0.15, "Figure 7 SW/HW");
+    assert_close(comparison.total_millis("HW").unwrap(), 12.0, 0.15, "Figure 7 HW");
+}
+
+#[test]
+fn figure5_dominance_flips_between_use_cases() {
+    use oma_drm2::perf::report::BreakdownCategory;
+    let breakdowns = report::figure5(&CostTable::paper());
+    let ringtone = breakdowns.iter().find(|b| b.use_case == "Ringtone").unwrap();
+    let music = breakdowns.iter().find(|b| b.use_case == "Music Player").unwrap();
+
+    // Ringtone: PKI dominates. Music Player: bulk data (AES + SHA-1) dominates.
+    assert!(
+        ringtone.share(BreakdownCategory::PkiPrivateKeyOp)
+            > ringtone.share(BreakdownCategory::AesDecryption)
+    );
+    assert!(
+        music.share(BreakdownCategory::AesDecryption)
+            + music.share(BreakdownCategory::Sha1)
+            > 85.0
+    );
+}
+
+#[test]
+fn measured_protocol_trace_prices_close_to_the_analytic_model() {
+    // Run the real protocol at ringtone scale and compare the priced trace
+    // with the analytic model's prediction for the same spec — the two paths
+    // of the methodology must agree.
+    let spec = UseCaseSpec::ringtone().with_rsa_modulus_bits(512);
+    let run = runner::measure_use_case(&spec, 99).expect("protocol run");
+    let table = CostTable::paper();
+
+    let analytic_traces = oma_drm2::perf::analytic::phase_traces(&spec);
+    for arch in Architecture::standard_variants() {
+        let measured_ms = arch.millis(&run.traces.total(spec.accesses()), &table);
+        let analytic_ms = arch.millis(&analytic_traces.total(spec.accesses()), &table);
+        assert!(
+            (measured_ms - analytic_ms).abs() / analytic_ms < 0.05,
+            "{}: measured {measured_ms:.1} ms vs analytic {analytic_ms:.1} ms",
+            arch.name()
+        );
+    }
+}
+
+#[test]
+fn rsa_accelerator_alone_is_a_poor_investment_for_bulk_content() {
+    // The §4 discussion: PKI hardware has "only limited benefits" for the
+    // Music Player case because its cost does not depend on the DCF size.
+    use oma_drm2::crypto::Algorithm;
+    use oma_drm2::perf::arch::{Implementation, DEFAULT_CLOCK_HZ};
+
+    let rsa_only = Architecture::custom(
+        "RSA-HW",
+        |alg| match alg {
+            Algorithm::RsaPublic | Algorithm::RsaPrivate => Implementation::Hardware,
+            _ => Implementation::Software,
+        },
+        DEFAULT_CLOCK_HZ,
+    );
+    let table = CostTable::paper();
+    let spec = UseCaseSpec::music_player();
+    let traces = oma_drm2::perf::analytic::phase_traces(&spec);
+    let total = traces.total(spec.accesses());
+
+    let software_ms = Architecture::software().millis(&total, &table);
+    let rsa_only_ms = rsa_only.millis(&total, &table);
+    let hybrid_ms = Architecture::hybrid().millis(&total, &table);
+
+    // RSA acceleration saves well under 10% on the music player...
+    assert!(rsa_only_ms > software_ms * 0.90);
+    // ...whereas AES/SHA-1 acceleration saves close to 90%.
+    assert!(hybrid_ms < software_ms * 0.15);
+}
