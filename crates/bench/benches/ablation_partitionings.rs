@@ -39,7 +39,13 @@ fn single_macro_variants() -> Vec<Architecture> {
         },
         DEFAULT_CLOCK_HZ,
     );
-    vec![Architecture::software(), aes_only, sha_only, rsa_only, Architecture::full_hardware()]
+    vec![
+        Architecture::software(),
+        aes_only,
+        sha_only,
+        rsa_only,
+        Architecture::full_hardware(),
+    ]
 }
 
 fn ablation(c: &mut Criterion) {
@@ -64,12 +70,16 @@ fn ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation");
     for arch in &variants {
-        group.bench_with_input(BenchmarkId::new("music_player", arch.name()), arch, |b, arch| {
-            let spec = UseCaseSpec::music_player();
-            let traces = oma_perf::analytic::phase_traces(&spec);
-            let total = traces.total(spec.accesses());
-            b.iter(|| arch.millis(black_box(&total), black_box(&table)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("music_player", arch.name()),
+            arch,
+            |b, arch| {
+                let spec = UseCaseSpec::music_player();
+                let traces = oma_perf::analytic::phase_traces(&spec);
+                let total = traces.total(spec.accesses());
+                b.iter(|| arch.millis(black_box(&total), black_box(&table)))
+            },
+        );
     }
 
     // Content-size sweep under the hybrid architecture: where does the

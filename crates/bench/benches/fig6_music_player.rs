@@ -30,11 +30,15 @@ fn model(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig6/model");
     for arch in &experiment.variants {
-        group.bench_with_input(BenchmarkId::new("evaluate", arch.name()), arch, |b, arch| {
-            let traces = oma_perf::analytic::phase_traces(&UseCaseSpec::music_player());
-            let total = traces.total(UseCaseSpec::music_player().accesses());
-            b.iter(|| arch.millis(black_box(&total), black_box(&experiment.table)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", arch.name()),
+            arch,
+            |b, arch| {
+                let traces = oma_perf::analytic::phase_traces(&UseCaseSpec::music_player());
+                let total = traces.total(UseCaseSpec::music_player().accesses());
+                b.iter(|| arch.millis(black_box(&total), black_box(&experiment.table)))
+            },
+        );
     }
     group.finish();
 }
@@ -43,17 +47,24 @@ fn protocol(c: &mut Criterion) {
     // A 256 KiB track stands in for the 3.5 MB one so the bench stays fast;
     // consumption cost is linear in content size.
     const TRACK_LEN: usize = 256 * 1024;
-    let mut rng = StdRng::seed_from_u64(0xf16_6);
+    let mut rng = StdRng::seed_from_u64(0xf166);
     let mut ca = CertificationAuthority::new("cmla", 1024, &mut rng);
     let mut ri = RightsIssuer::new("ri.example.com", 1024, &mut ca, &mut rng);
     let ci = ContentIssuer::new("ci.example.com");
     let mut agent = DrmAgent::new("bench-terminal", 1024, &mut ca, &mut rng);
     let content = vec![0xddu8; TRACK_LEN];
     let (dcf, cek) = ci.package(&content, "cid:track", &mut rng);
-    ri.add_content("cid:track", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+    ri.add_content(
+        "cid:track",
+        cek,
+        &dcf,
+        RightsTemplate::unlimited(Permission::Play),
+    );
     let now = Timestamp::new(1_000);
     agent.register(&mut ri, now).expect("registration");
-    let response = agent.acquire_rights(&mut ri, "cid:track", now).expect("acquisition");
+    let response = agent
+        .acquire_rights(&mut ri, "cid:track", now)
+        .expect("acquisition");
     let ro_id = agent.install_rights(&response, now).expect("installation");
 
     let mut group = c.benchmark_group("fig6/protocol");

@@ -24,12 +24,16 @@ fn model(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig7/model");
     for arch in &experiment.variants {
-        group.bench_with_input(BenchmarkId::new("evaluate", arch.name()), arch, |b, arch| {
-            let spec = UseCaseSpec::ringtone();
-            let traces = oma_perf::analytic::phase_traces(&spec);
-            let total = traces.total(spec.accesses());
-            b.iter(|| arch.millis(black_box(&total), black_box(&experiment.table)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", arch.name()),
+            arch,
+            |b, arch| {
+                let spec = UseCaseSpec::ringtone();
+                let traces = oma_perf::analytic::phase_traces(&spec);
+                let total = traces.total(spec.accesses());
+                b.iter(|| arch.millis(black_box(&total), black_box(&experiment.table)))
+            },
+        );
     }
     group.finish();
 }

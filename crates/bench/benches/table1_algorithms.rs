@@ -34,9 +34,7 @@ fn software_primitives(c: &mut Criterion) {
     group.bench_function("aes128_cbc_decrypt_16k", |b| {
         b.iter(|| cbc::decrypt(black_box(&key), black_box(&iv), black_box(&ciphertext)).unwrap())
     });
-    group.bench_function("sha1_16k", |b| {
-        b.iter(|| sha1::sha1(black_box(&data_16k)))
-    });
+    group.bench_function("sha1_16k", |b| b.iter(|| sha1::sha1(black_box(&data_16k))));
     group.bench_function("hmac_sha1_16k", |b| {
         b.iter(|| hmac::hmac_sha1(black_box(&key), black_box(&data_16k)))
     });
@@ -66,19 +64,23 @@ fn model_costing(c: &mut Criterion) {
     let table = CostTable::paper();
     let mut group = c.benchmark_group("table1/model");
     for blocks in [1u64, 1_000, 218_751] {
-        group.bench_with_input(BenchmarkId::new("cost_trace", blocks), &blocks, |b, &blocks| {
-            let mut trace = oma_crypto::OpTrace::new();
-            trace.record(oma_crypto::Algorithm::AesDecrypt, 1, blocks);
-            trace.record(oma_crypto::Algorithm::Sha1, 1, blocks);
-            trace.record(oma_crypto::Algorithm::RsaPrivate, 3, 3);
-            let variants = Architecture::standard_variants();
-            b.iter(|| {
-                variants
-                    .iter()
-                    .map(|arch| arch.cycles(black_box(&trace), black_box(&table)))
-                    .sum::<u64>()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cost_trace", blocks),
+            &blocks,
+            |b, &blocks| {
+                let mut trace = oma_crypto::OpTrace::new();
+                trace.record(oma_crypto::Algorithm::AesDecrypt, 1, blocks);
+                trace.record(oma_crypto::Algorithm::Sha1, 1, blocks);
+                trace.record(oma_crypto::Algorithm::RsaPrivate, 3, 3);
+                let variants = Architecture::standard_variants();
+                b.iter(|| {
+                    variants
+                        .iter()
+                        .map(|arch| arch.cycles(black_box(&trace), black_box(&table)))
+                        .sum::<u64>()
+                })
+            },
+        );
     }
     group.finish();
 }

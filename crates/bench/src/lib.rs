@@ -14,10 +14,16 @@
 //! The `repro` binary prints the same rows/series as text so the numbers can
 //! be compared against the paper without running Criterion.
 
+use oma_drm::DrmError;
 use oma_perf::arch::Architecture;
 use oma_perf::cost::CostTable;
-use oma_perf::report::{self, AlgorithmBreakdown, ArchitectureComparison};
+use oma_perf::report::{self, AlgorithmBreakdown, ArchitectureComparison, ModelConsistency};
 use oma_perf::usecase::UseCaseSpec;
+
+/// RSA modulus used by the *measured* experiments: small test keys keep the
+/// runs fast, while the cost model still charges per 1024-bit operation
+/// exactly as the paper's Table 1 does.
+pub const MEASURED_RSA_BITS: usize = 512;
 
 /// The model inputs every experiment shares.
 #[derive(Debug, Clone)]
@@ -57,6 +63,42 @@ impl Experiment {
     pub fn figure5(&self) -> Vec<AlgorithmBreakdown> {
         report::figure5(&self.table)
     }
+
+    /// Figure 6 from *measured* protocol runs: the DRM Agent executes on
+    /// each variant's crypto backend and the backend's cycle bill is
+    /// reported.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DrmError`] from the protocol runs.
+    pub fn measured_figure6(&self, seed: u64) -> Result<ArchitectureComparison, DrmError> {
+        let spec = UseCaseSpec::music_player().with_rsa_modulus_bits(MEASURED_RSA_BITS);
+        report::measured_architecture_comparison(&spec, &self.table, &self.variants, seed)
+    }
+
+    /// Figure 7 from *measured* protocol runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DrmError`] from the protocol runs.
+    pub fn measured_figure7(&self, seed: u64) -> Result<ArchitectureComparison, DrmError> {
+        let spec = UseCaseSpec::ringtone().with_rsa_modulus_bits(MEASURED_RSA_BITS);
+        report::measured_architecture_comparison(&spec, &self.table, &self.variants, seed)
+    }
+
+    /// The measured-vs-analytic cross-check for one use case (runs the
+    /// measured experiment, evaluates the analytic model, compares).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DrmError`] from the protocol runs.
+    pub fn consistency(&self, spec: &UseCaseSpec, seed: u64) -> Result<ModelConsistency, DrmError> {
+        let spec = spec.clone().with_rsa_modulus_bits(MEASURED_RSA_BITS);
+        let measured =
+            report::measured_architecture_comparison(&spec, &self.table, &self.variants, seed)?;
+        let analytic = report::architecture_comparison(&spec, &self.table, &self.variants);
+        Ok(report::consistency_check(&measured, &analytic))
+    }
 }
 
 /// Paper reference values (milliseconds) for Figure 6 (Music Player).
@@ -76,12 +118,39 @@ mod tests {
         let fig7 = experiment.figure7();
         for (variant, expected) in FIGURE6_PAPER_MS {
             let actual = fig6.total_millis(variant).unwrap();
-            assert!((actual - expected).abs() / expected < 0.15, "{variant}: {actual} vs {expected}");
+            assert!(
+                (actual - expected).abs() / expected < 0.15,
+                "{variant}: {actual} vs {expected}"
+            );
         }
         for (variant, expected) in FIGURE7_PAPER_MS {
             let actual = fig7.total_millis(variant).unwrap();
-            assert!((actual - expected).abs() / expected < 0.15, "{variant}: {actual} vs {expected}");
+            assert!(
+                (actual - expected).abs() / expected < 0.15,
+                "{variant}: {actual} vs {expected}"
+            );
         }
         assert_eq!(experiment.figure5().len(), 2);
+    }
+
+    #[test]
+    fn measured_ringtone_matches_paper_and_analytic() {
+        let experiment = Experiment::new();
+        let measured = experiment.measured_figure7(3).expect("measured run");
+        // Measured per-backend runs land on the paper's Figure 7 values too.
+        for (variant, expected) in FIGURE7_PAPER_MS {
+            let actual = measured.total_millis(variant).unwrap();
+            assert!(
+                (actual - expected).abs() / expected < 0.15,
+                "measured {variant}: {actual} vs paper {expected}"
+            );
+        }
+        let consistency = experiment
+            .consistency(&UseCaseSpec::ringtone(), 3)
+            .expect("consistency run");
+        assert!(
+            consistency.agrees_within(0.10),
+            "measured vs analytic:\n{consistency}"
+        );
     }
 }

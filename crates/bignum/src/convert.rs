@@ -98,7 +98,10 @@ impl FromStr for BigUint {
 
     /// Parses a hexadecimal string, accepting an optional `0x` prefix.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         BigUint::from_hex(s)
     }
 }
@@ -140,7 +143,13 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "0123456789abcdef0123456789abcdef01"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "0123456789abcdef0123456789abcdef01",
+        ] {
             let n = BigUint::from_hex(s).unwrap();
             let expected = s.trim_start_matches('0');
             let expected = if expected.is_empty() { "0" } else { expected };
@@ -157,7 +166,10 @@ mod tests {
     #[test]
     fn parse_errors() {
         assert_eq!(BigUint::from_hex(""), Err(ParseBigUintError::Empty));
-        assert_eq!(BigUint::from_hex("xyz"), Err(ParseBigUintError::InvalidDigit('x')));
+        assert_eq!(
+            BigUint::from_hex("xyz"),
+            Err(ParseBigUintError::InvalidDigit('x'))
+        );
         assert!("0x".parse::<BigUint>().is_err());
     }
 

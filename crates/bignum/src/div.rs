@@ -97,8 +97,9 @@ mod tests {
     #[test]
     fn multi_limb_division_identity() {
         // a = q*b + r reconstructed exactly
-        let a = BigUint::from_hex("f0e1d2c3b4a5968778695a4b3c2d1e0f00112233445566778899aabbccddeeff")
-            .unwrap();
+        let a =
+            BigUint::from_hex("f0e1d2c3b4a5968778695a4b3c2d1e0f00112233445566778899aabbccddeeff")
+                .unwrap();
         let b = BigUint::from_hex("0123456789abcdef0011223344556677").unwrap();
         let (q, r) = a.div_rem(&b);
         assert!(r < b);

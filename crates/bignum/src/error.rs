@@ -35,7 +35,9 @@ mod tests {
             ParseBigUintError::Empty.to_string(),
             "cannot parse integer from empty string"
         );
-        assert!(ParseBigUintError::InvalidDigit('g').to_string().contains('g'));
+        assert!(ParseBigUintError::InvalidDigit('g')
+            .to_string()
+            .contains('g'));
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
             BigUint::from_u64(270).gcd(&BigUint::from_u64(192)).to_u64(),
             Some(6)
         );
-        assert_eq!(BigUint::from_u64(17).gcd(&BigUint::from_u64(5)).to_u64(), Some(1));
+        assert_eq!(
+            BigUint::from_u64(17).gcd(&BigUint::from_u64(5)).to_u64(),
+            Some(1)
+        );
         assert_eq!(BigUint::zero().gcd(&BigUint::from_u64(9)).to_u64(), Some(9));
     }
 
@@ -174,7 +177,9 @@ mod tests {
     #[test]
     fn inverse_nonexistent() {
         // gcd(6, 9) = 3, no inverse
-        assert!(BigUint::from_u64(6).mod_inverse(&BigUint::from_u64(9)).is_none());
+        assert!(BigUint::from_u64(6)
+            .mod_inverse(&BigUint::from_u64(9))
+            .is_none());
         assert!(BigUint::from_u64(5).mod_inverse(&BigUint::one()).is_none());
         assert!(BigUint::from_u64(5).mod_inverse(&BigUint::zero()).is_none());
     }

@@ -111,7 +111,7 @@ impl Montgomery {
     }
 
     /// Converts a value out of the Montgomery domain.
-    fn from_mont(&self, x: &BigUint) -> BigUint {
+    fn out_of_mont(&self, x: &BigUint) -> BigUint {
         self.mont_mul(x, &BigUint::one())
     }
 
@@ -119,7 +119,7 @@ impl Montgomery {
     pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let am = self.to_mont(a);
         let bm = self.to_mont(b);
-        self.from_mont(&self.mont_mul(&am, &bm))
+        self.out_of_mont(&self.mont_mul(&am, &bm))
     }
 
     /// Computes `base^exponent mod n` using left-to-right square-and-multiply
@@ -142,7 +142,7 @@ impl Montgomery {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.out_of_mont(&acc)
     }
 }
 

@@ -4,7 +4,8 @@
 //! Content Issuer encrypts the media payload of a DCF under `K_CEK`, and the
 //! DRM Agent decrypts it on every playback.
 
-use crate::aes::{Aes128, BLOCK_SIZE};
+use crate::aes::BLOCK_SIZE;
+use crate::backend::{AesDirection, CryptoBackend, Unmetered};
 use crate::CryptoError;
 
 /// Encrypts `plaintext` with AES-128-CBC under `key` and `iv`, appending
@@ -31,7 +32,22 @@ use crate::CryptoError;
 /// # Ok(()) }
 /// ```
 pub fn encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let cipher = Aes128::try_new(key)?;
+    encrypt_with(&Unmetered, key, iv, plaintext)
+}
+
+/// [`encrypt`] routed through a [`CryptoBackend`]: the key schedule and every
+/// block operation run (and are charged) on the backend.
+///
+/// # Errors
+///
+/// Same as [`encrypt`].
+pub fn encrypt_with(
+    backend: &dyn CryptoBackend,
+    key: &[u8],
+    iv: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let cipher = backend.aes_schedule(key, AesDirection::Encrypt)?;
     let iv = check_iv(iv)?;
     let padded = pad(plaintext);
     let mut out = Vec::with_capacity(padded.len());
@@ -41,7 +57,7 @@ pub fn encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, Crypt
         for i in 0..BLOCK_SIZE {
             block[i] = chunk[i] ^ previous[i];
         }
-        let encrypted = cipher.encrypt_block(&block);
+        let encrypted = backend.aes_encrypt_block(&cipher, &block);
         out.extend_from_slice(&encrypted);
         previous = encrypted;
     }
@@ -57,9 +73,23 @@ pub fn encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, Crypt
 /// multiple of 16 bytes, and [`CryptoError::InvalidPadding`] if the padding is
 /// malformed (which is the symptom of decrypting with the wrong key).
 pub fn decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let cipher = Aes128::try_new(key)?;
+    decrypt_with(&Unmetered, key, iv, ciphertext)
+}
+
+/// [`decrypt`] routed through a [`CryptoBackend`].
+///
+/// # Errors
+///
+/// Same as [`decrypt`].
+pub fn decrypt_with(
+    backend: &dyn CryptoBackend,
+    key: &[u8],
+    iv: &[u8],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let cipher = backend.aes_schedule(key, AesDirection::Decrypt)?;
     let iv = check_iv(iv)?;
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::InvalidInputLength {
             expected: "non-empty multiple of 16 bytes",
             actual: ciphertext.len(),
@@ -70,7 +100,7 @@ pub fn decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, Cryp
     for chunk in ciphertext.chunks_exact(BLOCK_SIZE) {
         let mut block = [0u8; BLOCK_SIZE];
         block.copy_from_slice(chunk);
-        let decrypted = cipher.decrypt_block(&block);
+        let decrypted = backend.aes_decrypt_block(&cipher, &block);
         for i in 0..BLOCK_SIZE {
             out.push(decrypted[i] ^ previous[i]);
         }
@@ -102,7 +132,7 @@ fn pad(data: &[u8]) -> Vec<u8> {
     let pad_len = BLOCK_SIZE - data.len() % BLOCK_SIZE;
     let mut out = Vec::with_capacity(data.len() + pad_len);
     out.extend_from_slice(data);
-    out.extend(std::iter::repeat(pad_len as u8).take(pad_len));
+    out.extend(std::iter::repeat_n(pad_len as u8, pad_len));
     out
 }
 
@@ -124,7 +154,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]

@@ -41,10 +41,16 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::InvalidKeyLength { expected, actual } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {actual}"
+                )
             }
             CryptoError::InvalidInputLength { expected, actual } => {
-                write!(f, "invalid input length: expected {expected}, got {actual} bytes")
+                write!(
+                    f,
+                    "invalid input length: expected {expected}, got {actual} bytes"
+                )
             }
             CryptoError::InvalidPadding => write!(f, "invalid PKCS#7 padding"),
             CryptoError::KeyUnwrapIntegrity => {
@@ -70,7 +76,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CryptoError::InvalidKeyLength { expected: 16, actual: 10 };
+        let e = CryptoError::InvalidKeyLength {
+            expected: 16,
+            actual: 10,
+        };
         assert!(e.to_string().contains("16"));
         assert!(e.to_string().contains("10"));
         assert!(!CryptoError::InvalidPadding.to_string().is_empty());

@@ -82,16 +82,21 @@ impl HmacSha1 {
 
     /// Verifies `expected` against the computed tag in constant time.
     pub fn verify(self, expected: &[u8]) -> bool {
-        let tag = self.finalize();
-        if expected.len() != tag.len() {
-            return false;
-        }
-        let mut diff = 0u8;
-        for (a, b) in tag.iter().zip(expected.iter()) {
-            diff |= a ^ b;
-        }
-        diff == 0
+        verify_tag(&self.finalize(), expected)
     }
+}
+
+/// Constant-time comparison of a computed MAC tag against an expected one.
+/// Length mismatches return `false` immediately (the length is public).
+pub fn verify_tag(computed: &[u8], expected: &[u8]) -> bool {
+    if computed.len() != expected.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in computed.iter().zip(expected.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
 }
 
 #[cfg(test)]
@@ -122,7 +127,10 @@ mod tests {
 
     #[test]
     fn rfc2202_test_case_6_long_key() {
-        let tag = hmac_sha1(&[0xaa; 80], b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha1(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
     }
 

@@ -3,7 +3,8 @@
 //! from the RSA-encrypted secret `Z` during Rights Object installation
 //! (Figure 3 of the paper).
 
-use crate::sha1::{Sha1, DIGEST_SIZE};
+use crate::backend::{CryptoBackend, Unmetered};
+use crate::sha1::DIGEST_SIZE;
 
 /// Derives `output_len` bytes from the shared secret `z` and optional
 /// `other_info` using KDF2 with SHA-1.
@@ -19,14 +20,26 @@ use crate::sha1::{Sha1, DIGEST_SIZE};
 /// assert_eq!(kek.len(), 16);
 /// ```
 pub fn kdf2(z: &[u8], other_info: &[u8], output_len: usize) -> Vec<u8> {
+    kdf2_with(&Unmetered, z, other_info, output_len)
+}
+
+/// [`kdf2`] routed through a [`CryptoBackend`]: each counter iteration is one
+/// backend SHA-1 invocation over `z ‖ counter ‖ other_info`.
+pub fn kdf2_with(
+    backend: &dyn CryptoBackend,
+    z: &[u8],
+    other_info: &[u8],
+    output_len: usize,
+) -> Vec<u8> {
     let mut out = Vec::with_capacity(output_len.next_multiple_of(DIGEST_SIZE));
+    let mut input = Vec::with_capacity(z.len() + 4 + other_info.len());
     let mut counter: u32 = 1;
     while out.len() < output_len {
-        let mut hasher = Sha1::new();
-        hasher.update(z);
-        hasher.update(&counter.to_be_bytes());
-        hasher.update(other_info);
-        out.extend_from_slice(&hasher.finalize());
+        input.clear();
+        input.extend_from_slice(z);
+        input.extend_from_slice(&counter.to_be_bytes());
+        input.extend_from_slice(other_info);
+        out.extend_from_slice(&backend.sha1(&input));
         counter += 1;
     }
     out.truncate(output_len);
@@ -37,7 +50,12 @@ pub fn kdf2(z: &[u8], other_info: &[u8], output_len: usize) -> Vec<u8> {
 ///
 /// This is the `KDF` box of Figure 3: `KEK = KDF2(Z)[0..16]`.
 pub fn derive_kek(z: &[u8]) -> [u8; 16] {
-    let bytes = kdf2(z, b"", 16);
+    derive_kek_with(&Unmetered, z)
+}
+
+/// [`derive_kek`] routed through a [`CryptoBackend`].
+pub fn derive_kek_with(backend: &dyn CryptoBackend, z: &[u8]) -> [u8; 16] {
+    let bytes = kdf2_with(backend, z, b"", 16);
     let mut out = [0u8; 16];
     out.copy_from_slice(&bytes);
     out
@@ -45,10 +63,19 @@ pub fn derive_kek(z: &[u8]) -> [u8; 16] {
 
 /// Number of SHA-1 compression passes (counted in 128-bit input blocks, the
 /// unit of the paper's cost table) needed to derive `output_len` bytes from a
-/// `z_len`-byte secret.
+/// `z_len`-byte secret with empty `other_info`.
 pub fn hash_blocks(z_len: usize, output_len: usize) -> u64 {
+    op_counts(z_len, 0, output_len).1
+}
+
+/// SHA-1 `(invocations, 128-bit input blocks)` performed by [`kdf2`] for the
+/// given input sizes — the exact counts a [`CryptoBackend`] charges when the
+/// derivation is routed through it, so trace recording and cycle metering
+/// stay two views of one accounting.
+pub fn op_counts(z_len: usize, other_info_len: usize, output_len: usize) -> (u64, u64) {
     let iterations = output_len.div_ceil(DIGEST_SIZE) as u64;
-    iterations * ((z_len + 4) as u64).div_ceil(16)
+    let blocks_per_iteration = crate::backend::data_blocks(z_len + 4 + other_info_len);
+    (iterations, iterations * blocks_per_iteration)
 }
 
 #[cfg(test)]

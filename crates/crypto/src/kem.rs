@@ -17,7 +17,8 @@
 //!   K_MAC ‖ K_REK = AES-UNWRAP(KEK, C2)
 //! ```
 
-use crate::kdf::derive_kek;
+use crate::backend::{CryptoBackend, Unmetered};
+use crate::kdf::derive_kek_with;
 use crate::keywrap;
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
 use crate::CryptoError;
@@ -87,6 +88,23 @@ pub fn wrap_keys<R: RngCore + ?Sized>(
     krek: &[u8; SYMMETRIC_KEY_LEN],
     rng: &mut R,
 ) -> Result<WrappedKeys, CryptoError> {
+    wrap_keys_with(&Unmetered, recipient, kmac, krek, rng)
+}
+
+/// [`wrap_keys`] routed through a [`CryptoBackend`]: the RSA encryption of
+/// the KEM secret, the KDF2 hashing and the AES key wrap all run (and are
+/// charged) on the backend.
+///
+/// # Errors
+///
+/// Same as [`wrap_keys`].
+pub fn wrap_keys_with<R: RngCore + ?Sized>(
+    backend: &dyn CryptoBackend,
+    recipient: &RsaPublicKey,
+    kmac: &[u8; SYMMETRIC_KEY_LEN],
+    krek: &[u8; SYMMETRIC_KEY_LEN],
+    rng: &mut R,
+) -> Result<WrappedKeys, CryptoError> {
     // Z uniformly random in [2, n-2].
     let two = BigUint::from_u64(2);
     let upper = recipient.modulus() - &two;
@@ -95,16 +113,16 @@ pub fn wrap_keys<R: RngCore + ?Sized>(
         .to_bytes_be_padded(recipient.modulus_bytes())
         .ok_or(CryptoError::MessageRepresentativeOutOfRange)?;
 
-    let c1 = recipient
-        .rsaep(&z)?
+    let c1 = backend
+        .rsa_public_exp(recipient, &z)?
         .to_bytes_be_padded(recipient.modulus_bytes())
         .ok_or(CryptoError::MessageRepresentativeOutOfRange)?;
 
-    let kek = derive_kek(&z_octets);
+    let kek = derive_kek_with(backend, &z_octets);
     let mut key_material = [0u8; 2 * SYMMETRIC_KEY_LEN];
     key_material[..SYMMETRIC_KEY_LEN].copy_from_slice(kmac);
     key_material[SYMMETRIC_KEY_LEN..].copy_from_slice(krek);
-    let c2 = keywrap::wrap(&kek, &key_material)?;
+    let c2 = keywrap::wrap_with(backend, &kek, &key_material)?;
     Ok(WrappedKeys { c1, c2 })
 }
 
@@ -121,15 +139,31 @@ pub fn unwrap_keys(
     recipient: &RsaPrivateKey,
     wrapped: &WrappedKeys,
 ) -> Result<([u8; SYMMETRIC_KEY_LEN], [u8; SYMMETRIC_KEY_LEN]), CryptoError> {
+    unwrap_keys_with(&Unmetered, recipient, wrapped)
+}
+
+/// [`unwrap_keys`] routed through a [`CryptoBackend`] (Figure 3 of the paper,
+/// DRM Agent side: RSADP, KDF2 and AES-unwrap).
+///
+/// # Errors
+///
+/// Same as [`unwrap_keys`].
+pub fn unwrap_keys_with(
+    backend: &dyn CryptoBackend,
+    recipient: &RsaPrivateKey,
+    wrapped: &WrappedKeys,
+) -> Result<([u8; SYMMETRIC_KEY_LEN], [u8; SYMMETRIC_KEY_LEN]), CryptoError> {
     let c1 = BigUint::from_bytes_be(&wrapped.c1);
-    let z = recipient.rsadp(&c1)?;
+    let z = backend.rsa_private_exp(recipient, &c1)?;
     let z_octets = z
         .to_bytes_be_padded(recipient.public().modulus_bytes())
         .ok_or(CryptoError::MessageRepresentativeOutOfRange)?;
-    let kek = derive_kek(&z_octets);
-    let key_material = keywrap::unwrap(&kek, &wrapped.c2)?;
+    let kek = derive_kek_with(backend, &z_octets);
+    let key_material = keywrap::unwrap_with(backend, &kek, &wrapped.c2)?;
     if key_material.len() != 2 * SYMMETRIC_KEY_LEN {
-        return Err(CryptoError::MalformedPlaintext("expected exactly two 128-bit keys"));
+        return Err(CryptoError::MalformedPlaintext(
+            "expected exactly two 128-bit keys",
+        ));
     }
     let mut kmac = [0u8; SYMMETRIC_KEY_LEN];
     let mut krek = [0u8; SYMMETRIC_KEY_LEN];

@@ -5,7 +5,8 @@
 //! Agent re-wraps the same keys under its device key `K_DEV` at installation
 //! time to form `C2dev` (Figure 3 of the paper).
 
-use crate::aes::{Aes128, BLOCK_SIZE};
+use crate::aes::BLOCK_SIZE;
+use crate::backend::{AesDirection, CryptoBackend, Unmetered};
 use crate::CryptoError;
 
 /// The default initial value from RFC 3394 §2.2.3.
@@ -34,8 +35,22 @@ pub const DEFAULT_IV: [u8; 8] = [0xa6; 8];
 /// # Ok(()) }
 /// ```
 pub fn wrap(kek: &[u8], key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let cipher = Aes128::try_new(kek)?;
-    if key_data.len() < 16 || key_data.len() % 8 != 0 {
+    wrap_with(&Unmetered, kek, key_data)
+}
+
+/// [`wrap`] routed through a [`CryptoBackend`]: one key schedule plus the
+/// real 6·n block-cipher invocations run (and are charged) on the backend.
+///
+/// # Errors
+///
+/// Same as [`wrap`].
+pub fn wrap_with(
+    backend: &dyn CryptoBackend,
+    kek: &[u8],
+    key_data: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let cipher = backend.aes_schedule(kek, AesDirection::Encrypt)?;
+    if key_data.len() < 16 || !key_data.len().is_multiple_of(8) {
         return Err(CryptoError::InvalidInputLength {
             expected: "key data of >= 16 bytes, multiple of 8",
             actual: key_data.len(),
@@ -57,7 +72,7 @@ pub fn wrap(kek: &[u8], key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
             let mut block = [0u8; BLOCK_SIZE];
             block[..8].copy_from_slice(&a);
             block[8..].copy_from_slice(ri);
-            let b = cipher.encrypt_block(&block);
+            let b = backend.aes_encrypt_block(&cipher, &block);
             let t = (n as u64) * j + (i as u64 + 1);
             a.copy_from_slice(&b[..8]);
             for (k, byte) in t.to_be_bytes().iter().enumerate() {
@@ -84,8 +99,21 @@ pub fn wrap(kek: &[u8], key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
 /// fails — the symptom of a wrong KEK or tampered wrapped data — plus the
 /// same input-validation errors as [`wrap`].
 pub fn unwrap(kek: &[u8], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
-    let cipher = Aes128::try_new(kek)?;
-    if wrapped.len() < 24 || wrapped.len() % 8 != 0 {
+    unwrap_with(&Unmetered, kek, wrapped)
+}
+
+/// [`unwrap`] routed through a [`CryptoBackend`].
+///
+/// # Errors
+///
+/// Same as [`unwrap`].
+pub fn unwrap_with(
+    backend: &dyn CryptoBackend,
+    kek: &[u8],
+    wrapped: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
+    let cipher = backend.aes_schedule(kek, AesDirection::Decrypt)?;
+    if wrapped.len() < 24 || !wrapped.len().is_multiple_of(8) {
         return Err(CryptoError::InvalidInputLength {
             expected: "wrapped data of >= 24 bytes, multiple of 8",
             actual: wrapped.len(),
@@ -113,7 +141,7 @@ pub fn unwrap(kek: &[u8], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
             let mut block = [0u8; BLOCK_SIZE];
             block[..8].copy_from_slice(&a_x);
             block[8..].copy_from_slice(&r[i]);
-            let b = cipher.decrypt_block(&block);
+            let b = backend.aes_decrypt_block(&cipher, &block);
             a.copy_from_slice(&b[..8]);
             r[i].copy_from_slice(&b[8..]);
         }
@@ -141,7 +169,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -167,14 +198,20 @@ mod tests {
     #[test]
     fn wrong_kek_detected() {
         let wrapped = wrap(&[1u8; 16], &[9u8; 32]).unwrap();
-        assert_eq!(unwrap(&[2u8; 16], &wrapped), Err(CryptoError::KeyUnwrapIntegrity));
+        assert_eq!(
+            unwrap(&[2u8; 16], &wrapped),
+            Err(CryptoError::KeyUnwrapIntegrity)
+        );
     }
 
     #[test]
     fn tampered_data_detected() {
         let mut wrapped = wrap(&[1u8; 16], &[9u8; 32]).unwrap();
         wrapped[12] ^= 0x80;
-        assert_eq!(unwrap(&[1u8; 16], &wrapped), Err(CryptoError::KeyUnwrapIntegrity));
+        assert_eq!(
+            unwrap(&[1u8; 16], &wrapped),
+            Err(CryptoError::KeyUnwrapIntegrity)
+        );
     }
 
     #[test]

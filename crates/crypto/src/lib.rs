@@ -12,10 +12,16 @@
 //! * [`pss`] — the RSA-PSS signature scheme (EMSA-PSS encoding),
 //! * [`kem`] — the RSAES-KEM + key-wrap construction that protects
 //!   `K_MAC ‖ K_REK` inside a Rights Object,
+//! * [`backend`] — the pluggable crypto-backend layer: a [`CryptoBackend`]
+//!   trait over AES block operations, SHA-1/HMAC hashing and the RSA
+//!   exponentiations, with a software implementation and a cycle-accurate
+//!   simulated hardware-macro implementation so the paper's HW/SW
+//!   partitionings are *executable*, not just priced,
 //! * [`provider`] — an instrumented [`CryptoEngine`](provider::CryptoEngine)
-//!   that performs every operation *and* records `(algorithm, invocations,
-//!   blocks)` so that the performance model in `oma-perf` can cost a protocol
-//!   run exactly the way the paper's Java model did.
+//!   that performs every operation through a backend *and* records
+//!   `(algorithm, invocations, blocks)` in lock-free sharded counters so
+//!   that the performance model in `oma-perf` can cost a protocol run
+//!   exactly the way the paper's Java model did.
 //!
 //! Nothing in this crate is intended for production security use: SHA-1 and
 //! 1024-bit RSA are obsolete primitives that are implemented here because the
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod backend;
 pub mod cbc;
 pub mod error;
 pub mod hmac;
@@ -50,6 +57,10 @@ pub mod pss;
 pub mod rsa;
 pub mod sha1;
 
+pub use backend::{
+    AlgorithmCost, CostProfile, CryptoBackend, CycleMeter, HwMacroBackend, Realisation,
+    SoftwareBackend,
+};
 pub use error::CryptoError;
 pub use provider::{Algorithm, CryptoEngine, OpTrace};
 pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};

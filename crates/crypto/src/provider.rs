@@ -19,6 +19,7 @@
 //!   message (the same "close approximation" the paper makes),
 //! * AES key wrap is charged for its real 6·n block-cipher invocations.
 
+use crate::backend::{data_blocks, CryptoBackend, SoftwareBackend};
 use crate::kem::{self, WrappedKeys, SYMMETRIC_KEY_LEN};
 use crate::pss::{self, PssSignature};
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
@@ -26,7 +27,8 @@ use crate::{cbc, hmac, kdf, keywrap, sha1, CryptoError};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// The cryptographic algorithms whose cost the paper models (Table 1 rows).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,7 +70,7 @@ impl Algorithm {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Algorithm::AesEncrypt => 0,
             Algorithm::AesDecrypt => 1,
@@ -178,18 +180,70 @@ impl OpTrace {
     }
 }
 
-/// Converts a byte length into 128-bit blocks, charging at least one block
-/// for non-empty work and exactly one block for empty input (the hash of an
-/// empty message still runs a compression).
-fn data_blocks(len: usize) -> u64 {
-    (len as u64).div_ceil(16).max(1)
+/// Draws a fresh engine seed from the operating-system entropy source.
+fn rand_seed() -> u64 {
+    StdRng::from_entropy().next_u64()
+}
+
+/// Lock-free operation recorder: one shard of two atomic counters per
+/// algorithm, so the hot path never takes a lock and concurrent recorders of
+/// *different* algorithms never contend on the same cache line's counter.
+#[derive(Debug, Default)]
+struct ShardedTrace {
+    shards: [TraceShard; 6],
+}
+
+#[derive(Debug, Default)]
+struct TraceShard {
+    invocations: AtomicU64,
+    blocks: AtomicU64,
+}
+
+impl ShardedTrace {
+    fn record(&self, algorithm: Algorithm, invocations: u64, blocks: u64) {
+        let shard = &self.shards[algorithm.index()];
+        shard.invocations.fetch_add(invocations, Ordering::Relaxed);
+        shard.blocks.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> OpTrace {
+        let mut trace = OpTrace::new();
+        for alg in Algorithm::ALL {
+            let shard = &self.shards[alg.index()];
+            trace.record(
+                alg,
+                shard.invocations.load(Ordering::Relaxed),
+                shard.blocks.load(Ordering::Relaxed),
+            );
+        }
+        trace
+    }
+
+    /// Returns the recorded counts and resets every shard. The reset is
+    /// per-counter atomic, not a cross-shard snapshot; phase boundaries must
+    /// be quiesced by the caller (the DRM Agent drives its engine from one
+    /// thread between phase snapshots).
+    fn take(&self) -> OpTrace {
+        let mut trace = OpTrace::new();
+        for alg in Algorithm::ALL {
+            let shard = &self.shards[alg.index()];
+            trace.record(
+                alg,
+                shard.invocations.swap(0, Ordering::Relaxed),
+                shard.blocks.swap(0, Ordering::Relaxed),
+            );
+        }
+        trace
+    }
 }
 
 /// An instrumented cryptographic provider.
 ///
-/// Every method performs the genuine computation using the primitives of this
-/// crate and records its cost-relevant footprint into an internal
-/// [`OpTrace`]. The engine is `Send + Sync`; recording is guarded by a mutex.
+/// Every method performs the genuine computation by delegating to a
+/// pluggable [`CryptoBackend`] (software by default, simulated hardware
+/// macros via [`CryptoEngine::with_backend`]) and records its cost-relevant
+/// footprint into a lock-free sharded [`OpTrace`] recorder. The engine is
+/// `Send + Sync`; recording uses per-algorithm atomic counters.
 ///
 /// # Example
 ///
@@ -202,9 +256,23 @@ fn data_blocks(len: usize) -> u64 {
 /// let trace = engine.take_trace();
 /// assert_eq!(trace.count(Algorithm::Sha1).blocks, 10);
 /// ```
+///
+/// Running the same operations on the simulated-hardware backend produces
+/// byte-identical results while charging Table 1 hardware cycles:
+///
+/// ```
+/// use oma_crypto::backend::{CryptoBackend, HwMacroBackend};
+/// use oma_crypto::CryptoEngine;
+/// use std::sync::Arc;
+///
+/// let engine = CryptoEngine::with_backend(Arc::new(HwMacroBackend::full()), 42);
+/// engine.sha1(&vec![0u8; 160]);
+/// assert_eq!(engine.charged_cycles(), 10 * 20); // 10 blocks x 20 cycles
+/// ```
 #[derive(Debug)]
 pub struct CryptoEngine {
-    trace: Mutex<OpTrace>,
+    backend: Arc<dyn CryptoBackend>,
+    trace: ShardedTrace,
     rng: Mutex<StdRng>,
 }
 
@@ -215,33 +283,55 @@ impl Default for CryptoEngine {
 }
 
 impl CryptoEngine {
-    /// Creates an engine seeded from the operating-system entropy source.
+    /// Creates a software-backed engine seeded from the operating-system
+    /// entropy source.
     pub fn new() -> Self {
+        Self::with_backend(Arc::new(SoftwareBackend::new()), rand_seed())
+    }
+
+    /// Creates a software-backed engine with a deterministic random stream,
+    /// for reproducible tests and experiments.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::with_backend(Arc::new(SoftwareBackend::new()), seed)
+    }
+
+    /// Creates an engine executing on `backend` with a deterministic random
+    /// stream. This is how the measured runner in `oma-perf` instantiates
+    /// one engine per architecture variant.
+    pub fn with_backend(backend: Arc<dyn CryptoBackend>, seed: u64) -> Self {
         CryptoEngine {
-            trace: Mutex::new(OpTrace::new()),
-            rng: Mutex::new(StdRng::from_entropy()),
+            backend,
+            trace: ShardedTrace::default(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
 
-    /// Creates an engine with a deterministic random stream, for
-    /// reproducible tests and experiments.
-    pub fn with_seed(seed: u64) -> Self {
-        CryptoEngine {
-            trace: Mutex::new(OpTrace::new()),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
-        }
+    /// The backend this engine executes on.
+    pub fn backend(&self) -> &Arc<dyn CryptoBackend> {
+        &self.backend
+    }
+
+    /// Total cycles the backend has charged for work done through this
+    /// engine (and any other engine sharing the backend).
+    pub fn charged_cycles(&self) -> u64 {
+        self.backend.charged_cycles()
+    }
+
+    /// Returns the backend's charged cycles and resets its meter.
+    pub fn take_charged_cycles(&self) -> u64 {
+        self.backend.take_charged_cycles()
     }
 
     // ----- trace management -------------------------------------------------
 
     /// Snapshot of the operations recorded so far.
     pub fn trace(&self) -> OpTrace {
-        self.trace.lock().expect("trace lock").clone()
+        self.trace.snapshot()
     }
 
     /// Returns the recorded operations and resets the trace to empty.
     pub fn take_trace(&self) -> OpTrace {
-        std::mem::take(&mut *self.trace.lock().expect("trace lock"))
+        self.trace.take()
     }
 
     /// Discards all recorded operations.
@@ -250,10 +340,7 @@ impl CryptoEngine {
     }
 
     fn record(&self, algorithm: Algorithm, invocations: u64, blocks: u64) {
-        self.trace
-            .lock()
-            .expect("trace lock")
-            .record(algorithm, invocations, blocks);
+        self.trace.record(algorithm, invocations, blocks);
     }
 
     // ----- randomness --------------------------------------------------------
@@ -282,19 +369,20 @@ impl CryptoEngine {
     /// SHA-1 of `data`, recorded per 128-bit block.
     pub fn sha1(&self, data: &[u8]) -> [u8; sha1::DIGEST_SIZE] {
         self.record(Algorithm::Sha1, 1, data_blocks(data.len()));
-        sha1::sha1(data)
+        self.backend.sha1(data)
     }
 
     /// HMAC SHA-1 of `data` under `key`.
     pub fn hmac_sha1(&self, key: &[u8], data: &[u8]) -> [u8; sha1::DIGEST_SIZE] {
         self.record(Algorithm::HmacSha1, 1, data_blocks(data.len()));
-        hmac::hmac_sha1(key, data)
+        self.backend.hmac_sha1(key, data)
     }
 
     /// Verifies an HMAC SHA-1 tag (constant-time comparison).
     pub fn hmac_sha1_verify(&self, key: &[u8], data: &[u8], tag: &[u8]) -> bool {
         self.record(Algorithm::HmacSha1, 1, data_blocks(data.len()));
-        hmac::HmacSha1::new(key).chain(data).verify(tag)
+        let computed = self.backend.hmac_sha1(key, data);
+        hmac::verify_tag(&computed, tag)
     }
 
     // ----- symmetric encryption ----------------------------------------------
@@ -310,8 +398,12 @@ impl CryptoEngine {
         iv: &[u8],
         plaintext: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
-        self.record(Algorithm::AesEncrypt, 1, cbc::encrypted_blocks(plaintext.len()));
-        cbc::encrypt(key, iv, plaintext)
+        self.record(
+            Algorithm::AesEncrypt,
+            1,
+            cbc::encrypted_blocks(plaintext.len()),
+        );
+        cbc::encrypt_with(self.backend.as_ref(), key, iv, plaintext)
     }
 
     /// AES-128-CBC decryption.
@@ -326,7 +418,7 @@ impl CryptoEngine {
         ciphertext: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
         self.record(Algorithm::AesDecrypt, 1, (ciphertext.len() / 16) as u64);
-        cbc::decrypt(key, iv, ciphertext)
+        cbc::decrypt_with(self.backend.as_ref(), key, iv, ciphertext)
     }
 
     /// RFC 3394 AES key wrap (records the real 6·n block operations).
@@ -335,8 +427,12 @@ impl CryptoEngine {
     ///
     /// See [`keywrap::wrap`].
     pub fn aes_wrap(&self, kek: &[u8], key_data: &[u8]) -> Result<Vec<u8>, CryptoError> {
-        self.record(Algorithm::AesEncrypt, 1, keywrap::block_operations(key_data.len()));
-        keywrap::wrap(kek, key_data)
+        self.record(
+            Algorithm::AesEncrypt,
+            1,
+            keywrap::block_operations(key_data.len()),
+        );
+        keywrap::wrap_with(self.backend.as_ref(), kek, key_data)
     }
 
     /// RFC 3394 AES key unwrap.
@@ -346,16 +442,23 @@ impl CryptoEngine {
     /// See [`keywrap::unwrap`].
     pub fn aes_unwrap(&self, kek: &[u8], wrapped: &[u8]) -> Result<Vec<u8>, CryptoError> {
         let data_len = wrapped.len().saturating_sub(8);
-        self.record(Algorithm::AesDecrypt, 1, keywrap::block_operations(data_len));
-        keywrap::unwrap(kek, wrapped)
+        self.record(
+            Algorithm::AesDecrypt,
+            1,
+            keywrap::block_operations(data_len),
+        );
+        keywrap::unwrap_with(self.backend.as_ref(), kek, wrapped)
     }
 
     // ----- KDF ---------------------------------------------------------------
 
-    /// KDF2 key derivation, recorded as the SHA-1 work it performs.
+    /// KDF2 key derivation, recorded as the SHA-1 work it performs (one
+    /// invocation per counter iteration, blocks per actual hashed bytes —
+    /// the same accounting the backend charges).
     pub fn kdf2(&self, z: &[u8], other_info: &[u8], output_len: usize) -> Vec<u8> {
-        self.record(Algorithm::Sha1, 1, kdf::hash_blocks(z.len(), output_len));
-        kdf::kdf2(z, other_info, output_len)
+        let (invocations, blocks) = kdf::op_counts(z.len(), other_info.len(), output_len);
+        self.record(Algorithm::Sha1, invocations, blocks);
+        kdf::kdf2_with(self.backend.as_ref(), z, other_info, output_len)
     }
 
     // ----- RSA ---------------------------------------------------------------
@@ -367,7 +470,7 @@ impl CryptoEngine {
     /// See [`RsaPublicKey::encrypt_os`].
     pub fn rsa_encrypt(&self, key: &RsaPublicKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
         self.record(Algorithm::RsaPublic, 1, 1);
-        key.encrypt_os(data)
+        key.encrypt_os_with(self.backend.as_ref(), data)
     }
 
     /// Raw RSA private-key decryption of an octet string (RSADP).
@@ -377,7 +480,7 @@ impl CryptoEngine {
     /// See [`RsaPrivateKey::decrypt_os`].
     pub fn rsa_decrypt(&self, key: &RsaPrivateKey, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
         self.record(Algorithm::RsaPrivate, 1, 1);
-        key.decrypt_os(data)
+        key.decrypt_os_with(self.backend.as_ref(), data)
     }
 
     /// RSA-PSS signature over `message`.
@@ -396,7 +499,7 @@ impl CryptoEngine {
         self.record(Algorithm::RsaPrivate, 1, 1);
         self.record(Algorithm::Sha1, 1, data_blocks(message.len()));
         let mut rng = self.rng.lock().expect("rng lock");
-        pss::sign(key, message, &mut *rng)
+        pss::sign_with(self.backend.as_ref(), key, message, &mut *rng)
     }
 
     /// RSA-PSS signature verification.
@@ -406,7 +509,7 @@ impl CryptoEngine {
     pub fn pss_verify(&self, key: &RsaPublicKey, message: &[u8], signature: &PssSignature) -> bool {
         self.record(Algorithm::RsaPublic, 1, 1);
         self.record(Algorithm::Sha1, 1, data_blocks(message.len()));
-        pss::verify(key, message, signature)
+        pss::verify_with(self.backend.as_ref(), key, message, signature)
     }
 
     // ----- OMA KEM -----------------------------------------------------------
@@ -437,7 +540,7 @@ impl CryptoEngine {
             keywrap::block_operations(2 * SYMMETRIC_KEY_LEN),
         );
         let mut rng = self.rng.lock().expect("rng lock");
-        kem::wrap_keys(recipient, kmac, krek, &mut *rng)
+        kem::wrap_keys_with(self.backend.as_ref(), recipient, kmac, krek, &mut *rng)
     }
 
     /// Unwraps `C1 ‖ C2` with the device private key (DRM Agent side,
@@ -465,7 +568,7 @@ impl CryptoEngine {
             1,
             keywrap::block_operations(2 * SYMMETRIC_KEY_LEN),
         );
-        kem::unwrap_keys(recipient, wrapped)
+        kem::unwrap_keys_with(self.backend.as_ref(), recipient, wrapped)
     }
 }
 
@@ -489,7 +592,13 @@ mod tests {
         assert!(a.is_empty());
         a.record(Algorithm::Sha1, 1, 10);
         a.record(Algorithm::Sha1, 1, 5);
-        assert_eq!(a.count(Algorithm::Sha1), OpCount { invocations: 2, blocks: 15 });
+        assert_eq!(
+            a.count(Algorithm::Sha1),
+            OpCount {
+                invocations: 2,
+                blocks: 15
+            }
+        );
         let mut b = OpTrace::new();
         b.record(Algorithm::RsaPrivate, 3, 3);
         a.merge(&b);
@@ -503,7 +612,13 @@ mod tests {
         let mut t = OpTrace::new();
         t.record(Algorithm::AesDecrypt, 1, 100);
         let five = t.scaled(5);
-        assert_eq!(five.count(Algorithm::AesDecrypt), OpCount { invocations: 5, blocks: 500 });
+        assert_eq!(
+            five.count(Algorithm::AesDecrypt),
+            OpCount {
+                invocations: 5,
+                blocks: 500
+            }
+        );
         assert_eq!(t.scaled(0).total_invocations(), 0);
     }
 
@@ -520,7 +635,13 @@ mod tests {
         let data = vec![0x61u8; 100];
         assert_eq!(engine.sha1(&data), sha1::sha1(&data));
         let trace = engine.take_trace();
-        assert_eq!(trace.count(Algorithm::Sha1), OpCount { invocations: 1, blocks: 7 });
+        assert_eq!(
+            trace.count(Algorithm::Sha1),
+            OpCount {
+                invocations: 1,
+                blocks: 7
+            }
+        );
         assert!(engine.trace().is_empty(), "take_trace resets");
     }
 
@@ -601,6 +722,22 @@ mod tests {
     fn engine_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CryptoEngine>();
+    }
+
+    #[test]
+    fn kdf2_trace_matches_backend_charge_even_with_other_info() {
+        // Regression: multi-iteration KDF2 with non-empty other_info must
+        // keep the recorded trace and the backend's cycle meter in exact
+        // agreement (the trace-vs-meter invariant).
+        use crate::backend::CostProfile;
+        let engine = CryptoEngine::with_seed(9);
+        engine.kdf2(&[0u8; 16], &[1u8; 32], 40); // 2 iterations over 52 bytes
+        let trace = engine.take_trace();
+        let count = trace.count(Algorithm::Sha1);
+        assert_eq!(count.invocations, 2);
+        assert_eq!(count.blocks, 8); // 2 x ceil(52 / 16)
+        let cost = CostProfile::paper_software().cost(Algorithm::Sha1);
+        assert_eq!(engine.charged_cycles(), cost.cycles(count));
     }
 
     #[test]

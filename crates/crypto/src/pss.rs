@@ -8,6 +8,7 @@
 //! single hash over the message plus one RSA private/public operation; the
 //! small MGF1 hashes are treated as part of that approximation.
 
+use crate::backend::{CryptoBackend, Unmetered};
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
 use crate::sha1::{sha1, DIGEST_SIZE};
 use crate::CryptoError;
@@ -61,17 +62,24 @@ fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
 }
 
 /// EMSA-PSS-ENCODE (RFC 3447 §9.1.1) with SHA-1, producing `em_bits` bits.
-fn emsa_pss_encode(message: &[u8], salt: &[u8], em_bits: usize) -> Result<Vec<u8>, CryptoError> {
+///
+/// Takes the pre-computed message hash so callers can route the (potentially
+/// large) message hashing through a backend while the small MGF1 hashes stay
+/// on the core — the paper's approximation of the encoding cost.
+fn emsa_pss_encode(
+    m_hash: &[u8; DIGEST_SIZE],
+    salt: &[u8],
+    em_bits: usize,
+) -> Result<Vec<u8>, CryptoError> {
     let em_len = em_bits.div_ceil(8);
     let h_len = DIGEST_SIZE;
     let s_len = salt.len();
     if em_len < h_len + s_len + 2 {
         return Err(CryptoError::KeyTooSmall);
     }
-    let m_hash = sha1(message);
     // M' = (0x)00 00 00 00 00 00 00 00 || mHash || salt
     let mut m_prime = vec![0u8; 8];
-    m_prime.extend_from_slice(&m_hash);
+    m_prime.extend_from_slice(m_hash);
     m_prime.extend_from_slice(salt);
     let h = sha1(&m_prime);
     // DB = PS || 0x01 || salt
@@ -93,8 +101,8 @@ fn emsa_pss_encode(message: &[u8], salt: &[u8], em_bits: usize) -> Result<Vec<u8
     Ok(em)
 }
 
-/// EMSA-PSS-VERIFY (RFC 3447 §9.1.2).
-fn emsa_pss_verify(message: &[u8], em: &[u8], em_bits: usize, s_len: usize) -> bool {
+/// EMSA-PSS-VERIFY (RFC 3447 §9.1.2), from the pre-computed message hash.
+fn emsa_pss_verify(m_hash: &[u8; DIGEST_SIZE], em: &[u8], em_bits: usize, s_len: usize) -> bool {
     let em_len = em_bits.div_ceil(8);
     let h_len = DIGEST_SIZE;
     if em.len() != em_len || em_len < h_len + s_len + 2 {
@@ -110,7 +118,11 @@ fn emsa_pss_verify(message: &[u8], em: &[u8], em_bits: usize, s_len: usize) -> b
         return false;
     }
     let db_mask = mgf1(h, em_len - h_len - 1);
-    let mut db: Vec<u8> = masked_db.iter().zip(db_mask.iter()).map(|(a, b)| a ^ b).collect();
+    let mut db: Vec<u8> = masked_db
+        .iter()
+        .zip(db_mask.iter())
+        .map(|(a, b)| a ^ b)
+        .collect();
     if excess_bits > 0 {
         db[0] &= 0xffu8 >> excess_bits;
     }
@@ -119,9 +131,8 @@ fn emsa_pss_verify(message: &[u8], em: &[u8], em_bits: usize, s_len: usize) -> b
         return false;
     }
     let salt = &db[ps_len + 1..];
-    let m_hash = sha1(message);
     let mut m_prime = vec![0u8; 8];
-    m_prime.extend_from_slice(&m_hash);
+    m_prime.extend_from_slice(m_hash);
     m_prime.extend_from_slice(salt);
     let h_prime = sha1(&m_prime);
     h_prime[..] == *h
@@ -152,13 +163,31 @@ pub fn sign<R: RngCore + ?Sized>(
     message: &[u8],
     rng: &mut R,
 ) -> Result<PssSignature, CryptoError> {
+    sign_with(&Unmetered, key, message, rng)
+}
+
+/// [`sign`] routed through a [`CryptoBackend`]: the message hash and the RSA
+/// private-key exponentiation run (and are charged) on the backend, while the
+/// small MGF1 hashes stay on the core — exactly the paper's approximation of
+/// the EMSA-PSS cost as "one hash plus one private-key operation".
+///
+/// # Errors
+///
+/// Same as [`sign`].
+pub fn sign_with<R: RngCore + ?Sized>(
+    backend: &dyn CryptoBackend,
+    key: &RsaPrivateKey,
+    message: &[u8],
+    rng: &mut R,
+) -> Result<PssSignature, CryptoError> {
     let mod_bits = key.public().modulus_bits();
     let em_bits = mod_bits - 1;
     let mut salt = [0u8; SALT_LEN];
     rng.fill_bytes(&mut salt);
-    let em = emsa_pss_encode(message, &salt, em_bits)?;
+    let m_hash = backend.sha1(message);
+    let em = emsa_pss_encode(&m_hash, &salt, em_bits)?;
     let m = BigUint::from_bytes_be(&em);
-    let s = key.rsadp(&m)?;
+    let s = backend.rsa_private_exp(key, &m)?;
     let bytes = s
         .to_bytes_be_padded(key.public().modulus_bytes())
         .ok_or(CryptoError::MessageRepresentativeOutOfRange)?;
@@ -167,11 +196,22 @@ pub fn sign<R: RngCore + ?Sized>(
 
 /// Verifies an RSA-PSS signature over `message`.
 pub fn verify(key: &RsaPublicKey, message: &[u8], signature: &PssSignature) -> bool {
+    verify_with(&Unmetered, key, message, signature)
+}
+
+/// [`verify`] routed through a [`CryptoBackend`] (one backend hash of the
+/// message plus one backend public-key exponentiation).
+pub fn verify_with(
+    backend: &dyn CryptoBackend,
+    key: &RsaPublicKey,
+    message: &[u8],
+    signature: &PssSignature,
+) -> bool {
     if signature.bytes.len() != key.modulus_bytes() {
         return false;
     }
     let s = BigUint::from_bytes_be(&signature.bytes);
-    let m = match key.rsaep(&s) {
+    let m = match backend.rsa_public_exp(key, &s) {
         Ok(m) => m,
         Err(_) => return false,
     };
@@ -181,7 +221,8 @@ pub fn verify(key: &RsaPublicKey, message: &[u8], signature: &PssSignature) -> b
         Some(em) => em,
         None => return false,
     };
-    emsa_pss_verify(message, &em, em_bits, SALT_LEN)
+    let m_hash = backend.sha1(message);
+    emsa_pss_verify(&m_hash, &em, em_bits, SALT_LEN)
 }
 
 #[cfg(test)]
@@ -221,7 +262,11 @@ mod tests {
         let sig = sign(pair.private(), b"message", &mut rng).unwrap();
         let mut bytes = sig.as_bytes().to_vec();
         bytes[10] ^= 0x40;
-        assert!(!verify(pair.public(), b"message", &PssSignature::from_bytes(bytes)));
+        assert!(!verify(
+            pair.public(),
+            b"message",
+            &PssSignature::from_bytes(bytes)
+        ));
         assert!(!verify(
             pair.public(),
             b"message",
@@ -271,8 +316,32 @@ mod tests {
 
     #[test]
     fn emsa_pss_encode_verify_consistency() {
-        let em = emsa_pss_encode(b"payload", &[7u8; SALT_LEN], 511).unwrap();
-        assert!(emsa_pss_verify(b"payload", &em, 511, SALT_LEN));
-        assert!(!emsa_pss_verify(b"other", &em, 511, SALT_LEN));
+        let em = emsa_pss_encode(&sha1(b"payload"), &[7u8; SALT_LEN], 511).unwrap();
+        assert!(emsa_pss_verify(&sha1(b"payload"), &em, 511, SALT_LEN));
+        assert!(!emsa_pss_verify(&sha1(b"other"), &em, 511, SALT_LEN));
+    }
+
+    #[test]
+    fn backend_routed_signing_is_byte_identical() {
+        use crate::backend::{HwMacroBackend, SoftwareBackend};
+        let pair = pair();
+        let sign_under = |backend: &dyn crate::backend::CryptoBackend| {
+            let mut rng = StdRng::seed_from_u64(21);
+            sign_with(backend, pair.private(), b"roap message", &mut rng).unwrap()
+        };
+        let plain = {
+            let mut rng = StdRng::seed_from_u64(21);
+            sign(pair.private(), b"roap message", &mut rng).unwrap()
+        };
+        let sw = sign_under(&SoftwareBackend::new());
+        let hw = sign_under(&HwMacroBackend::full());
+        assert_eq!(plain, sw);
+        assert_eq!(plain, hw);
+        assert!(verify_with(
+            &HwMacroBackend::hybrid(),
+            pair.public(),
+            b"roap message",
+            &hw
+        ));
     }
 }

@@ -108,8 +108,22 @@ impl RsaPublicKey {
     /// Returns [`CryptoError::MessageRepresentativeOutOfRange`] if the
     /// integer interpretation of `data` is `>= n`.
     pub fn encrypt_os(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.encrypt_os_with(&crate::backend::Unmetered, data)
+    }
+
+    /// [`RsaPublicKey::encrypt_os`] with the exponentiation routed through a
+    /// [`CryptoBackend`](crate::backend::CryptoBackend).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RsaPublicKey::encrypt_os`].
+    pub fn encrypt_os_with(
+        &self,
+        backend: &dyn crate::backend::CryptoBackend,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
         let m = BigUint::from_bytes_be(data);
-        let c = self.rsaep(&m)?;
+        let c = backend.rsa_public_exp(self, &m)?;
         c.to_bytes_be_padded(self.modulus_bytes())
             .ok_or(CryptoError::MessageRepresentativeOutOfRange)
     }
@@ -148,8 +162,22 @@ impl RsaPrivateKey {
     /// Propagates [`CryptoError::MessageRepresentativeOutOfRange`] for an
     /// out-of-range ciphertext.
     pub fn decrypt_os(&self, data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        self.decrypt_os_with(&crate::backend::Unmetered, data)
+    }
+
+    /// [`RsaPrivateKey::decrypt_os`] with the exponentiation routed through a
+    /// [`CryptoBackend`](crate::backend::CryptoBackend).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RsaPrivateKey::decrypt_os`].
+    pub fn decrypt_os_with(
+        &self,
+        backend: &dyn crate::backend::CryptoBackend,
+        data: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
         let c = BigUint::from_bytes_be(data);
-        let m = self.rsadp(&c)?;
+        let m = backend.rsa_private_exp(self, &c)?;
         m.to_bytes_be_padded(self.public.modulus_bytes())
             .ok_or(CryptoError::MessageRepresentativeOutOfRange)
     }
@@ -163,7 +191,7 @@ impl RsaKeyPair {
     /// Panics if `bits < 64` or `bits` is odd.
     pub fn generate<R: RngCore + ?Sized>(bits: usize, rng: &mut R) -> Self {
         assert!(bits >= 64, "RSA modulus must be at least 64 bits");
-        assert!(bits % 2 == 0, "RSA modulus size must be even");
+        assert!(bits.is_multiple_of(2), "RSA modulus size must be even");
         let e = BigUint::from_u64(PUBLIC_EXPONENT);
         loop {
             let p = prime::generate_rsa_prime(bits / 2, &e, rng);

@@ -1,0 +1,159 @@
+//! Backend-parity property tests: the software backend and the simulated
+//! hardware-macro backend must produce **byte-identical** ciphertexts,
+//! hashes, MACs, wrapped keys and signatures for random inputs — the
+//! hardware macros implement the same standardised algorithms, only their
+//! cycle bill differs.
+
+use oma_crypto::backend::{CryptoBackend, HwMacroBackend, Realisation, SoftwareBackend};
+use oma_crypto::rsa::RsaKeyPair;
+use oma_crypto::{cbc, kdf, kem, keywrap, pss, Algorithm, CryptoEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// A fixed 512-bit test key pair (RSA keygen dominates the suite's runtime;
+/// the properties vary the data, not the key).
+fn test_pair() -> &'static RsaKeyPair {
+    static PAIR: OnceLock<RsaKeyPair> = OnceLock::new();
+    PAIR.get_or_init(|| RsaKeyPair::generate(512, &mut StdRng::seed_from_u64(0x9a17)))
+}
+
+/// The three backend configurations of the paper's evaluation.
+fn backends() -> Vec<Box<dyn CryptoBackend>> {
+    vec![
+        Box::new(SoftwareBackend::new()),
+        Box::new(HwMacroBackend::hybrid()),
+        Box::new(HwMacroBackend::full()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cbc_ciphertexts_are_byte_identical(key in any::<[u8; 16]>(), iv in any::<[u8; 16]>(),
+                                          plaintext in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let reference = cbc::encrypt(&key, &iv, &plaintext).unwrap();
+        for backend in backends() {
+            let ct = cbc::encrypt_with(backend.as_ref(), &key, &iv, &plaintext).unwrap();
+            prop_assert_eq!(&ct, &reference, "encrypt on {}", backend.name());
+            let pt = cbc::decrypt_with(backend.as_ref(), &key, &iv, &ct).unwrap();
+            prop_assert_eq!(&pt, &plaintext, "decrypt on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn keywrap_outputs_are_byte_identical(kek in any::<[u8; 16]>(), blocks in 2usize..8) {
+        let data: Vec<u8> = (0..blocks * 8).map(|i| (i * 31 + 7) as u8).collect();
+        let reference = keywrap::wrap(&kek, &data).unwrap();
+        for backend in backends() {
+            let wrapped = keywrap::wrap_with(backend.as_ref(), &kek, &data).unwrap();
+            prop_assert_eq!(&wrapped, &reference, "wrap on {}", backend.name());
+            let unwrapped = keywrap::unwrap_with(backend.as_ref(), &kek, &wrapped).unwrap();
+            prop_assert_eq!(&unwrapped, &data, "unwrap on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn hashes_and_macs_are_byte_identical(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                          data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let sw = SoftwareBackend::new();
+        let reference_hash = sw.sha1(&data);
+        let reference_mac = sw.hmac_sha1(&key, &data);
+        for backend in backends() {
+            prop_assert_eq!(backend.sha1(&data), reference_hash, "sha1 on {}", backend.name());
+            prop_assert_eq!(backend.hmac_sha1(&key, &data), reference_mac, "hmac on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn kdf2_outputs_are_byte_identical(z in proptest::collection::vec(any::<u8>(), 1..64),
+                                       len in 1usize..48) {
+        let reference = kdf::kdf2(&z, b"", len);
+        for backend in backends() {
+            prop_assert_eq!(
+                kdf::kdf2_with(backend.as_ref(), &z, b"", len),
+                reference.clone(),
+                "kdf2 on {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pss_signatures_are_byte_identical(message in proptest::collection::vec(any::<u8>(), 0..256),
+                                         seed in any::<u64>()) {
+        let pair = test_pair();
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            pss::sign(pair.private(), &message, &mut rng).unwrap()
+        };
+        for backend in backends() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sig = pss::sign_with(backend.as_ref(), pair.private(), &message, &mut rng).unwrap();
+            prop_assert_eq!(&sig, &reference, "sign on {}", backend.name());
+            prop_assert!(
+                pss::verify_with(backend.as_ref(), pair.public(), &message, &sig),
+                "verify on {}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kem_wrappings_are_byte_identical(kmac in any::<[u8; 16]>(), krek in any::<[u8; 16]>(),
+                                        seed in any::<u64>()) {
+        let pair = test_pair();
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            kem::wrap_keys(pair.public(), &kmac, &krek, &mut rng).unwrap()
+        };
+        for backend in backends() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let wrapped =
+                kem::wrap_keys_with(backend.as_ref(), pair.public(), &kmac, &krek, &mut rng).unwrap();
+            prop_assert_eq!(&wrapped, &reference, "kem wrap on {}", backend.name());
+            let (m, r) = kem::unwrap_keys_with(backend.as_ref(), pair.private(), &wrapped).unwrap();
+            prop_assert_eq!(m, kmac, "kmac on {}", backend.name());
+            prop_assert_eq!(r, krek, "krek on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn engines_on_different_backends_interoperate(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                                  seed in any::<u64>()) {
+        // An HW-terminal engine and a SW-terminal engine with the same seed
+        // produce identical protocol bytes and can verify each other's MACs.
+        let sw_engine = CryptoEngine::with_seed(seed);
+        let hw_engine = CryptoEngine::with_backend(Arc::new(HwMacroBackend::full()), seed);
+        let key = sw_engine.random_key();
+        prop_assert_eq!(key, hw_engine.random_key());
+        let iv = [3u8; 16];
+        let sw_ct = sw_engine.aes_cbc_encrypt(&key, &iv, &data).unwrap();
+        let hw_ct = hw_engine.aes_cbc_encrypt(&key, &iv, &data).unwrap();
+        prop_assert_eq!(&sw_ct, &hw_ct);
+        let tag = hw_engine.hmac_sha1(&key, &data);
+        prop_assert!(sw_engine.hmac_sha1_verify(&key, &data, &tag));
+        // Identical traces, divergent cycle bills.
+        prop_assert_eq!(sw_engine.trace(), hw_engine.trace());
+        prop_assert!(sw_engine.charged_cycles() > hw_engine.charged_cycles());
+    }
+}
+
+#[test]
+fn backend_realisations_match_variants() {
+    let hybrid = HwMacroBackend::hybrid();
+    assert_eq!(
+        hybrid.realisation(Algorithm::AesDecrypt),
+        Realisation::HardwareMacro
+    );
+    assert_eq!(
+        hybrid.realisation(Algorithm::RsaPrivate),
+        Realisation::Software
+    );
+    let full = HwMacroBackend::full();
+    for alg in Algorithm::ALL {
+        assert_eq!(full.realisation(alg), Realisation::HardwareMacro);
+    }
+}

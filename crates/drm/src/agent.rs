@@ -17,6 +17,7 @@ use crate::roap::{
     RoResponse, RoapError, NONCE_LEN,
 };
 use crate::storage::{DeviceStorage, InstalledRightsObject};
+use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::CryptoEngine;
 use oma_pki::{
@@ -25,6 +26,7 @@ use oma_pki::{
 };
 use rand::RngCore;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum age of an OCSP response the agent accepts (one week).
 pub const OCSP_MAX_AGE_SECONDS: u64 = 7 * 24 * 3600;
@@ -61,11 +63,33 @@ pub struct DrmAgent {
 impl DrmAgent {
     /// Creates a DRM Agent: generates the device RSA key pair and the
     /// device storage key `K_DEV`, and obtains a device certificate from
-    /// `ca`.
+    /// `ca`. The agent's cryptography runs on the pure-software backend;
+    /// use [`DrmAgent::with_backend`] to model a terminal with hardware
+    /// crypto macros.
     pub fn new<R: RngCore + ?Sized>(
         device_id: &str,
         modulus_bits: usize,
         ca: &mut CertificationAuthority,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_backend(
+            device_id,
+            modulus_bits,
+            ca,
+            Arc::new(SoftwareBackend::new()),
+            rng,
+        )
+    }
+
+    /// Creates a DRM Agent whose cryptography executes on `backend` — the
+    /// terminal architecture under evaluation. `oma-perf` maps each
+    /// `Architecture` variant onto a backend and measures the protocol on
+    /// it.
+    pub fn with_backend<R: RngCore + ?Sized>(
+        device_id: &str,
+        modulus_bits: usize,
+        ca: &mut CertificationAuthority,
+        backend: Arc<dyn CryptoBackend>,
         rng: &mut R,
     ) -> Self {
         let keys = RsaKeyPair::generate(modulus_bits, rng);
@@ -75,7 +99,7 @@ impl DrmAgent {
             keys.public().clone(),
             ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
         );
-        let engine = CryptoEngine::with_seed(rng.next_u64());
+        let engine = CryptoEngine::with_backend(backend, rng.next_u64());
         let mut kdev = [0u8; 16];
         rng.fill_bytes(&mut kdev);
         DrmAgent {
@@ -359,7 +383,11 @@ impl DrmAgent {
                 let (kmac, krek) = self.engine.kem_unwrap(self.keys.private(), wrapped)?;
                 (kmac, krek, None)
             }
-            KeyProtection::Domain { domain_id, generation, wrapped } => {
+            KeyProtection::Domain {
+                domain_id,
+                generation,
+                wrapped,
+            } => {
                 let (stored_generation, key) = self
                     .storage
                     .domain_key(domain_id)
@@ -370,9 +398,11 @@ impl DrmAgent {
                 let key = *key;
                 let material = self.engine.aes_unwrap(&key, wrapped)?;
                 if material.len() != 32 {
-                    return Err(DrmError::Crypto(oma_crypto::CryptoError::MalformedPlaintext(
-                        "domain-wrapped key material must be 32 bytes",
-                    )));
+                    return Err(DrmError::Crypto(
+                        oma_crypto::CryptoError::MalformedPlaintext(
+                            "domain-wrapped key material must be 32 bytes",
+                        ),
+                    ));
                 }
                 let mut kmac = [0u8; 16];
                 let mut krek = [0u8; 16];
@@ -459,7 +489,10 @@ impl DrmAgent {
 
         // Step 2: verify RO integrity via its MAC.
         let payload_bytes = installed.payload.to_bytes();
-        if !self.engine.hmac_sha1_verify(&kmac, &payload_bytes, &installed.mac) {
+        if !self
+            .engine
+            .hmac_sha1_verify(&kmac, &payload_bytes, &installed.mac)
+        {
             return Err(DrmError::RightsObjectIntegrity);
         }
 
@@ -557,9 +590,9 @@ impl DrmAgent {
             .engine
             .rsa_decrypt(self.keys.private(), &response.encrypted_domain_key)?;
         if decrypted.len() < 16 {
-            return Err(DrmError::Crypto(oma_crypto::CryptoError::MalformedPlaintext(
-                "domain key too short",
-            )));
+            return Err(DrmError::Crypto(
+                oma_crypto::CryptoError::MalformedPlaintext("domain key too short"),
+            ));
         }
         let mut key = [0u8; 16];
         key.copy_from_slice(&decrypted[decrypted.len() - 16..]);
@@ -610,17 +643,26 @@ mod tests {
         w.agent.register(&mut w.ri, now).unwrap();
         assert!(w.agent.is_registered_with("ri.example.com"));
         assert!(w.ri.is_registered("phone-001"));
-        assert_eq!(w.agent.ri_context("ri.example.com").unwrap().ri_id, "ri.example.com");
+        assert_eq!(
+            w.agent.ri_context("ri.example.com").unwrap().ri_id,
+            "ri.example.com"
+        );
 
         let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
         assert_eq!(w.agent.installed_rights(), vec![ro_id.clone()]);
         assert_eq!(w.agent.rights_for_content("cid:track"), vec![ro_id.clone()]);
 
-        let plaintext = w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap();
+        let plaintext = w
+            .agent
+            .consume(&ro_id, &w.dcf, Permission::Play, now)
+            .unwrap();
         assert_eq!(plaintext, b"some protected audio content");
         // Unconstrained play works repeatedly.
-        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now.plus(5)).is_ok());
+        assert!(w
+            .agent
+            .consume(&ro_id, &w.dcf, Permission::Play, now.plus(5))
+            .is_ok());
     }
 
     #[test]
@@ -651,10 +693,20 @@ mod tests {
         w.agent.register(&mut w.ri, now).unwrap();
         let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
-        assert_eq!(w.agent.remaining_count(&ro_id, Permission::Play), None, "state starts lazily");
-        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).is_ok());
+        assert_eq!(
+            w.agent.remaining_count(&ro_id, Permission::Play),
+            None,
+            "state starts lazily"
+        );
+        assert!(w
+            .agent
+            .consume(&ro_id, &w.dcf, Permission::Play, now)
+            .is_ok());
         assert_eq!(w.agent.remaining_count(&ro_id, Permission::Play), Some(1));
-        assert!(w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).is_ok());
+        assert!(w
+            .agent
+            .consume(&ro_id, &w.dcf, Permission::Play, now)
+            .is_ok());
         assert_eq!(
             w.agent.consume(&ro_id, &w.dcf, Permission::Play, now),
             Err(DrmError::ConstraintViolated)
@@ -697,7 +749,8 @@ mod tests {
         // Flip a MAC bit.
         response.rights_object.mac[0] ^= 1;
         assert_eq!(
-            w.agent.install_protected_ro(&response.rights_object, "ri.example.com", now),
+            w.agent
+                .install_protected_ro(&response.rights_object, "ri.example.com", now),
             Err(DrmError::RightsObjectIntegrity)
         );
     }
@@ -767,11 +820,15 @@ mod tests {
         assert_eq!(ro_id, ro_id_player);
 
         assert_eq!(
-            w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap(),
+            w.agent
+                .consume(&ro_id, &w.dcf, Permission::Play, now)
+                .unwrap(),
             b"some protected audio content"
         );
         assert_eq!(
-            player.consume(&ro_id_player, &w.dcf, Permission::Play, now).unwrap(),
+            player
+                .consume(&ro_id_player, &w.dcf, Permission::Play, now)
+                .unwrap(),
             b"some protected audio content"
         );
 
@@ -796,7 +853,8 @@ mod tests {
         w.agent.register(&mut w.ri, now).unwrap();
         let domain = w.ri.create_domain("family", 4);
         assert_eq!(
-            w.agent.acquire_domain_rights(&mut w.ri, "cid:track", &domain, now),
+            w.agent
+                .acquire_domain_rights(&mut w.ri, "cid:track", &domain, now),
             Err(DrmError::NotInDomain)
         );
     }
@@ -825,7 +883,9 @@ mod tests {
         assert!(installation.count(Algorithm::AesEncrypt).blocks > 0);
         assert_eq!(installation.count(Algorithm::HmacSha1).invocations, 1);
 
-        w.agent.consume(&ro_id, &w.dcf, Permission::Play, now).unwrap();
+        w.agent
+            .consume(&ro_id, &w.dcf, Permission::Play, now)
+            .unwrap();
         let consumption = w.agent.engine().take_trace();
         assert_eq!(consumption.count(Algorithm::RsaPrivate).invocations, 0);
         assert_eq!(consumption.count(Algorithm::RsaPublic).invocations, 0);

@@ -53,8 +53,8 @@ impl ContentIssuer {
         if headers.rights_issuer_url.is_empty() {
             headers.rights_issuer_url = format!("https://{}/rights", self.id);
         }
-        let encrypted = cbc::encrypt(&cek, &iv, content)
-            .expect("fresh 16-byte key and IV are always valid");
+        let encrypted =
+            cbc::encrypt(&cek, &iv, content).expect("fresh 16-byte key and IV are always valid");
         let dcf = Dcf::new(content_id, headers, iv, encrypted, content.len());
         (dcf, cek)
     }

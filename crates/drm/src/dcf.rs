@@ -151,10 +151,19 @@ mod tests {
     #[test]
     fn hash_is_over_encrypted_payload() {
         let dcf = sample();
-        assert_eq!(dcf.hash(), oma_crypto::sha1::sha1(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(
+            dcf.hash(),
+            oma_crypto::sha1::sha1(&[1, 2, 3, 4, 5, 6, 7, 8])
+        );
         let engine = oma_crypto::CryptoEngine::with_seed(1);
         assert_eq!(dcf.hash_with(&engine), dcf.hash());
-        assert_eq!(engine.trace().count(oma_crypto::Algorithm::Sha1).invocations, 1);
+        assert_eq!(
+            engine
+                .trace()
+                .count(oma_crypto::Algorithm::Sha1)
+                .invocations,
+            1
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ impl Rights {
 
     /// Adds a grant.
     pub fn grant(mut self, permission: Permission, constraint: Constraint) -> Self {
-        self.grants.push(PermissionGrant { permission, constraint });
+        self.grants.push(PermissionGrant {
+            permission,
+            constraint,
+        });
         self
     }
 
@@ -235,11 +238,8 @@ impl UsageState {
     ///
     /// Returns `Err(())` when the constraint forbids the access; the state is
     /// left unchanged in that case.
-    pub fn check_and_consume(
-        &mut self,
-        constraint: Constraint,
-        now: Timestamp,
-    ) -> Result<(), ()> {
+    #[allow(clippy::result_unit_err)]
+    pub fn check_and_consume(&mut self, constraint: Constraint, now: Timestamp) -> Result<(), ()> {
         match constraint {
             Constraint::Unconstrained => Ok(()),
             Constraint::Count(_) => {
@@ -290,7 +290,10 @@ mod tests {
         assert!(rights.permits(Permission::Play));
         assert!(rights.permits(Permission::Display));
         assert!(!rights.permits(Permission::Print));
-        assert_eq!(rights.constraint_for(Permission::Play), Some(Constraint::Count(5)));
+        assert_eq!(
+            rights.constraint_for(Permission::Play),
+            Some(Constraint::Count(5))
+        );
         assert_eq!(rights.grants().len(), 2);
     }
 
@@ -307,7 +310,9 @@ mod tests {
 
     #[test]
     fn templates() {
-        assert!(RightsTemplate::unlimited(Permission::Play).rights().permits(Permission::Play));
+        assert!(RightsTemplate::unlimited(Permission::Play)
+            .rights()
+            .permits(Permission::Play));
         assert_eq!(
             RightsTemplate::counted(Permission::Play, 3)
                 .rights()
@@ -321,7 +326,9 @@ mod tests {
                 .constraint_for(Permission::Display),
             Some(Constraint::Datetime(window))
         );
-        let custom = RightsTemplate::from_rights(Rights::new().grant(Permission::Print, Constraint::Unconstrained));
+        let custom = RightsTemplate::from_rights(
+            Rights::new().grant(Permission::Print, Constraint::Unconstrained),
+        );
         assert!(custom.rights().permits(Permission::Print));
     }
 

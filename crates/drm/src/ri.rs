@@ -9,9 +9,10 @@ use crate::domain::{Domain, DomainId};
 use crate::rel::RightsTemplate;
 use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload};
 use crate::roap::{
-    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest,
-    RegistrationResponse, RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN, ROAP_VERSION,
+    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
+    RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN, ROAP_VERSION,
 };
+use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use oma_crypto::sha1::DIGEST_SIZE;
 use oma_crypto::CryptoEngine;
@@ -22,6 +23,7 @@ use oma_pki::{
 };
 use rand::RngCore;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Validity of issued Rights Issuer and device certificates (10 years).
 const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
@@ -67,11 +69,27 @@ pub struct RightsIssuer {
 
 impl RightsIssuer {
     /// Creates a Rights Issuer, obtaining its certificate and an initial OCSP
-    /// response from `ca`.
+    /// response from `ca`. Server-side cryptography runs on the software
+    /// backend; use [`RightsIssuer::with_backend`] to model an accelerated
+    /// license server.
     pub fn new<R: RngCore + ?Sized>(
         id: &str,
         modulus_bits: usize,
         ca: &mut CertificationAuthority,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_backend(id, modulus_bits, ca, Arc::new(SoftwareBackend::new()), rng)
+    }
+
+    /// Creates a Rights Issuer whose cryptography executes on `backend`.
+    /// The Rights Issuer's trace stays outside the terminal cost model, but
+    /// a backend can still be supplied so server-side capacity studies use
+    /// the same pluggable layer as the DRM Agent.
+    pub fn with_backend<R: RngCore + ?Sized>(
+        id: &str,
+        modulus_bits: usize,
+        ca: &mut CertificationAuthority,
+        backend: Arc<dyn CryptoBackend>,
         rng: &mut R,
     ) -> Self {
         let keys = RsaKeyPair::generate(modulus_bits, rng);
@@ -82,7 +100,10 @@ impl RightsIssuer {
             ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
         );
         let ocsp = ca.ocsp_respond(
-            &OcspRequest { serial: certificate.serial(), nonce: Vec::new() },
+            &OcspRequest {
+                serial: certificate.serial(),
+                nonce: Vec::new(),
+            },
             Timestamp::new(0),
         );
         RightsIssuer {
@@ -91,7 +112,7 @@ impl RightsIssuer {
             certificate,
             ca_root: ca.root_certificate().clone(),
             ocsp,
-            engine: CryptoEngine::with_seed(rng.next_u64()),
+            engine: CryptoEngine::with_backend(backend, rng.next_u64()),
             next_session: 1,
             next_ro: 1,
             sessions: HashMap::new(),
@@ -121,7 +142,10 @@ impl RightsIssuer {
     /// if the cached one has become stale).
     pub fn refresh_ocsp(&mut self, ca: &CertificationAuthority, now: Timestamp) {
         self.ocsp = ca.ocsp_respond(
-            &OcspRequest { serial: self.certificate.serial(), nonce: Vec::new() },
+            &OcspRequest {
+                serial: self.certificate.serial(),
+                nonce: Vec::new(),
+            },
             now,
         );
     }
@@ -138,7 +162,11 @@ impl RightsIssuer {
     ) {
         self.content.insert(
             content_id.to_string(),
-            ContentEntry { cek, dcf_hash: dcf.hash(), template },
+            ContentEntry {
+                cek,
+                dcf_hash: dcf.hash(),
+                template,
+            },
         );
     }
 
@@ -166,7 +194,10 @@ impl RightsIssuer {
         let ri_nonce = self.engine.random_nonce(NONCE_LEN);
         self.sessions.insert(
             session_id,
-            PendingSession { device_id: hello.device_id.clone(), ri_nonce: ri_nonce.clone() },
+            PendingSession {
+                device_id: hello.device_id.clone(),
+                ri_nonce: ri_nonce.clone(),
+            },
         );
         RiHello {
             ri_id: self.id.clone(),
@@ -214,10 +245,11 @@ impl RightsIssuer {
             request.request_time,
             &request.certificate,
         );
-        if !self
-            .engine
-            .pss_verify(request.certificate.public_key(), &signed, &request.signature)
-        {
+        if !self.engine.pss_verify(
+            request.certificate.public_key(),
+            &signed,
+            &request.signature,
+        ) {
             return Err(RoapError::SignatureInvalid);
         }
 
@@ -295,9 +327,17 @@ impl RightsIssuer {
             .ok_or(RoapError::UnknownRightsObject)?;
 
         let rights_object = match &request.domain_id {
-            None => self.build_device_ro(&request.content_id, &entry, device.certificate.public_key(), now),
+            None => self.build_device_ro(
+                &request.content_id,
+                &entry,
+                device.certificate.public_key(),
+                now,
+            ),
             Some(domain_id) => {
-                let domain = self.domains.get(domain_id).ok_or(RoapError::UnknownDomain)?;
+                let domain = self
+                    .domains
+                    .get(domain_id)
+                    .ok_or(RoapError::UnknownDomain)?;
                 if !domain.is_member(&request.device_id) {
                     return Err(RoapError::UnknownDomain);
                 }
@@ -443,7 +483,8 @@ impl RightsIssuer {
     pub fn create_domain(&mut self, domain_id: &str, max_members: usize) -> DomainId {
         let id = DomainId::new(domain_id);
         let key = self.engine.random_key();
-        self.domains.insert(id.clone(), Domain::new(id.clone(), key, max_members));
+        self.domains
+            .insert(id.clone(), Domain::new(id.clone(), key, max_members));
         id
     }
 
@@ -581,7 +622,12 @@ mod tests {
         let ci = crate::ContentIssuer::new("ci");
         let (dcf, cek) = ci.package(b"bytes", "cid:x", &mut rng);
         assert!(!ri.has_content("cid:x"));
-        ri.add_content("cid:x", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+        ri.add_content(
+            "cid:x",
+            cek,
+            &dcf,
+            RightsTemplate::unlimited(Permission::Play),
+        );
         assert!(ri.has_content("cid:x"));
     }
 
@@ -656,12 +702,19 @@ mod tests {
         );
         let ci = crate::ContentIssuer::new("ci");
         let (dcf, cek) = ci.package(b"bytes", "cid:x", &mut rng);
-        ri.add_content("cid:x", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+        ri.add_content(
+            "cid:x",
+            cek,
+            &dcf,
+            RightsTemplate::unlimited(Permission::Play),
+        );
         assert_eq!(
             ri.issue_domain_ro("cid:x", &DomainId::new("nope"), Timestamp::new(0)),
             Err(RoapError::UnknownDomain)
         );
-        let ro = ri.issue_domain_ro("cid:x", &domain, Timestamp::new(0)).unwrap();
+        let ro = ri
+            .issue_domain_ro("cid:x", &domain, Timestamp::new(0))
+            .unwrap();
         assert!(ro.is_domain_ro());
         assert!(ro.signature.is_some(), "domain RO signature is mandatory");
     }

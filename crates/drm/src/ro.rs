@@ -78,9 +78,9 @@ impl KeyProtection {
     pub fn encoded_len(&self) -> usize {
         match self {
             KeyProtection::Device(wrapped) => wrapped.len(),
-            KeyProtection::Domain { wrapped, domain_id, .. } => {
-                wrapped.len() + domain_id.as_str().len() + 4
-            }
+            KeyProtection::Domain {
+                wrapped, domain_id, ..
+            } => wrapped.len() + domain_id.as_str().len() + 4,
         }
     }
 }
@@ -253,6 +253,10 @@ mod tests {
         };
         assert!(kp.is_domain());
         assert!(kp.encoded_len() >= 40 + 6);
-        assert!(!KeyProtection::Device(oma_crypto::kem::WrappedKeys { c1: vec![], c2: vec![] }).is_domain());
+        assert!(!KeyProtection::Device(oma_crypto::kem::WrappedKeys {
+            c1: vec![],
+            c2: vec![]
+        })
+        .is_domain());
     }
 }

@@ -106,7 +106,11 @@ impl DeviceHello {
     pub fn encoded_len(&self) -> usize {
         self.device_id.len()
             + self.version.len()
-            + self.supported_algorithms.iter().map(String::len).sum::<usize>()
+            + self
+                .supported_algorithms
+                .iter()
+                .map(String::len)
+                .sum::<usize>()
             + 32
     }
 }
@@ -326,8 +330,13 @@ impl RoResponse {
 
     /// Approximate on-the-wire size in bytes.
     pub fn encoded_len(&self) -> usize {
-        Self::signed_bytes(&self.device_id, &self.ri_id, &self.device_nonce, &self.rights_object)
-            .len()
+        Self::signed_bytes(
+            &self.device_id,
+            &self.ri_id,
+            &self.device_nonce,
+            &self.rights_object,
+        )
+        .len()
             + self.rights_object.key_protection.encoded_len()
             + self.signature.len()
     }
@@ -419,7 +428,10 @@ mod tests {
     fn device_hello_advertises_mandatory_suite() {
         let hello = DeviceHello::new("device-1");
         assert_eq!(hello.version, ROAP_VERSION);
-        assert!(hello.supported_algorithms.iter().any(|a| a == "AES-128-WRAP"));
+        assert!(hello
+            .supported_algorithms
+            .iter()
+            .any(|a| a == "AES-128-WRAP"));
         assert!(hello.encoded_len() > hello.device_id.len());
     }
 

@@ -173,7 +173,11 @@ mod tests {
         assert!(replaced.is_some());
         assert_eq!(storage.installed_count(), 1);
         assert_eq!(
-            storage.get(&RightsObjectId::new("ro-1")).unwrap().payload.content_id,
+            storage
+                .get(&RightsObjectId::new("ro-1"))
+                .unwrap()
+                .payload
+                .content_id,
             "cid:b"
         );
     }

@@ -183,7 +183,10 @@ mod tests {
         assert_eq!(t.count(Algorithm::RsaPublic).invocations, 0);
         // Content hashing and decryption dominate the block counts.
         assert_eq!(t.count(Algorithm::Sha1).blocks, 30_720 / 16 + 1);
-        assert_eq!(t.count(Algorithm::AesDecrypt).blocks, (30_720 / 16 + 1) + 24 + 12);
+        assert_eq!(
+            t.count(Algorithm::AesDecrypt).blocks,
+            (30_720 / 16 + 1) + 24 + 12
+        );
     }
 
     #[test]
@@ -193,10 +196,25 @@ mod tests {
         for spec in [UseCaseSpec::music_player(), UseCaseSpec::ringtone()] {
             let traces = phase_traces(&spec);
             let setup = traces.setup_total();
-            assert_eq!(setup.count(Algorithm::RsaPrivate).invocations, 3, "{}", spec.name());
-            assert_eq!(setup.count(Algorithm::RsaPublic).invocations, 4, "{}", spec.name());
+            assert_eq!(
+                setup.count(Algorithm::RsaPrivate).invocations,
+                3,
+                "{}",
+                spec.name()
+            );
+            assert_eq!(
+                setup.count(Algorithm::RsaPublic).invocations,
+                4,
+                "{}",
+                spec.name()
+            );
             let total = traces.total(spec.accesses());
-            assert_eq!(total.count(Algorithm::RsaPrivate).invocations, 3, "{}", spec.name());
+            assert_eq!(
+                total.count(Algorithm::RsaPrivate).invocations,
+                3,
+                "{}",
+                spec.name()
+            );
         }
     }
 

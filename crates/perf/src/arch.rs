@@ -10,7 +10,9 @@
 //! * **HW** — dedicated macros for every algorithm.
 
 use crate::cost::CostTable;
+use oma_crypto::backend::{CryptoBackend, HwMacroBackend, Realisation, SoftwareBackend};
 use oma_crypto::{Algorithm, OpTrace};
+use std::sync::Arc;
 
 /// Where one algorithm is realised.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,7 +57,11 @@ impl Architecture {
         for alg in Algorithm::ALL {
             assignments[index(alg)] = assignment(alg);
         }
-        Architecture { name: name.to_string(), assignments, clock_hz }
+        Architecture {
+            name: name.to_string(),
+            assignments,
+            clock_hz,
+        }
     }
 
     /// The pure-software variant ("SW").
@@ -113,7 +119,31 @@ impl Architecture {
 
     /// Whether any algorithm is realised in hardware.
     pub fn has_hardware(&self) -> bool {
-        self.assignments.iter().any(|a| *a == Implementation::Hardware)
+        self.assignments.contains(&Implementation::Hardware)
+    }
+
+    /// Builds the executable [`CryptoBackend`] realising this architecture
+    /// under `table`'s cycle costs: the pure-software variant maps onto
+    /// [`SoftwareBackend`], every variant with at least one macro onto a
+    /// partitioned [`HwMacroBackend`]. This is the 1:1 bridge between the
+    /// analytic model's variants and the measured runner's backends.
+    pub fn backend(&self, table: &CostTable) -> Arc<dyn CryptoBackend> {
+        if !self.has_hardware() {
+            return Arc::new(SoftwareBackend::named(
+                &self.name,
+                table.software_profile().clone(),
+            ));
+        }
+        let assignments = self.assignments;
+        Arc::new(HwMacroBackend::partitioned(
+            &self.name,
+            move |alg| match assignments[index(alg)] {
+                Implementation::Software => Realisation::Software,
+                Implementation::Hardware => Realisation::HardwareMacro,
+            },
+            table.software_profile().clone(),
+            table.hardware_profile().clone(),
+        ))
     }
 
     /// Cycles consumed to execute `trace` on this architecture under the
@@ -126,11 +156,18 @@ impl Architecture {
     }
 
     /// Cycles per algorithm for `trace` (used for the Figure 5 breakdown).
-    pub fn cycles_per_algorithm(&self, trace: &OpTrace, table: &CostTable) -> Vec<(Algorithm, u64)> {
+    pub fn cycles_per_algorithm(
+        &self,
+        trace: &OpTrace,
+        table: &CostTable,
+    ) -> Vec<(Algorithm, u64)> {
         trace
             .iter()
             .map(|(alg, count)| {
-                (alg, table.cost(alg, self.implementation_of(alg)).cycles(count))
+                (
+                    alg,
+                    table.cost(alg, self.implementation_of(alg)).cycles(count),
+                )
             })
             .collect()
     }
@@ -162,13 +199,28 @@ mod tests {
             assert_eq!(sw.implementation_of(alg), Implementation::Software);
             assert_eq!(hw.implementation_of(alg), Implementation::Hardware);
         }
-        assert_eq!(hybrid.implementation_of(Algorithm::AesDecrypt), Implementation::Hardware);
-        assert_eq!(hybrid.implementation_of(Algorithm::Sha1), Implementation::Hardware);
-        assert_eq!(hybrid.implementation_of(Algorithm::HmacSha1), Implementation::Hardware);
-        assert_eq!(hybrid.implementation_of(Algorithm::RsaPrivate), Implementation::Software);
+        assert_eq!(
+            hybrid.implementation_of(Algorithm::AesDecrypt),
+            Implementation::Hardware
+        );
+        assert_eq!(
+            hybrid.implementation_of(Algorithm::Sha1),
+            Implementation::Hardware
+        );
+        assert_eq!(
+            hybrid.implementation_of(Algorithm::HmacSha1),
+            Implementation::Hardware
+        );
+        assert_eq!(
+            hybrid.implementation_of(Algorithm::RsaPrivate),
+            Implementation::Software
+        );
         assert!(!sw.has_hardware());
         assert!(hybrid.has_hardware());
-        let names: Vec<String> = Architecture::standard_variants().iter().map(|a| a.name().to_string()).collect();
+        let names: Vec<String> = Architecture::standard_variants()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
         assert_eq!(names, vec!["SW", "SW/HW", "HW"]);
     }
 
@@ -190,7 +242,10 @@ mod tests {
         let expected_sw = (950 + 830 * 1_000) + 400 * 1_000 + 2 * 37_740_000;
         assert_eq!(Architecture::software().cycles(&trace, &table), expected_sw);
         let expected_hw = (10 + 10 * 1_000) + 20 * 1_000 + 2 * 260_000;
-        assert_eq!(Architecture::full_hardware().cycles(&trace, &table), expected_hw);
+        assert_eq!(
+            Architecture::full_hardware().cycles(&trace, &table),
+            expected_hw
+        );
     }
 
     #[test]
@@ -200,7 +255,10 @@ mod tests {
         trace.record(Algorithm::RsaPrivate, 1, 1);
         let arch = Architecture::software();
         let ms = arch.millis(&trace, &table);
-        assert!((ms - 188.7).abs() < 0.1, "37.74 Mcycles at 200 MHz = 188.7 ms, got {ms}");
+        assert!(
+            (ms - 188.7).abs() < 0.1,
+            "37.74 Mcycles at 200 MHz = 188.7 ms, got {ms}"
+        );
         let slow = Architecture::software().with_clock_hz(100_000_000);
         assert!((slow.millis(&trace, &table) - 2.0 * ms).abs() < 1e-9);
         assert_eq!(slow.clock_hz(), 100_000_000);
@@ -211,7 +269,11 @@ mod tests {
         let table = CostTable::paper();
         let trace = sample_trace();
         for arch in Architecture::standard_variants() {
-            let total: u64 = arch.cycles_per_algorithm(&trace, &table).iter().map(|(_, c)| c).sum();
+            let total: u64 = arch
+                .cycles_per_algorithm(&trace, &table)
+                .iter()
+                .map(|(_, c)| c)
+                .sum();
             assert_eq!(total, arch.cycles(&trace, &table));
         }
     }
@@ -220,7 +282,10 @@ mod tests {
     fn empty_trace_costs_nothing() {
         let table = CostTable::paper();
         assert_eq!(Architecture::software().cycles(&OpTrace::new(), &table), 0);
-        assert_eq!(Architecture::full_hardware().millis(&OpTrace::new(), &table), 0.0);
+        assert_eq!(
+            Architecture::full_hardware().millis(&OpTrace::new(), &table),
+            0.0
+        );
     }
 
     #[test]
@@ -235,7 +300,13 @@ mod tests {
             DEFAULT_CLOCK_HZ,
         );
         assert_eq!(rsa_only.name(), "RSA-HW");
-        assert_eq!(rsa_only.implementation_of(Algorithm::Sha1), Implementation::Software);
-        assert_eq!(rsa_only.implementation_of(Algorithm::RsaPrivate), Implementation::Hardware);
+        assert_eq!(
+            rsa_only.implementation_of(Algorithm::Sha1),
+            Implementation::Software
+        );
+        assert_eq!(
+            rsa_only.implementation_of(Algorithm::RsaPrivate),
+            Implementation::Hardware
+        );
     }
 }

@@ -12,71 +12,33 @@
 //! comma); that value is used here and validated by the figure-reproduction
 //! tests in `report.rs`.
 
+use oma_crypto::backend::CostProfile;
 use oma_crypto::provider::OpCount;
 use oma_crypto::{Algorithm, OpTrace};
 
-/// Cycle cost of one algorithm in one realisation (software or hardware).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct AlgorithmCost {
-    /// Fixed cycles per invocation (key schedule, fixed-length hashing).
-    pub offset_cycles: u64,
-    /// Cycles per processed block (128-bit data block, or one RSA
-    /// exponentiation).
-    pub per_block_cycles: u64,
-}
+pub use oma_crypto::backend::AlgorithmCost;
 
-impl AlgorithmCost {
-    /// Creates a cost entry.
-    pub const fn new(offset_cycles: u64, per_block_cycles: u64) -> Self {
-        AlgorithmCost { offset_cycles, per_block_cycles }
-    }
-
-    /// Cycles consumed by `count` operations under this cost.
-    pub fn cycles(&self, count: OpCount) -> u64 {
-        self.offset_cycles * count.invocations + self.per_block_cycles * count.blocks
-    }
-}
-
-/// A full cost table: software and hardware costs for every algorithm.
+/// A full cost table: software and hardware cost profiles for every
+/// algorithm. The profiles are the same [`CostProfile`] type the pluggable
+/// crypto backends charge from, so the analytic model and the executing
+/// backends share one source of truth for Table 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostTable {
-    software: [AlgorithmCost; 6],
-    hardware: [AlgorithmCost; 6],
-}
-
-fn index(algorithm: Algorithm) -> usize {
-    match algorithm {
-        Algorithm::AesEncrypt => 0,
-        Algorithm::AesDecrypt => 1,
-        Algorithm::Sha1 => 2,
-        Algorithm::HmacSha1 => 3,
-        Algorithm::RsaPublic => 4,
-        Algorithm::RsaPrivate => 5,
-    }
+    software: CostProfile,
+    hardware: CostProfile,
 }
 
 impl CostTable {
     /// The calibrated cycle costs of the paper's Table 1.
+    ///
+    /// (The paper prints the software RSA private-key cost as "3,774,0000";
+    /// the 37.74 Mcycle reading reproduces Figures 6/7 and is used here —
+    /// see [`CostProfile::paper_software`].)
     pub fn paper() -> Self {
-        let mut software = [AlgorithmCost::default(); 6];
-        let mut hardware = [AlgorithmCost::default(); 6];
-
-        software[index(Algorithm::AesEncrypt)] = AlgorithmCost::new(360, 830);
-        software[index(Algorithm::AesDecrypt)] = AlgorithmCost::new(950, 830);
-        software[index(Algorithm::Sha1)] = AlgorithmCost::new(0, 400);
-        software[index(Algorithm::HmacSha1)] = AlgorithmCost::new(1_200, 400);
-        software[index(Algorithm::RsaPublic)] = AlgorithmCost::new(0, 2_160_000);
-        // Paper prints "3,774,0000"; 37.74 Mcycles reproduces Figures 6/7.
-        software[index(Algorithm::RsaPrivate)] = AlgorithmCost::new(0, 37_740_000);
-
-        hardware[index(Algorithm::AesEncrypt)] = AlgorithmCost::new(0, 10);
-        hardware[index(Algorithm::AesDecrypt)] = AlgorithmCost::new(10, 10);
-        hardware[index(Algorithm::Sha1)] = AlgorithmCost::new(0, 20);
-        hardware[index(Algorithm::HmacSha1)] = AlgorithmCost::new(240, 20);
-        hardware[index(Algorithm::RsaPublic)] = AlgorithmCost::new(0, 10_000);
-        hardware[index(Algorithm::RsaPrivate)] = AlgorithmCost::new(0, 260_000);
-
-        CostTable { software, hardware }
+        CostTable {
+            software: CostProfile::paper_software(),
+            hardware: CostProfile::paper_hardware(),
+        }
     }
 
     /// Builds a custom table (for ablations / sensitivity studies).
@@ -84,27 +46,38 @@ impl CostTable {
         software: impl Fn(Algorithm) -> AlgorithmCost,
         hardware: impl Fn(Algorithm) -> AlgorithmCost,
     ) -> Self {
-        let mut sw = [AlgorithmCost::default(); 6];
-        let mut hw = [AlgorithmCost::default(); 6];
-        for alg in Algorithm::ALL {
-            sw[index(alg)] = software(alg);
-            hw[index(alg)] = hardware(alg);
+        CostTable {
+            software: CostProfile::new(software),
+            hardware: CostProfile::new(hardware),
         }
-        CostTable { software: sw, hardware: hw }
     }
 
     /// Software cost of `algorithm`.
     pub fn software(&self, algorithm: Algorithm) -> AlgorithmCost {
-        self.software[index(algorithm)]
+        self.software.cost(algorithm)
     }
 
     /// Hardware cost of `algorithm`.
     pub fn hardware(&self, algorithm: Algorithm) -> AlgorithmCost {
-        self.hardware[index(algorithm)]
+        self.hardware.cost(algorithm)
+    }
+
+    /// The full software cost column (for constructing backends).
+    pub fn software_profile(&self) -> &CostProfile {
+        &self.software
+    }
+
+    /// The full hardware cost column (for constructing backends).
+    pub fn hardware_profile(&self) -> &CostProfile {
+        &self.hardware
     }
 
     /// Cost of `algorithm` in the given realisation.
-    pub fn cost(&self, algorithm: Algorithm, implementation: crate::arch::Implementation) -> AlgorithmCost {
+    pub fn cost(
+        &self,
+        algorithm: Algorithm,
+        implementation: crate::arch::Implementation,
+    ) -> AlgorithmCost {
         match implementation {
             crate::arch::Implementation::Software => self.software(algorithm),
             crate::arch::Implementation::Hardware => self.hardware(algorithm),
@@ -122,7 +95,10 @@ impl CostTable {
     /// Speed-up factor hardware offers over software for one algorithm,
     /// processing `blocks` blocks in a single invocation.
     pub fn speedup(&self, algorithm: Algorithm, blocks: u64) -> f64 {
-        let count = OpCount { invocations: 1, blocks };
+        let count = OpCount {
+            invocations: 1,
+            blocks,
+        };
         let sw = self.software(algorithm).cycles(count) as f64;
         let hw = self.hardware(algorithm).cycles(count).max(1) as f64;
         sw / hw
@@ -142,14 +118,29 @@ mod tests {
     #[test]
     fn table1_values_match_paper() {
         let t = CostTable::paper();
-        assert_eq!(t.software(Algorithm::AesEncrypt), AlgorithmCost::new(360, 830));
-        assert_eq!(t.software(Algorithm::AesDecrypt), AlgorithmCost::new(950, 830));
+        assert_eq!(
+            t.software(Algorithm::AesEncrypt),
+            AlgorithmCost::new(360, 830)
+        );
+        assert_eq!(
+            t.software(Algorithm::AesDecrypt),
+            AlgorithmCost::new(950, 830)
+        );
         assert_eq!(t.software(Algorithm::Sha1), AlgorithmCost::new(0, 400));
-        assert_eq!(t.software(Algorithm::HmacSha1), AlgorithmCost::new(1_200, 400));
+        assert_eq!(
+            t.software(Algorithm::HmacSha1),
+            AlgorithmCost::new(1_200, 400)
+        );
         assert_eq!(t.software(Algorithm::RsaPublic).per_block_cycles, 2_160_000);
-        assert_eq!(t.software(Algorithm::RsaPrivate).per_block_cycles, 37_740_000);
+        assert_eq!(
+            t.software(Algorithm::RsaPrivate).per_block_cycles,
+            37_740_000
+        );
         assert_eq!(t.hardware(Algorithm::AesEncrypt), AlgorithmCost::new(0, 10));
-        assert_eq!(t.hardware(Algorithm::AesDecrypt), AlgorithmCost::new(10, 10));
+        assert_eq!(
+            t.hardware(Algorithm::AesDecrypt),
+            AlgorithmCost::new(10, 10)
+        );
         assert_eq!(t.hardware(Algorithm::Sha1), AlgorithmCost::new(0, 20));
         assert_eq!(t.hardware(Algorithm::HmacSha1), AlgorithmCost::new(240, 20));
         assert_eq!(t.hardware(Algorithm::RsaPublic).per_block_cycles, 10_000);
@@ -160,7 +151,13 @@ mod tests {
     #[test]
     fn cycle_arithmetic() {
         let cost = AlgorithmCost::new(100, 10);
-        assert_eq!(cost.cycles(OpCount { invocations: 2, blocks: 30 }), 2 * 100 + 30 * 10);
+        assert_eq!(
+            cost.cycles(OpCount {
+                invocations: 2,
+                blocks: 30
+            }),
+            2 * 100 + 30 * 10
+        );
         assert_eq!(cost.cycles(OpCount::default()), 0);
     }
 
@@ -184,10 +181,7 @@ mod tests {
 
     #[test]
     fn custom_table() {
-        let t = CostTable::custom(
-            |_| AlgorithmCost::new(1, 2),
-            |_| AlgorithmCost::new(0, 1),
-        );
+        let t = CostTable::custom(|_| AlgorithmCost::new(1, 2), |_| AlgorithmCost::new(0, 1));
         assert_eq!(t.software(Algorithm::Sha1), AlgorithmCost::new(1, 2));
         assert_eq!(t.hardware(Algorithm::RsaPrivate), AlgorithmCost::new(0, 1));
     }

@@ -25,7 +25,10 @@ impl Default for EnergyModel {
     /// The paper's first-order assumption: energy strictly proportional to
     /// cycles, identical per-cycle cost for both realisations.
     fn default() -> Self {
-        EnergyModel { software_nj_per_cycle: 1.0, hardware_nj_per_cycle: 1.0 }
+        EnergyModel {
+            software_nj_per_cycle: 1.0,
+            hardware_nj_per_cycle: 1.0,
+        }
     }
 }
 
@@ -39,7 +42,10 @@ impl EnergyModel {
     /// per-cycle energy of the core (use `factor < 1` for the wider-gap
     /// hypothesis of the paper's future-work section).
     pub fn with_hardware_factor(factor: f64) -> Self {
-        EnergyModel { software_nj_per_cycle: 1.0, hardware_nj_per_cycle: factor }
+        EnergyModel {
+            software_nj_per_cycle: 1.0,
+            hardware_nj_per_cycle: factor,
+        }
     }
 
     /// Energy in millijoules to execute `trace` on `architecture` under
@@ -99,8 +105,8 @@ mod tests {
         let time_gap = sw.cycles(&trace, &table) as f64 / hw.cycles(&trace, &table) as f64;
 
         let efficient = EnergyModel::with_hardware_factor(0.5);
-        let energy_gap = efficient.millijoules(&trace, &sw, &table)
-            / efficient.millijoules(&trace, &hw, &table);
+        let energy_gap =
+            efficient.millijoules(&trace, &sw, &table) / efficient.millijoules(&trace, &hw, &table);
         assert!(
             energy_gap > time_gap,
             "energy gap {energy_gap} should exceed time gap {time_gap}"
@@ -110,7 +116,11 @@ mod tests {
     #[test]
     fn empty_trace_costs_no_energy() {
         let model = EnergyModel::default();
-        let e = model.millijoules(&OpTrace::new(), &Architecture::software(), &CostTable::paper());
+        let e = model.millijoules(
+            &OpTrace::new(),
+            &Architecture::software(),
+            &CostTable::paper(),
+        );
         assert_eq!(e, 0.0);
     }
 

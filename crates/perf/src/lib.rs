@@ -10,9 +10,12 @@
 //! The pieces:
 //!
 //! * [`cost`] — the per-algorithm cycle costs of the paper's **Table 1**
-//!   (software on an ARM9-class core vs dedicated hardware macros),
+//!   (software on an ARM9-class core vs dedicated hardware macros), shared
+//!   with the executable crypto backends in `oma-crypto`,
 //! * [`arch`] — architecture variants: pure software, AES/SHA-1 hardware
-//!   with RSA in software, and full hardware,
+//!   with RSA in software, and full hardware; each variant maps 1:1 onto an
+//!   executable [`oma_crypto::backend::CryptoBackend`] via
+//!   [`Architecture::backend`](arch::Architecture::backend),
 //! * [`phases`] — per-phase operation traces (Registration, Acquisition,
 //!   Installation, Consumption),
 //! * [`usecase`] — the two end-user use cases of the evaluation
@@ -20,11 +23,18 @@
 //! * [`analytic`] — closed-form operation counts derived from the protocol
 //!   analysis (the spreadsheet model of the paper),
 //! * [`runner`] — a *measured* trace source that runs the real protocol from
-//!   `oma-drm` and records the operations actually performed,
+//!   `oma-drm` on any variant's backend and records both the operations
+//!   performed and the cycles the backend charged,
 //! * [`energy`] — the energy ∝ cycles first-order estimate,
-//! * [`report`] — generators for Table 1 and Figures 5, 6 and 7.
+//! * [`report`] — generators for Table 1 and Figures 5, 6 and 7, from the
+//!   analytic model and from measured per-backend runs, plus the
+//!   measured-vs-analytic [`consistency_check`](report::consistency_check).
 //!
 //! # Example: reproduce Figure 6
+//!
+//! The paper's headline: dedicating hardware macros to all six algorithms
+//! cuts the Music Player's total DRM processing time by well over an order
+//! of magnitude compared to the pure-software terminal.
 //!
 //! ```
 //! use oma_perf::{arch::Architecture, cost::CostTable, report};
@@ -38,6 +48,14 @@
 //! let sw = figure6.total_millis("SW").unwrap();
 //! let hw = figure6.total_millis("HW").unwrap();
 //! assert!(sw / hw > 20.0, "hardware acceleration must win by a wide margin");
+//!
+//! // The same variants are executable: each maps onto a crypto backend.
+//! let table = CostTable::paper();
+//! let names: Vec<String> = Architecture::standard_variants()
+//!     .iter()
+//!     .map(|arch| arch.backend(&table).name().to_string())
+//!     .collect();
+//! assert_eq!(names, ["SW", "SW/HW", "HW"]);
 //! ```
 
 #![forbid(unsafe_code)]

@@ -112,7 +112,8 @@ mod tests {
         t.registration.record(Algorithm::RsaPublic, 3, 3);
         t.acquisition.record(Algorithm::RsaPrivate, 1, 1);
         t.installation.record(Algorithm::RsaPrivate, 1, 1);
-        t.consumption_per_access.record(Algorithm::AesDecrypt, 1, 100);
+        t.consumption_per_access
+            .record(Algorithm::AesDecrypt, 1, 100);
         t
     }
 

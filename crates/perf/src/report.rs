@@ -5,7 +5,13 @@
 //!   time per algorithm in the pure-software variant (Figure 5),
 //! * [`architecture_comparison`] — total processing time of the SW, SW/HW
 //!   and HW variants for one use case (Figure 6 for the Music Player,
-//!   Figure 7 for the Ringtone),
+//!   Figure 7 for the Ringtone), computed from the **analytic** operation
+//!   model,
+//! * [`measured_architecture_comparison`] — the same comparison computed
+//!   from **measured** protocol runs: the DRM Agent executes on each
+//!   variant's crypto backend and the backend's own cycle bill is reported,
+//! * [`consistency_check`] — the measured-vs-analytic cross-check
+//!   (the paper's approximation holds when the two agree),
 //! * [`energy_comparison`] — the energy ∝ cycles estimate of §3.
 //!
 //! Every report implements [`std::fmt::Display`] so the `repro` binary in
@@ -15,8 +21,10 @@ use crate::analytic;
 use crate::arch::Architecture;
 use crate::cost::CostTable;
 use crate::energy::EnergyModel;
+use crate::runner;
 use crate::usecase::UseCaseSpec;
 use oma_crypto::Algorithm;
+use oma_drm::DrmError;
 use std::fmt;
 
 /// A formatted view of the cost table (the paper's Table 1).
@@ -168,7 +176,11 @@ impl AlgorithmBreakdown {
 
 impl fmt::Display for AlgorithmBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} (software variant, {} cycles total)", self.use_case, self.total_cycles)?;
+        writeln!(
+            f,
+            "{} (software variant, {} cycles total)",
+            self.use_case, self.total_cycles
+        )?;
         for (category, share) in &self.shares {
             writeln!(f, "  {:<28} {:>6.1} %", category.label(), share)?;
         }
@@ -266,10 +278,121 @@ pub fn architecture_comparison(
         .iter()
         .map(|arch| {
             let cycles = arch.cycles(&total_trace, table);
-            (arch.name().to_string(), cycles, arch.millis(&total_trace, table))
+            (
+                arch.name().to_string(),
+                cycles,
+                arch.millis(&total_trace, table),
+            )
         })
         .collect();
-    ArchitectureComparison { use_case: spec.name().to_string(), entries }
+    ArchitectureComparison {
+        use_case: spec.name().to_string(),
+        entries,
+    }
+}
+
+/// Evaluates one use case on a set of architecture variants by *executing*
+/// the protocol on each variant's crypto backend (Figures 6 and 7 from
+/// measured runs instead of the analytic model).
+///
+/// The reported cycles are the ones the backend charged while performing the
+/// run's cryptography (consumption measured once and scaled by the spec's
+/// access count, like the paper's per-access accounting).
+///
+/// # Errors
+///
+/// Propagates any [`DrmError`] from the underlying protocol runs.
+pub fn measured_architecture_comparison(
+    spec: &UseCaseSpec,
+    table: &CostTable,
+    variants: &[Architecture],
+    seed: u64,
+) -> Result<ArchitectureComparison, DrmError> {
+    let entries = variants
+        .iter()
+        .map(|arch| {
+            let run = runner::measure_use_case_on(spec, arch, table, seed)?;
+            let cycles = run.cycles.total(spec.accesses());
+            let millis = cycles as f64 / arch.clock_hz() as f64 * 1_000.0;
+            Ok((arch.name().to_string(), cycles, millis))
+        })
+        .collect::<Result<Vec<_>, DrmError>>()?;
+    Ok(ArchitectureComparison {
+        use_case: spec.name().to_string(),
+        entries,
+    })
+}
+
+/// The measured-vs-analytic cross-check for one use case: per variant, the
+/// two totals and their relative deviation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConsistency {
+    /// Use case name.
+    pub use_case: String,
+    /// Per-variant rows `(name, measured ms, analytic ms, relative error)`.
+    pub entries: Vec<(String, f64, f64, f64)>,
+}
+
+impl ModelConsistency {
+    /// The largest relative deviation across variants.
+    pub fn max_relative_error(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, _, _, e)| e.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every variant agrees within `tolerance` (relative).
+    pub fn agrees_within(&self, tolerance: f64) -> bool {
+        self.max_relative_error() <= tolerance
+    }
+}
+
+impl fmt::Display for ModelConsistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} use case: measured run vs analytic model",
+            self.use_case
+        )?;
+        writeln!(
+            f,
+            "{:<8} {:>14} {:>14} {:>10}",
+            "Variant", "Measured [ms]", "Analytic [ms]", "Delta"
+        )?;
+        for (name, measured, analytic, error) in &self.entries {
+            writeln!(
+                f,
+                "{:<8} {:>14.1} {:>14.1} {:>9.1}%",
+                name,
+                measured,
+                analytic,
+                error * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares a measured comparison against the analytic one variant by
+/// variant. Variants missing from either side are skipped.
+pub fn consistency_check(
+    measured: &ArchitectureComparison,
+    analytic: &ArchitectureComparison,
+) -> ModelConsistency {
+    let entries = measured
+        .entries
+        .iter()
+        .filter_map(|(name, _, measured_ms)| {
+            let analytic_ms = analytic.total_millis(name)?;
+            let error = (measured_ms - analytic_ms) / analytic_ms;
+            Some((name.clone(), *measured_ms, analytic_ms, error))
+        })
+        .collect();
+    ModelConsistency {
+        use_case: measured.use_case.clone(),
+        entries,
+    }
 }
 
 /// Per-variant energy estimate for one use case (the §3 energy discussion).
@@ -313,9 +436,17 @@ pub fn energy_comparison(
     let total_trace = traces.total(spec.accesses());
     let entries = variants
         .iter()
-        .map(|arch| (arch.name().to_string(), model.millijoules(&total_trace, arch, table)))
+        .map(|arch| {
+            (
+                arch.name().to_string(),
+                model.millijoules(&total_trace, arch, table),
+            )
+        })
         .collect();
-    EnergyComparison { use_case: spec.name().to_string(), entries }
+    EnergyComparison {
+        use_case: spec.name().to_string(),
+        entries,
+    }
 }
 
 #[cfg(test)]
@@ -384,7 +515,10 @@ mod tests {
             &Architecture::standard_variants(),
         );
         let sw_over_hybrid = comparison.speedup("SW", "SW/HW").unwrap();
-        assert!(sw_over_hybrid > 8.0 && sw_over_hybrid < 12.0, "got {sw_over_hybrid}");
+        assert!(
+            sw_over_hybrid > 8.0 && sw_over_hybrid < 12.0,
+            "got {sw_over_hybrid}"
+        );
         assert!(comparison.speedup("SW", "HW").unwrap() > 30.0);
         assert!(comparison.total_cycles("SW").unwrap() > comparison.total_cycles("HW").unwrap());
     }
@@ -400,8 +534,14 @@ mod tests {
         );
         let sw_to_hybrid = comparison.speedup("SW", "SW/HW").unwrap();
         let hybrid_to_hw = comparison.speedup("SW/HW", "HW").unwrap();
-        assert!(sw_to_hybrid < 2.0, "AES/SHA-1 acceleration alone buys little: {sw_to_hybrid}");
-        assert!(hybrid_to_hw > 20.0, "PKI acceleration is the big step: {hybrid_to_hw}");
+        assert!(
+            sw_to_hybrid < 2.0,
+            "AES/SHA-1 acceleration alone buys little: {sw_to_hybrid}"
+        );
+        assert!(
+            hybrid_to_hw > 20.0,
+            "PKI acceleration is the big step: {hybrid_to_hw}"
+        );
     }
 
     #[test]
@@ -413,7 +553,8 @@ mod tests {
             let breakdown = algorithm_breakdown(&spec, &table);
             let pki_share = breakdown.share(BreakdownCategory::PkiPrivateKeyOp)
                 + breakdown.share(BreakdownCategory::PkiPublicKeyOp);
-            let pki_ms = breakdown.total_cycles as f64 * pki_share / 100.0
+            let pki_ms = breakdown.total_cycles as f64 * pki_share
+                / 100.0
                 / crate::arch::DEFAULT_CLOCK_HZ as f64
                 * 1_000.0;
             assert!(
@@ -442,9 +583,54 @@ mod tests {
 
         for b in &breakdowns {
             let total: f64 = b.shares.iter().map(|(_, s)| s).sum();
-            assert!((total - 100.0).abs() < 1e-6, "{}: shares sum to {total}", b.use_case);
+            assert!(
+                (total - 100.0).abs() < 1e-6,
+                "{}: shares sum to {total}",
+                b.use_case
+            );
             assert!(!b.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn measured_comparison_agrees_with_analytic_within_tolerance() {
+        // The acceptance bar of the refactor: figures generated from
+        // *measured* per-backend runs must match the analytic model within
+        // the paper's approximation (protocol-message sizes are modelled
+        // with representative constants, so a few percent of slack).
+        let spec = UseCaseSpec::ringtone().with_rsa_modulus_bits(512);
+        let table = CostTable::paper();
+        let variants = Architecture::standard_variants();
+        let measured = measured_architecture_comparison(&spec, &table, &variants, 7).unwrap();
+        let analytic = architecture_comparison(&spec, &table, &variants);
+        let consistency = consistency_check(&measured, &analytic);
+        assert_eq!(consistency.entries.len(), 3);
+        assert!(
+            consistency.agrees_within(0.10),
+            "measured vs analytic deviates by {:.1}%:\n{consistency}",
+            consistency.max_relative_error() * 100.0
+        );
+        assert!(consistency.to_string().contains("Measured"));
+        // The measured figures preserve the paper's headline ordering.
+        assert!(measured.total_millis("SW").unwrap() > measured.total_millis("SW/HW").unwrap());
+        assert!(measured.speedup("SW/HW", "HW").unwrap() > 20.0);
+    }
+
+    #[test]
+    fn consistency_check_skips_unmatched_variants() {
+        let measured = ArchitectureComparison {
+            use_case: "x".into(),
+            entries: vec![("SW".into(), 100, 1.0), ("EXTRA".into(), 50, 0.5)],
+        };
+        let analytic = ArchitectureComparison {
+            use_case: "x".into(),
+            entries: vec![("SW".into(), 110, 1.1)],
+        };
+        let consistency = consistency_check(&measured, &analytic);
+        assert_eq!(consistency.entries.len(), 1);
+        let expected = (1.0f64 - 1.0 / 1.1).abs();
+        assert!((consistency.max_relative_error() - expected).abs() < 1e-9);
+        assert!(!consistency.agrees_within(0.01));
     }
 
     #[test]
@@ -455,8 +641,7 @@ mod tests {
         let time = architecture_comparison(&spec, &table, &variants);
         let energy = energy_comparison(&spec, &table, &variants, &EnergyModel::proportional());
         let time_ratio = time.total_millis("SW").unwrap() / time.total_millis("HW").unwrap();
-        let energy_ratio =
-            energy.millijoules("SW").unwrap() / energy.millijoules("HW").unwrap();
+        let energy_ratio = energy.millijoules("SW").unwrap() / energy.millijoules("HW").unwrap();
         assert!((time_ratio - energy_ratio).abs() / time_ratio < 1e-9);
         assert!(energy.to_string().contains("Energy"));
     }

@@ -121,11 +121,18 @@ mod tests {
 
     #[test]
     fn builders() {
-        let sweep = UseCaseSpec::ringtone().with_accesses(100).with_content_len(64_000);
+        let sweep = UseCaseSpec::ringtone()
+            .with_accesses(100)
+            .with_content_len(64_000);
         assert_eq!(sweep.accesses(), 100);
         assert_eq!(sweep.content_len(), 64_000);
         assert_eq!(sweep.name(), "Ringtone");
-        assert_eq!(UseCaseSpec::music_player().with_rsa_modulus_bits(512).rsa_modulus_bits(), 512);
+        assert_eq!(
+            UseCaseSpec::music_player()
+                .with_rsa_modulus_bits(512)
+                .rsa_modulus_bits(),
+            512
+        );
     }
 
     #[test]

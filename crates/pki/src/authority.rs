@@ -4,10 +4,12 @@
 use crate::certificate::{Certificate, CertificateRequest, EntityRole, TbsCertificate};
 use crate::ocsp::{CertificateStatus, OcspRequest, OcspResponse, TbsOcspResponse};
 use crate::{Timestamp, ValidityPeriod};
+use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use oma_crypto::CryptoEngine;
 use rand::RngCore;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A Certification Authority, the trust anchor of the OMA DRM 2 system
 /// (the role the CMLA plays in the real deployment).
@@ -29,10 +31,24 @@ pub struct CertificationAuthority {
 
 impl CertificationAuthority {
     /// Creates a CA with a fresh key pair of `modulus_bits` bits and a
-    /// self-signed root certificate.
+    /// self-signed root certificate. The CA signs on the software backend;
+    /// use [`CertificationAuthority::with_backend`] to model an accelerated
+    /// signing service.
     pub fn new<R: RngCore + ?Sized>(name: &str, modulus_bits: usize, rng: &mut R) -> Self {
+        Self::with_backend(name, modulus_bits, Arc::new(SoftwareBackend::new()), rng)
+    }
+
+    /// Creates a CA whose cryptography executes on `backend`. The CA's
+    /// trace is server-side and never enters the terminal cost model, but
+    /// the pluggable layer is threaded through every actor for symmetry.
+    pub fn with_backend<R: RngCore + ?Sized>(
+        name: &str,
+        modulus_bits: usize,
+        backend: Arc<dyn CryptoBackend>,
+        rng: &mut R,
+    ) -> Self {
         let keys = RsaKeyPair::generate(modulus_bits, rng);
-        let engine = CryptoEngine::new();
+        let engine = CryptoEngine::with_backend(backend, rng.next_u64());
         let tbs = TbsCertificate {
             serial: 0,
             issuer: name.to_string(),
@@ -211,7 +227,10 @@ mod tests {
         let v = ValidityPeriod::new(Timestamp::new(0), Timestamp::new(1000));
         let cert = ca.issue("ri-1", EntityRole::RightsIssuer, keys.public().clone(), v);
 
-        let request = OcspRequest { serial: cert.serial(), nonce: vec![1, 2, 3] };
+        let request = OcspRequest {
+            serial: cert.serial(),
+            nonce: vec![1, 2, 3],
+        };
         let response = ca.ocsp_respond(&request, Timestamp::new(10));
         assert_eq!(response.status(), CertificateStatus::Good);
         assert_eq!(response.tbs().nonce, vec![1, 2, 3]);
@@ -220,7 +239,13 @@ mod tests {
         let response = ca.ocsp_respond(&request, Timestamp::new(11));
         assert_eq!(response.status(), CertificateStatus::Revoked);
 
-        let unknown = ca.ocsp_respond(&OcspRequest { serial: 99, nonce: vec![] }, Timestamp::new(12));
+        let unknown = ca.ocsp_respond(
+            &OcspRequest {
+                serial: 99,
+                nonce: vec![],
+            },
+            Timestamp::new(12),
+        );
         assert_eq!(unknown.status(), CertificateStatus::Unknown);
     }
 }

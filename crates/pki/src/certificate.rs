@@ -198,7 +198,10 @@ mod tests {
             EntityRole::RightsIssuer.code(),
             EntityRole::DrmAgent.code(),
         ];
-        assert_eq!(codes.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            codes.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
         assert_eq!(EntityRole::DrmAgent.to_string(), "drm-agent");
     }
 

@@ -37,7 +37,10 @@ impl fmt::Display for PkiError {
             PkiError::CertificateExpired => write!(f, "certificate outside validity period"),
             PkiError::UnknownIssuer => write!(f, "certificate issuer is not the trust anchor"),
             PkiError::NotACertificationAuthority => {
-                write!(f, "trust anchor is not a certification authority certificate")
+                write!(
+                    f,
+                    "trust anchor is not a certification authority certificate"
+                )
             }
             PkiError::BadOcspSignature => write!(f, "ocsp response signature invalid"),
             PkiError::CertificateRevoked => write!(f, "certificate revoked"),

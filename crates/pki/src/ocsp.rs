@@ -183,16 +183,30 @@ mod tests {
             keys.public().clone(),
             ValidityPeriod::new(Timestamp::new(0), Timestamp::new(10_000)),
         );
-        Fixture { ca, cert, engine: CryptoEngine::with_seed(1) }
+        Fixture {
+            ca,
+            cert,
+            engine: CryptoEngine::with_seed(1),
+        }
     }
 
     #[test]
     fn good_response_verifies() {
         let f = fixture();
-        let req = OcspRequest { serial: f.cert.serial(), nonce: vec![9, 9] };
+        let req = OcspRequest {
+            serial: f.cert.serial(),
+            nonce: vec![9, 9],
+        };
         let resp = f.ca.ocsp_respond(&req, Timestamp::new(100));
         assert!(resp
-            .verify(&f.engine, &f.cert, f.ca.root_certificate(), Some(&[9, 9]), Timestamp::new(120), 3600)
+            .verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                Some(&[9, 9]),
+                Timestamp::new(120),
+                3600
+            )
             .is_ok());
         assert!(resp.encoded_len() > 0);
         assert_eq!(resp.serial(), f.cert.serial());
@@ -202,10 +216,20 @@ mod tests {
     fn revoked_certificate_rejected() {
         let mut f = fixture();
         f.ca.revoke(f.cert.serial());
-        let req = OcspRequest { serial: f.cert.serial(), nonce: vec![] };
+        let req = OcspRequest {
+            serial: f.cert.serial(),
+            nonce: vec![],
+        };
         let resp = f.ca.ocsp_respond(&req, Timestamp::new(100));
         assert_eq!(
-            resp.verify(&f.engine, &f.cert, f.ca.root_certificate(), None, Timestamp::new(120), 3600),
+            resp.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                None,
+                Timestamp::new(120),
+                3600
+            ),
             Err(PkiError::CertificateRevoked)
         );
     }
@@ -213,10 +237,20 @@ mod tests {
     #[test]
     fn nonce_mismatch_rejected() {
         let f = fixture();
-        let req = OcspRequest { serial: f.cert.serial(), nonce: vec![1] };
+        let req = OcspRequest {
+            serial: f.cert.serial(),
+            nonce: vec![1],
+        };
         let resp = f.ca.ocsp_respond(&req, Timestamp::new(100));
         assert_eq!(
-            resp.verify(&f.engine, &f.cert, f.ca.root_certificate(), Some(&[2]), Timestamp::new(120), 3600),
+            resp.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                Some(&[2]),
+                Timestamp::new(120),
+                3600
+            ),
             Err(PkiError::OcspNonceMismatch)
         );
     }
@@ -224,15 +258,32 @@ mod tests {
     #[test]
     fn stale_response_rejected() {
         let f = fixture();
-        let req = OcspRequest { serial: f.cert.serial(), nonce: vec![] };
+        let req = OcspRequest {
+            serial: f.cert.serial(),
+            nonce: vec![],
+        };
         let resp = f.ca.ocsp_respond(&req, Timestamp::new(100));
         assert_eq!(
-            resp.verify(&f.engine, &f.cert, f.ca.root_certificate(), None, Timestamp::new(100_000), 3600),
+            resp.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                None,
+                Timestamp::new(100_000),
+                3600
+            ),
             Err(PkiError::OcspResponseStale)
         );
         // A response "from the future" is also rejected.
         assert_eq!(
-            resp.verify(&f.engine, &f.cert, f.ca.root_certificate(), None, Timestamp::new(50), 3600),
+            resp.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                None,
+                Timestamp::new(50),
+                3600
+            ),
             Err(PkiError::OcspResponseStale)
         );
     }
@@ -249,10 +300,20 @@ mod tests {
                 ValidityPeriod::new(Timestamp::new(0), Timestamp::new(10_000)),
             )
         };
-        let req = OcspRequest { serial: other.serial(), nonce: vec![] };
+        let req = OcspRequest {
+            serial: other.serial(),
+            nonce: vec![],
+        };
         let resp = f.ca.ocsp_respond(&req, Timestamp::new(100));
         assert_eq!(
-            resp.verify(&f.engine, &f.cert, f.ca.root_certificate(), None, Timestamp::new(120), 3600),
+            resp.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                None,
+                Timestamp::new(120),
+                3600
+            ),
             Err(PkiError::OcspSerialMismatch)
         );
 
@@ -262,14 +323,27 @@ mod tests {
         tbs.serial = f.cert.serial();
         let forged = OcspResponse::new(tbs, resp.signature().clone());
         assert_eq!(
-            forged.verify(&f.engine, &f.cert, f.ca.root_certificate(), None, Timestamp::new(120), 3600),
+            forged.verify(
+                &f.engine,
+                &f.cert,
+                f.ca.root_certificate(),
+                None,
+                Timestamp::new(120),
+                3600
+            ),
             Err(PkiError::BadOcspSignature)
         );
     }
 
     #[test]
     fn status_codes_distinct() {
-        assert_ne!(CertificateStatus::Good.code(), CertificateStatus::Revoked.code());
-        assert_ne!(CertificateStatus::Revoked.code(), CertificateStatus::Unknown.code());
+        assert_ne!(
+            CertificateStatus::Good.code(),
+            CertificateStatus::Revoked.code()
+        );
+        assert_ne!(
+            CertificateStatus::Revoked.code(),
+            CertificateStatus::Unknown.code()
+        );
     }
 }

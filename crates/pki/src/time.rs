@@ -59,8 +59,14 @@ impl ValidityPeriod {
     ///
     /// Panics if `not_after < not_before`.
     pub fn new(not_before: Timestamp, not_after: Timestamp) -> Self {
-        assert!(not_after >= not_before, "validity period ends before it begins");
-        ValidityPeriod { not_before, not_after }
+        assert!(
+            not_after >= not_before,
+            "validity period ends before it begins"
+        );
+        ValidityPeriod {
+            not_before,
+            not_after,
+        }
     }
 
     /// A period starting at `start` and lasting `duration_seconds`.

@@ -92,7 +92,7 @@ pub fn verify_certificate_role(
 mod tests {
     use super::*;
     use crate::authority::CertificationAuthority;
-    use crate::{ValidityPeriod};
+    use crate::ValidityPeriod;
     use oma_crypto::pss::PssSignature;
     use oma_crypto::rsa::RsaKeyPair;
     use oma_crypto::Algorithm;
@@ -115,7 +115,9 @@ mod tests {
     #[test]
     fn valid_certificate_verifies_and_records_rsa_public_op() {
         let (ca, cert, engine) = setup();
-        assert!(verify_certificate(&engine, &cert, ca.root_certificate(), Timestamp::new(500)).is_ok());
+        assert!(
+            verify_certificate(&engine, &cert, ca.root_certificate(), Timestamp::new(500)).is_ok()
+        );
         let trace = engine.trace();
         assert_eq!(trace.count(Algorithm::RsaPublic).invocations, 1);
         assert!(trace.count(Algorithm::Sha1).blocks > 0);
@@ -153,7 +155,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(32);
         let other_ca = CertificationAuthority::new("other-ca", 384, &mut rng);
         assert_eq!(
-            verify_certificate(&engine, &cert, other_ca.root_certificate(), Timestamp::new(500)),
+            verify_certificate(
+                &engine,
+                &cert,
+                other_ca.root_certificate(),
+                Timestamp::new(500)
+            ),
             Err(PkiError::UnknownIssuer)
         );
         // Using a non-CA certificate as anchor is refused outright.

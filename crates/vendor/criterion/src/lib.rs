@@ -1,0 +1,273 @@
+//! A minimal, self-contained subset of the `criterion` 0.5 benchmarking API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the slice of `criterion` that the benches in `crates/bench` use is
+//! vendored here: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`Throughput`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The harness is deliberately simple: each benchmark is warmed up once and
+//! then timed over a short adaptive batch, reporting mean wall-clock time per
+//! iteration (plus throughput when configured). There is no statistical
+//! analysis, no HTML report and no baseline comparison — enough to smoke-run
+//! `cargo bench` and to keep `cargo bench --no-run` compiling in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Hard cap on timed iterations, so very fast routines terminate quickly.
+const MAX_ITERS: u64 = 10_000;
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and a calibration sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed();
+
+        // Choose an iteration count that fits the measurement budget.
+        let per_iter = first.max(Duration::from_nanos(1));
+        let planned = (MEASURE_BUDGET.as_nanos() / per_iter.as_nanos()).max(1) as u64;
+        let iters = planned.min(MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iterations = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput hint used to report bytes/second alongside time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many bytes per iteration (binary units).
+    Bytes(u64),
+    /// The routine processes this many bytes per iteration (decimal units).
+    BytesDecimal(u64),
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted for API compatibility;
+    /// this harness sizes samples by time budget instead).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Configures throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let mean_ns = bencher.mean_ns;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) | Throughput::BytesDecimal(bytes) => {
+            format!(
+                " ({:.1} MiB/s)",
+                bytes as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0)
+            )
+        }
+        Throughput::Elements(n) => {
+            format!(" ({:.0} elem/s)", n as f64 / (mean_ns / 1e9))
+        }
+    });
+    println!(
+        "bench {label:<60} {:>14.1} ns/iter{} [{} iters]",
+        mean_ns,
+        rate.unwrap_or_default(),
+        bencher.iterations
+    );
+}
+
+/// Benchmark registry and entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().to_string(), None, f);
+        self
+    }
+}
+
+/// Prevents the compiler from optimising away a value (re-export of
+/// [`std::hint::black_box`] under criterion's name).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main()` running the listed groups (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.iterations >= 1);
+        assert!(b.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(10).throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| ()));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(sample_group, sample_target);
+
+    fn sample_target(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn macros_compose() {
+        sample_group();
+    }
+}

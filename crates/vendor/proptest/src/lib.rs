@@ -1,0 +1,401 @@
+//! A minimal, self-contained subset of the `proptest` 1.x API.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the slice of `proptest` used by the property-test suites is vendored
+//! here: the [`strategy::Strategy`] trait with [`strategy::Strategy::prop_map`],
+//! [`arbitrary::Arbitrary`] / [`prelude::any`], range and
+//! [`collection::vec`] strategies, the [`proptest!`] macro and the
+//! `prop_assert*` / [`prop_assume!`] macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test name) so failures reproduce exactly,
+//! and there is **no shrinking** — a failing case reports the case number and
+//! the assertion message only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategies: value generators composable with `prop_map`.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// Strategy generating any value of an [`crate::arbitrary::Arbitrary`] type.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            T::arbitrary(runner)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+
+                    fn generate(&self, runner: &mut TestRunner) -> $t {
+                        let span = self.end.checked_sub(self.start).expect("empty range");
+                        assert!(span > 0, "empty range strategy");
+                        // Modulo bias is irrelevant at test-case scale.
+                        self.start + (runner.next_u64() % span as u64) as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize);
+}
+
+/// Types with a canonical "any value" strategy.
+pub mod arbitrary {
+    use crate::test_runner::TestRunner;
+
+    /// A type whose values can be generated uniformly at random.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(runner: &mut TestRunner) -> $t {
+                        runner.next_u64() as $t
+                    }
+                }
+            )+
+        };
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(runner: &mut TestRunner) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(runner))
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.len, runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::hash::{Hash, Hasher};
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// A `prop_assume!` precondition failed; the case is skipped.
+        Reject,
+        /// An assertion failed with the given message.
+        Fail(String),
+    }
+
+    /// Drives case generation for one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a seed derived deterministically from the
+        /// property name, so every run generates the same cases.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut hasher);
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(hasher.finish()),
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Draws 64 random bits for strategies.
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+    }
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in strategy) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut runner);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => continue,
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            panic!("property {} failed at case {}: {}", stringify!($name), case, message)
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, b in 0u8..8) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(b < 8);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (1usize..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert_ne!(doubled, 1);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn arrays_generate(key in any::<[u8; 16]>(), flag in any::<bool>()) {
+            prop_assert_eq!(key.len(), 16);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let draw = || {
+            let mut runner = TestRunner::new(ProptestConfig::default(), "seed-test");
+            (0usize..100).generate(&mut runner)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

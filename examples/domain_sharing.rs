@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let album = b"FULL ALBUM, DRM PROTECTED".repeat(4096);
     let (dcf, cek) = ci.package(&album, "cid:album", &mut rng);
-    ri.add_content("cid:album", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+    ri.add_content(
+        "cid:album",
+        cek,
+        &dcf,
+        RightsTemplate::unlimited(Permission::Play),
+    );
 
     // Both devices establish trust with the Rights Issuer.
     phone.register(&mut ri, now)?;
@@ -54,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Both can play.
     assert_eq!(phone.consume(&ro_id, &dcf, Permission::Play, now)?, album);
-    assert_eq!(player.consume(&ro_id_player, &dcf, Permission::Play, now)?, album);
+    assert_eq!(
+        player.consume(&ro_id_player, &dcf, Permission::Play, now)?,
+        album
+    );
     println!("both devices decrypted the album successfully");
 
     // A device outside the domain cannot use the Domain RO.

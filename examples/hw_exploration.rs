@@ -55,9 +55,18 @@ fn main() {
     let workloads = [
         ("ringtone 30KB x25", UseCaseSpec::ringtone()),
         ("music 3.5MB x5", UseCaseSpec::music_player()),
-        ("podcast 16MB x2", UseCaseSpec::new("podcast", 16 * 1024 * 1024, 2)),
-        ("video 64MB x1", UseCaseSpec::new("video", 64 * 1024 * 1024, 1)),
-        ("wallpaper 100KB x1", UseCaseSpec::new("wallpaper", 100 * 1024, 1)),
+        (
+            "podcast 16MB x2",
+            UseCaseSpec::new("podcast", 16 * 1024 * 1024, 2),
+        ),
+        (
+            "video 64MB x1",
+            UseCaseSpec::new("video", 64 * 1024 * 1024, 1),
+        ),
+        (
+            "wallpaper 100KB x1",
+            UseCaseSpec::new("wallpaper", 100 * 1024, 1),
+        ),
     ];
 
     for (label, spec) in &workloads {

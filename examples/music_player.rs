@@ -46,7 +46,8 @@ fn main() {
 
     // Cross-check with a measured run at a reduced scale (64 KiB, 512-bit
     // keys) — operation counts, not absolute cycles, are what the model uses.
-    let reduced = UseCaseSpec::new("Music Player (reduced)", 64 * 1024, 5).with_rsa_modulus_bits(512);
+    let reduced =
+        UseCaseSpec::new("Music Player (reduced)", 64 * 1024, 5).with_rsa_modulus_bits(512);
     match runner::measure_use_case(&reduced, 7) {
         Ok(run) => {
             let total = run.traces.total(reduced.accesses());

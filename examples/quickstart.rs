@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &dcf,
         RightsTemplate::unlimited(Permission::Play),
     );
-    println!("packaged {} bytes into a {}-byte DCF", track.len(), dcf.encrypted_payload().len());
+    println!(
+        "packaged {} bytes into a {}-byte DCF",
+        track.len(),
+        dcf.encrypted_payload().len()
+    );
 
     // Registration -> Acquisition -> Installation -> Consumption.
     let now = Timestamp::new(1_000);
@@ -37,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("registered with {} (RI context established)", ri.id());
 
     let response = agent.acquire_rights(&mut ri, "cid:track-0001@ci.example.com", now)?;
-    println!("acquired rights object {} ({} bytes on the wire)",
-        response.ro_id(), response.encoded_len());
+    println!(
+        "acquired rights object {} ({} bytes on the wire)",
+        response.ro_id(),
+        response.encoded_len()
+    );
 
     let ro_id = agent.install_rights(&response, now)?;
     println!("installed {ro_id}");

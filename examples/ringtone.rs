@@ -37,7 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let ringtone = vec![0x3cu8; spec.content_len()];
     let (dcf, cek) = ci.package(&ringtone, "cid:ringtone", &mut rng);
-    ri.add_content("cid:ringtone", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
+    ri.add_content(
+        "cid:ringtone",
+        cek,
+        &dcf,
+        RightsTemplate::unlimited(Permission::Play),
+    );
 
     let now = Timestamp::new(1_000);
     let mut traces = PhaseTraces::new();
@@ -61,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let consumption_total = agent.engine().take_trace();
     traces.consumption_per_access = consumption_total.clone();
 
-    println!("measured trace (whole use case, {} accesses):", spec.accesses());
+    println!(
+        "measured trace (whole use case, {} accesses):",
+        spec.accesses()
+    );
     let total = traces.setup_total().merged(&consumption_total);
     for (alg, count) in total.iter() {
         if count.invocations > 0 {
@@ -76,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nexecution time of the measured trace under each architecture variant:");
     for arch in &variants {
-        println!("  {:<8} {:>8.1} ms", arch.name(), arch.millis(&total, &table));
+        println!(
+            "  {:<8} {:>8.1} ms",
+            arch.name(),
+            arch.millis(&total, &table)
+        );
     }
     println!("paper reports (Figure 7): SW 900 ms, SW/HW 620 ms, HW 12 ms\n");
 

@@ -9,13 +9,16 @@
 //!
 //! * [`bignum`] — arbitrary-precision arithmetic (RSA substrate),
 //! * [`crypto`] — from-scratch AES-128, SHA-1, HMAC, AES key wrap, KDF2,
-//!   RSA-1024 and RSA-PSS, plus the instrumented
+//!   RSA-1024 and RSA-PSS, the pluggable
+//!   [`CryptoBackend`](crypto::backend::CryptoBackend) layer (software vs
+//!   simulated hardware macros), plus the instrumented
 //!   [`CryptoEngine`](crypto::CryptoEngine),
 //! * [`pki`] — certificates, certification authority and OCSP,
 //! * [`drm`] — DCF, Rights Objects, ROAP, DRM Agent, Rights Issuer, Content
-//!   Issuer and domains,
-//! * [`perf`] — the Table 1 cost model, architecture variants, use cases and
-//!   figure generators.
+//!   Issuer and domains (every actor accepts a crypto backend),
+//! * [`perf`] — the Table 1 cost model, architecture variants (each mapping
+//!   1:1 onto an executable backend), use cases, the analytic and measured
+//!   models and figure generators.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the benchmark harness that regenerates every table and

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full OMA DRM 2 life-cycle driven
 //! through the umbrella crate's public API.
 
-use oma_drm2::drm::{
-    ContentIssuer, DrmAgent, DrmError, Permission, RightsIssuer, RightsTemplate,
-};
+use oma_drm2::drm::{ContentIssuer, DrmAgent, DrmError, Permission, RightsIssuer, RightsTemplate};
 use oma_drm2::pki::{CertificationAuthority, PkiError, Timestamp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +25,13 @@ fn fixture(seed: u64, template: RightsTemplate) -> Fixture {
     let content = b"protected media payload ".repeat(64);
     let (dcf, cek) = ci.package(&content, "cid:content", &mut rng);
     ri.add_content("cid:content", cek, &dcf, template);
-    Fixture { ca, ri, agent, dcf, content }
+    Fixture {
+        ca,
+        ri,
+        agent,
+        dcf,
+        content,
+    }
 }
 
 #[test]
@@ -35,9 +39,15 @@ fn lifecycle_through_umbrella_crate() {
     let mut f = fixture(1, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
     f.agent.register(&mut f.ri, now).unwrap();
-    let response = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let response = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
-    let plaintext = f.agent.consume(&ro_id, &f.dcf, Permission::Play, now).unwrap();
+    let plaintext = f
+        .agent
+        .consume(&ro_id, &f.dcf, Permission::Play, now)
+        .unwrap();
     assert_eq!(plaintext, f.content);
 }
 
@@ -46,16 +56,22 @@ fn repeated_playback_with_count_constraint() {
     let mut f = fixture(2, RightsTemplate::counted(Permission::Play, 3));
     let now = Timestamp::new(500);
     f.agent.register(&mut f.ri, now).unwrap();
-    let response = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let response = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
     for i in 0..3 {
         assert!(
-            f.agent.consume(&ro_id, &f.dcf, Permission::Play, now.plus(i)).is_ok(),
+            f.agent
+                .consume(&ro_id, &f.dcf, Permission::Play, now.plus(i))
+                .is_ok(),
             "playback {i}"
         );
     }
     assert_eq!(
-        f.agent.consume(&ro_id, &f.dcf, Permission::Play, now.plus(10)),
+        f.agent
+            .consume(&ro_id, &f.dcf, Permission::Play, now.plus(10)),
         Err(DrmError::ConstraintViolated)
     );
 }
@@ -77,19 +93,24 @@ fn tampered_content_and_rights_objects_are_rejected() {
     let mut f = fixture(4, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
     f.agent.register(&mut f.ri, now).unwrap();
-    let mut response = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let mut response = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
 
     // Tampered DCF detected at consumption time.
     let ro_id = f.agent.install_rights(&response, now).unwrap();
     assert_eq!(
-        f.agent.consume(&ro_id, &f.dcf.tampered(), Permission::Play, now),
+        f.agent
+            .consume(&ro_id, &f.dcf.tampered(), Permission::Play, now),
         Err(DrmError::DcfIntegrity)
     );
 
     // Tampered RO payload detected at installation time.
     response.rights_object.payload.content_id = "cid:other".into();
     assert_eq!(
-        f.agent.install_protected_ro(&response.rights_object, "ri.example.com", now),
+        f.agent
+            .install_protected_ro(&response.rights_object, "ri.example.com", now),
         Err(DrmError::RightsObjectIntegrity)
     );
 }
@@ -100,21 +121,33 @@ fn second_rights_object_for_same_content_can_coexist() {
     let now = Timestamp::new(500);
     f.agent.register(&mut f.ri, now).unwrap();
 
-    let first = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let first = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
     let first_id = f.agent.install_rights(&first, now).unwrap();
-    let second = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let second = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
     let second_id = f.agent.install_rights(&second, now).unwrap();
     assert_ne!(first_id, second_id);
     assert_eq!(f.agent.rights_for_content("cid:content").len(), 2);
 
     // Exhaust the first license, fall back to the second — the scenario the
     // paper gives for keeping K_CEK wrapped under K_REK after installation.
-    assert!(f.agent.consume(&first_id, &f.dcf, Permission::Play, now).is_ok());
+    assert!(f
+        .agent
+        .consume(&first_id, &f.dcf, Permission::Play, now)
+        .is_ok());
     assert_eq!(
         f.agent.consume(&first_id, &f.dcf, Permission::Play, now),
         Err(DrmError::ConstraintViolated)
     );
-    assert!(f.agent.consume(&second_id, &f.dcf, Permission::Play, now).is_ok());
+    assert!(f
+        .agent
+        .consume(&second_id, &f.dcf, Permission::Play, now)
+        .is_ok());
 }
 
 #[test]
@@ -123,11 +156,16 @@ fn consumption_uses_only_symmetric_crypto() {
     let mut f = fixture(6, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
     f.agent.register(&mut f.ri, now).unwrap();
-    let response = f.agent.acquire_rights(&mut f.ri, "cid:content", now).unwrap();
+    let response = f
+        .agent
+        .acquire_rights(&mut f.ri, "cid:content", now)
+        .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
 
     f.agent.engine().reset_trace();
-    f.agent.consume(&ro_id, &f.dcf, Permission::Play, now).unwrap();
+    f.agent
+        .consume(&ro_id, &f.dcf, Permission::Play, now)
+        .unwrap();
     let trace = f.agent.engine().take_trace();
     assert_eq!(trace.count(Algorithm::RsaPrivate).invocations, 0);
     assert_eq!(trace.count(Algorithm::RsaPublic).invocations, 0);

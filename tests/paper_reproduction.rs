@@ -21,9 +21,24 @@ fn figure6_music_player_totals() {
         &CostTable::paper(),
         &Architecture::standard_variants(),
     );
-    assert_close(comparison.total_millis("SW").unwrap(), 7_730.0, 0.15, "Figure 6 SW");
-    assert_close(comparison.total_millis("SW/HW").unwrap(), 800.0, 0.15, "Figure 6 SW/HW");
-    assert_close(comparison.total_millis("HW").unwrap(), 190.0, 0.15, "Figure 6 HW");
+    assert_close(
+        comparison.total_millis("SW").unwrap(),
+        7_730.0,
+        0.15,
+        "Figure 6 SW",
+    );
+    assert_close(
+        comparison.total_millis("SW/HW").unwrap(),
+        800.0,
+        0.15,
+        "Figure 6 SW/HW",
+    );
+    assert_close(
+        comparison.total_millis("HW").unwrap(),
+        190.0,
+        0.15,
+        "Figure 6 HW",
+    );
 }
 
 #[test]
@@ -33,17 +48,38 @@ fn figure7_ringtone_totals() {
         &CostTable::paper(),
         &Architecture::standard_variants(),
     );
-    assert_close(comparison.total_millis("SW").unwrap(), 900.0, 0.15, "Figure 7 SW");
-    assert_close(comparison.total_millis("SW/HW").unwrap(), 620.0, 0.15, "Figure 7 SW/HW");
-    assert_close(comparison.total_millis("HW").unwrap(), 12.0, 0.15, "Figure 7 HW");
+    assert_close(
+        comparison.total_millis("SW").unwrap(),
+        900.0,
+        0.15,
+        "Figure 7 SW",
+    );
+    assert_close(
+        comparison.total_millis("SW/HW").unwrap(),
+        620.0,
+        0.15,
+        "Figure 7 SW/HW",
+    );
+    assert_close(
+        comparison.total_millis("HW").unwrap(),
+        12.0,
+        0.15,
+        "Figure 7 HW",
+    );
 }
 
 #[test]
 fn figure5_dominance_flips_between_use_cases() {
     use oma_drm2::perf::report::BreakdownCategory;
     let breakdowns = report::figure5(&CostTable::paper());
-    let ringtone = breakdowns.iter().find(|b| b.use_case == "Ringtone").unwrap();
-    let music = breakdowns.iter().find(|b| b.use_case == "Music Player").unwrap();
+    let ringtone = breakdowns
+        .iter()
+        .find(|b| b.use_case == "Ringtone")
+        .unwrap();
+    let music = breakdowns
+        .iter()
+        .find(|b| b.use_case == "Music Player")
+        .unwrap();
 
     // Ringtone: PKI dominates. Music Player: bulk data (AES + SHA-1) dominates.
     assert!(
@@ -51,9 +87,7 @@ fn figure5_dominance_flips_between_use_cases() {
             > ringtone.share(BreakdownCategory::AesDecryption)
     );
     assert!(
-        music.share(BreakdownCategory::AesDecryption)
-            + music.share(BreakdownCategory::Sha1)
-            > 85.0
+        music.share(BreakdownCategory::AesDecryption) + music.share(BreakdownCategory::Sha1) > 85.0
     );
 }
 
