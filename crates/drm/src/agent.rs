@@ -16,6 +16,7 @@ use crate::roap::{
     DeviceHello, JoinDomainRequest, RegistrationRequest, RegistrationResponse, RoRequest,
     RoResponse, RoapError, NONCE_LEN,
 };
+use crate::service::RiService;
 use crate::storage::{DeviceStorage, InstalledRightsObject};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
@@ -31,8 +32,7 @@ use std::sync::Arc;
 /// Maximum age of an OCSP response the agent accepts (one week).
 pub const OCSP_MAX_AGE_SECONDS: u64 = 7 * 24 * 3600;
 
-/// Validity requested for the device certificate (10 years).
-const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
+use crate::CERT_VALIDITY_SECONDS;
 
 /// The trusted relationship a DRM Agent keeps per Rights Issuer after a
 /// successful registration ("RI Context" in the standard).
@@ -99,6 +99,24 @@ impl DrmAgent {
             keys.public().clone(),
             ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
         );
+        let ca_root = ca.root_certificate().clone();
+        Self::with_credentials(device_id, keys, certificate, ca_root, backend, rng)
+    }
+
+    /// Assembles an agent from pre-provisioned credentials: a key pair and a
+    /// matching device certificate obtained earlier. This lets callers
+    /// generate the (expensive) RSA key pair outside any lock guarding a
+    /// shared [`CertificationAuthority`] — the `oma-load` fleet harness
+    /// provisions its devices this way so worker threads never serialise on
+    /// key generation.
+    pub fn with_credentials<R: RngCore + ?Sized>(
+        device_id: &str,
+        keys: RsaKeyPair,
+        certificate: Certificate,
+        ca_root: Certificate,
+        backend: Arc<dyn CryptoBackend>,
+        rng: &mut R,
+    ) -> Self {
         let engine = CryptoEngine::with_backend(backend, rng.next_u64());
         let mut kdev = [0u8; 16];
         rng.fill_bytes(&mut kdev);
@@ -106,7 +124,7 @@ impl DrmAgent {
             device_id: device_id.to_string(),
             keys,
             certificate,
-            ca_root: ca.root_certificate().clone(),
+            ca_root,
             engine,
             storage: DeviceStorage::new(kdev),
             ri_contexts: HashMap::new(),
@@ -177,6 +195,17 @@ impl DrmAgent {
     /// registration, and with [`DrmError::Pki`] when the Rights Issuer
     /// certificate or its OCSP response does not verify.
     pub fn register(&mut self, ri: &mut RightsIssuer, now: Timestamp) -> Result<(), DrmError> {
+        self.register_with(ri.service(), now)
+    }
+
+    /// Registration against a shared [`RiService`] — the form the device
+    /// fleet harness uses, where many agents on many threads register with
+    /// one service instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::register`].
+    pub fn register_with(&mut self, ri: &RiService, now: Timestamp) -> Result<(), DrmError> {
         // Pass 1 and 2: the hello exchange negotiates algorithms; it involves
         // no cryptography.
         let hello = ri.hello(&DeviceHello::new(&self.device_id));
@@ -262,6 +291,20 @@ impl DrmAgent {
         content_id: &str,
         now: Timestamp,
     ) -> Result<RoResponse, DrmError> {
+        self.acquire_rights_with(ri.service(), content_id, now)
+    }
+
+    /// Device-RO acquisition against a shared [`RiService`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::acquire_rights`].
+    pub fn acquire_rights_with(
+        &mut self,
+        ri: &RiService,
+        content_id: &str,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
         self.acquire(ri, content_id, None, now)
     }
 
@@ -279,6 +322,21 @@ impl DrmAgent {
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<RoResponse, DrmError> {
+        self.acquire_domain_rights_with(ri.service(), content_id, domain_id, now)
+    }
+
+    /// Domain-RO acquisition against a shared [`RiService`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::acquire_domain_rights`].
+    pub fn acquire_domain_rights_with(
+        &mut self,
+        ri: &RiService,
+        content_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
         if self.storage.domain_key(domain_id).is_none() {
             return Err(DrmError::NotInDomain);
         }
@@ -287,7 +345,7 @@ impl DrmAgent {
 
     fn acquire(
         &mut self,
-        ri: &mut RightsIssuer,
+        ri: &RiService,
         content_id: &str,
         domain_id: Option<DomainId>,
         now: Timestamp,
@@ -317,22 +375,7 @@ impl DrmAgent {
             signature,
         };
         let response = ri.process_ro_request(&request, now)?;
-        if response.device_nonce != device_nonce {
-            return Err(DrmError::Roap(RoapError::Malformed));
-        }
-        let signed = RoResponse::signed_bytes(
-            &response.device_id,
-            &response.ri_id,
-            &response.device_nonce,
-            &response.rights_object,
-        );
-        if !self.engine.pss_verify(
-            context.ri_certificate.public_key(),
-            &signed,
-            &response.signature,
-        ) {
-            return Err(DrmError::Roap(RoapError::SignatureInvalid));
-        }
+        response.verify(&self.engine, &context.ri_certificate, &device_nonce)?;
         Ok(response)
     }
 
@@ -545,6 +588,20 @@ impl DrmAgent {
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<(), DrmError> {
+        self.join_domain_with(ri.service(), domain_id, now)
+    }
+
+    /// Domain join against a shared [`RiService`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::join_domain`].
+    pub fn join_domain_with(
+        &mut self,
+        ri: &RiService,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<(), DrmError> {
         let context = self
             .ri_contexts
             .get(ri.id())
@@ -602,10 +659,33 @@ impl DrmAgent {
     }
 
     /// Leaves a domain: forgets the domain key locally and notifies `ri`.
-    pub fn leave_domain(&mut self, ri: &mut RightsIssuer, domain_id: &DomainId) -> bool {
-        let left_locally = self.storage.remove_domain_key(domain_id);
-        let left_remotely = ri.process_leave_domain(&self.device_id, domain_id);
-        left_locally || left_remotely
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Rights Issuer's failure reason —
+    /// [`DrmError::Roap`]/[`RoapError::UnknownDomain`] for an unknown domain
+    /// or [`DrmError::NotInDomain`] when the device was not a member. The
+    /// local domain key is removed in every case.
+    pub fn leave_domain(
+        &mut self,
+        ri: &mut RightsIssuer,
+        domain_id: &DomainId,
+    ) -> Result<(), DrmError> {
+        self.leave_domain_with(ri.service(), domain_id)
+    }
+
+    /// Domain leave against a shared [`RiService`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::leave_domain`].
+    pub fn leave_domain_with(
+        &mut self,
+        ri: &RiService,
+        domain_id: &DomainId,
+    ) -> Result<(), DrmError> {
+        self.storage.remove_domain_key(domain_id);
+        ri.process_leave_domain(&self.device_id, domain_id)
     }
 }
 
@@ -841,9 +921,14 @@ mod tests {
         );
 
         // Leaving the domain removes the key.
-        assert!(w.agent.leave_domain(&mut w.ri, &domain));
+        w.agent.leave_domain(&mut w.ri, &domain).unwrap();
         assert!(w.agent.joined_domains().is_empty());
         assert_eq!(w.ri.domain_member_count(&domain), Some(1));
+        // Leaving again fails with the specific reason.
+        assert_eq!(
+            w.agent.leave_domain(&mut w.ri, &domain),
+            Err(DrmError::NotInDomain)
+        );
     }
 
     #[test]

@@ -60,7 +60,14 @@ pub mod rel;
 pub mod ri;
 pub mod ro;
 pub mod roap;
+pub mod service;
+pub mod shard;
 pub mod storage;
+
+/// Validity requested for certificates issued to DRM actors (10 years) —
+/// one policy constant shared by the DRM Agent, the Rights Issuer service
+/// and external provisioning code such as the `oma-load` fleet harness.
+pub const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
 
 pub use agent::{DrmAgent, RiContext};
 pub use ci::ContentIssuer;
@@ -71,3 +78,5 @@ pub use rel::{Constraint, Permission, Rights, RightsTemplate};
 pub use ri::RightsIssuer;
 pub use ro::{ProtectedRightsObject, RightsObjectId};
 pub use roap::RoapError;
+pub use service::RiService;
+pub use shard::ShardedMap;

@@ -1,70 +1,38 @@
 //! The Rights Issuer: registers devices, sells licenses and manages domains.
 //!
+//! Since the concurrent-service refactor, all protocol logic lives in the
+//! thread-safe [`RiService`]; [`RightsIssuer`] is a thin single-threaded
+//! wrapper kept so existing callers (tests, examples, the measured runner in
+//! `oma-perf`) keep compiling unchanged. New server-side code — in
+//! particular the `oma-load` device-fleet harness — should hold an
+//! `Arc<RiService>` directly and call its `&self` handlers from any number
+//! of threads.
+//!
 //! The Rights Issuer's cryptographic work happens on the server side, so its
-//! [`CryptoEngine`] trace is not part of the terminal cost model — it exists
-//! only so the protocol runs with real cryptography end to end.
+//! [`CryptoEngine`](oma_crypto::CryptoEngine) trace is not part of the
+//! terminal cost model — it exists only so the protocol runs with real
+//! cryptography end to end.
 
 use crate::dcf::Dcf;
-use crate::domain::{Domain, DomainId};
+use crate::domain::DomainId;
+use crate::error::DrmError;
 use crate::rel::RightsTemplate;
-use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload};
+use crate::ro::ProtectedRightsObject;
 use crate::roap::{
     DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
-    RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN, ROAP_VERSION,
+    RiHello, RoRequest, RoResponse, RoapError, ROAP_VERSION,
 };
-use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
-use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
-use oma_crypto::sha1::DIGEST_SIZE;
-use oma_crypto::CryptoEngine;
-use oma_pki::ocsp::{OcspRequest, OcspResponse};
-use oma_pki::{
-    verify::verify_certificate_role, Certificate, CertificationAuthority, EntityRole, Timestamp,
-    ValidityPeriod,
-};
+use crate::service::RiService;
+use oma_crypto::backend::CryptoBackend;
+use oma_crypto::rsa::RsaPublicKey;
+use oma_pki::{Certificate, CertificationAuthority, Timestamp};
 use rand::RngCore;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Validity of issued Rights Issuer and device certificates (10 years).
-const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
-
-/// A device the Rights Issuer has established a trusted relationship with.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct RegisteredDevice {
-    device_id: String,
-    certificate: Certificate,
-}
-
-/// A license the Rights Issuer can sell for one piece of content.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct ContentEntry {
-    cek: [u8; 16],
-    dcf_hash: [u8; DIGEST_SIZE],
-    template: RightsTemplate,
-}
-
-/// A pending ROAP registration session created by a `DeviceHello`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct PendingSession {
-    device_id: String,
-    ri_nonce: Vec<u8>,
-}
-
-/// The Rights Issuer actor.
+/// The Rights Issuer actor: a single-threaded facade over [`RiService`].
 #[derive(Debug)]
 pub struct RightsIssuer {
-    id: String,
-    keys: RsaKeyPair,
-    certificate: Certificate,
-    ca_root: Certificate,
-    ocsp: OcspResponse,
-    engine: CryptoEngine,
-    next_session: u64,
-    next_ro: u64,
-    sessions: HashMap<u64, PendingSession>,
-    registered: HashMap<String, RegisteredDevice>,
-    content: HashMap<String, ContentEntry>,
-    domains: HashMap<DomainId, Domain>,
+    service: RiService,
 }
 
 impl RightsIssuer {
@@ -78,13 +46,12 @@ impl RightsIssuer {
         ca: &mut CertificationAuthority,
         rng: &mut R,
     ) -> Self {
-        Self::with_backend(id, modulus_bits, ca, Arc::new(SoftwareBackend::new()), rng)
+        RightsIssuer {
+            service: RiService::new(id, modulus_bits, ca, rng),
+        }
     }
 
     /// Creates a Rights Issuer whose cryptography executes on `backend`.
-    /// The Rights Issuer's trace stays outside the terminal cost model, but
-    /// a backend can still be supplied so server-side capacity studies use
-    /// the same pluggable layer as the DRM Agent.
     pub fn with_backend<R: RngCore + ?Sized>(
         id: &str,
         modulus_bits: usize,
@@ -92,62 +59,43 @@ impl RightsIssuer {
         backend: Arc<dyn CryptoBackend>,
         rng: &mut R,
     ) -> Self {
-        let keys = RsaKeyPair::generate(modulus_bits, rng);
-        let certificate = ca.issue(
-            id,
-            EntityRole::RightsIssuer,
-            keys.public().clone(),
-            ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
-        );
-        let ocsp = ca.ocsp_respond(
-            &OcspRequest {
-                serial: certificate.serial(),
-                nonce: Vec::new(),
-            },
-            Timestamp::new(0),
-        );
         RightsIssuer {
-            id: id.to_string(),
-            keys,
-            certificate,
-            ca_root: ca.root_certificate().clone(),
-            ocsp,
-            engine: CryptoEngine::with_backend(backend, rng.next_u64()),
-            next_session: 1,
-            next_ro: 1,
-            sessions: HashMap::new(),
-            registered: HashMap::new(),
-            content: HashMap::new(),
-            domains: HashMap::new(),
+            service: RiService::with_backend(id, modulus_bits, ca, backend, rng),
         }
+    }
+
+    /// The underlying thread-safe service. Use this (behind an
+    /// [`Arc`]) to serve concurrent device traffic.
+    pub fn service(&self) -> &RiService {
+        &self.service
+    }
+
+    /// Consumes the wrapper and returns the thread-safe service, ready to be
+    /// shared across worker threads.
+    pub fn into_service(self) -> RiService {
+        self.service
     }
 
     /// The Rights Issuer identifier.
     pub fn id(&self) -> &str {
-        &self.id
+        self.service.id()
     }
 
     /// The Rights Issuer certificate.
     pub fn certificate(&self) -> &Certificate {
-        &self.certificate
+        self.service.certificate()
     }
 
     /// The Rights Issuer public key.
     pub fn public_key(&self) -> &RsaPublicKey {
-        self.keys.public()
+        self.service.public_key()
     }
 
     /// Re-fetches the cached OCSP response for this Rights Issuer's
     /// certificate (a fresh response is required for registration to succeed
     /// if the cached one has become stale).
     pub fn refresh_ocsp(&mut self, ca: &CertificationAuthority, now: Timestamp) {
-        self.ocsp = ca.ocsp_respond(
-            &OcspRequest {
-                serial: self.certificate.serial(),
-                nonce: Vec::new(),
-            },
-            now,
-        );
+        self.service.refresh_ocsp(ca, now);
     }
 
     /// Registers a piece of content: the content encryption key received
@@ -160,52 +108,29 @@ impl RightsIssuer {
         dcf: &Dcf,
         template: RightsTemplate,
     ) {
-        self.content.insert(
-            content_id.to_string(),
-            ContentEntry {
-                cek,
-                dcf_hash: dcf.hash(),
-                template,
-            },
-        );
+        self.service.add_content(content_id, cek, dcf, template);
     }
 
     /// Whether the Rights Issuer offers rights for `content_id`.
     pub fn has_content(&self, content_id: &str) -> bool {
-        self.content.contains_key(content_id)
+        self.service.has_content(content_id)
     }
 
     /// Whether `device_id` holds a trusted relationship with this RI.
     pub fn is_registered(&self, device_id: &str) -> bool {
-        self.registered.contains_key(device_id)
+        self.service.is_registered(device_id)
     }
 
     /// Number of registered devices.
     pub fn registered_count(&self) -> usize {
-        self.registered.len()
+        self.service.registered_count()
     }
 
     // ----- ROAP: registration -------------------------------------------------
 
     /// Pass 1 → 2 of registration: answers a `DeviceHello` with an `RiHello`.
     pub fn hello(&mut self, hello: &DeviceHello) -> RiHello {
-        let session_id = self.next_session;
-        self.next_session += 1;
-        let ri_nonce = self.engine.random_nonce(NONCE_LEN);
-        self.sessions.insert(
-            session_id,
-            PendingSession {
-                device_id: hello.device_id.clone(),
-                ri_nonce: ri_nonce.clone(),
-            },
-        );
-        RiHello {
-            ri_id: self.id.clone(),
-            session_id,
-            ri_nonce,
-            selected_algorithms: hello.supported_algorithms.clone(),
-            trusted_authorities: vec![self.ca_root.subject().to_string()],
-        }
+        self.service.hello(hello)
     }
 
     /// Pass 3 → 4 of registration: verifies a `RegistrationRequest` and, if
@@ -213,74 +138,13 @@ impl RightsIssuer {
     ///
     /// # Errors
     ///
-    /// * [`RoapError::UnknownSession`] — the session id was never issued,
-    /// * [`RoapError::Malformed`] — the device id differs from the hello,
-    /// * [`RoapError::CertificateInvalid`] — the device certificate fails
-    ///   validation against the CA root,
-    /// * [`RoapError::SignatureInvalid`] — the request signature is wrong.
+    /// See [`RiService::process_registration`].
     pub fn process_registration(
         &mut self,
         request: &RegistrationRequest,
         now: Timestamp,
     ) -> Result<RegistrationResponse, RoapError> {
-        let session = self
-            .sessions
-            .get(&request.session_id)
-            .ok_or(RoapError::UnknownSession)?;
-        if session.device_id != request.device_id {
-            return Err(RoapError::Malformed);
-        }
-        verify_certificate_role(
-            &self.engine,
-            &request.certificate,
-            &self.ca_root,
-            EntityRole::DrmAgent,
-            now,
-        )
-        .map_err(|_| RoapError::CertificateInvalid)?;
-        let signed = RegistrationRequest::signed_bytes(
-            request.session_id,
-            &request.device_id,
-            &request.device_nonce,
-            request.request_time,
-            &request.certificate,
-        );
-        if !self.engine.pss_verify(
-            request.certificate.public_key(),
-            &signed,
-            &request.signature,
-        ) {
-            return Err(RoapError::SignatureInvalid);
-        }
-
-        self.registered.insert(
-            request.device_id.clone(),
-            RegisteredDevice {
-                device_id: request.device_id.clone(),
-                certificate: request.certificate.clone(),
-            },
-        );
-        self.sessions.remove(&request.session_id);
-
-        let signed = RegistrationResponse::signed_bytes(
-            request.session_id,
-            &self.id,
-            &request.device_nonce,
-            &self.certificate,
-            &self.ocsp,
-        );
-        let signature = self
-            .engine
-            .pss_sign(self.keys.private(), &signed)
-            .expect("RI key large enough for PSS");
-        Ok(RegistrationResponse {
-            session_id: request.session_id,
-            ri_id: self.id.clone(),
-            device_nonce: request.device_nonce.clone(),
-            ri_certificate: self.certificate.clone(),
-            ocsp_response: self.ocsp.clone(),
-            signature,
-        })
+        self.service.process_registration(request, now)
     }
 
     // ----- ROAP: rights object acquisition -------------------------------------
@@ -290,79 +154,13 @@ impl RightsIssuer {
     ///
     /// # Errors
     ///
-    /// * [`RoapError::DeviceNotRegistered`] — no trusted relationship,
-    /// * [`RoapError::SignatureInvalid`] — bad request signature,
-    /// * [`RoapError::UnknownRightsObject`] — no rights on sale for the
-    ///   content,
-    /// * [`RoapError::UnknownDomain`] / [`RoapError::DomainFull`] — domain
-    ///   request problems.
+    /// See [`RiService::process_ro_request`].
     pub fn process_ro_request(
         &mut self,
         request: &RoRequest,
         now: Timestamp,
     ) -> Result<RoResponse, RoapError> {
-        let device = self
-            .registered
-            .get(&request.device_id)
-            .cloned()
-            .ok_or(RoapError::DeviceNotRegistered)?;
-        let signed = RoRequest::signed_bytes(
-            &request.device_id,
-            &request.ri_id,
-            &request.content_id,
-            request.domain_id.as_ref(),
-            &request.device_nonce,
-            request.request_time,
-        );
-        if !self
-            .engine
-            .pss_verify(device.certificate.public_key(), &signed, &request.signature)
-        {
-            return Err(RoapError::SignatureInvalid);
-        }
-        let entry = self
-            .content
-            .get(&request.content_id)
-            .cloned()
-            .ok_or(RoapError::UnknownRightsObject)?;
-
-        let rights_object = match &request.domain_id {
-            None => self.build_device_ro(
-                &request.content_id,
-                &entry,
-                device.certificate.public_key(),
-                now,
-            ),
-            Some(domain_id) => {
-                let domain = self
-                    .domains
-                    .get(domain_id)
-                    .ok_or(RoapError::UnknownDomain)?;
-                if !domain.is_member(&request.device_id) {
-                    return Err(RoapError::UnknownDomain);
-                }
-                let domain = domain.clone();
-                self.build_domain_ro(&request.content_id, &entry, &domain, now)
-            }
-        };
-
-        let signed = RoResponse::signed_bytes(
-            &request.device_id,
-            &self.id,
-            &request.device_nonce,
-            &rights_object,
-        );
-        let signature = self
-            .engine
-            .pss_sign(self.keys.private(), &signed)
-            .expect("RI key large enough for PSS");
-        Ok(RoResponse {
-            device_id: request.device_id.clone(),
-            ri_id: self.id.clone(),
-            device_nonce: request.device_nonce.clone(),
-            rights_object,
-            signature,
-        })
+        self.service.process_ro_request(request, now)
     }
 
     /// Issues a Domain Rights Object directly (out-of-band distribution to
@@ -370,132 +168,31 @@ impl RightsIssuer {
     ///
     /// # Errors
     ///
-    /// * [`RoapError::UnknownRightsObject`] — no rights for the content,
-    /// * [`RoapError::UnknownDomain`] — the domain does not exist.
+    /// See [`RiService::issue_domain_ro`].
     pub fn issue_domain_ro(
         &mut self,
         content_id: &str,
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<ProtectedRightsObject, RoapError> {
-        let entry = self
-            .content
-            .get(content_id)
-            .cloned()
-            .ok_or(RoapError::UnknownRightsObject)?;
-        let domain = self
-            .domains
-            .get(domain_id)
-            .cloned()
-            .ok_or(RoapError::UnknownDomain)?;
-        Ok(self.build_domain_ro(content_id, &entry, &domain, now))
-    }
-
-    fn next_ro_id(&mut self) -> RightsObjectId {
-        let id = RightsObjectId::new(&format!("ro:{}:{}", self.id, self.next_ro));
-        self.next_ro += 1;
-        id
-    }
-
-    fn build_payload(
-        &mut self,
-        content_id: &str,
-        entry: &ContentEntry,
-        krek: &[u8; 16],
-        now: Timestamp,
-    ) -> RightsObjectPayload {
-        let encrypted_cek = self
-            .engine
-            .aes_wrap(krek, &entry.cek)
-            .expect("CEK wrapping with a 16-byte KREK cannot fail");
-        RightsObjectPayload {
-            id: self.next_ro_id(),
-            rights_issuer: self.id.clone(),
-            content_id: content_id.to_string(),
-            rights: entry.template.rights().clone(),
-            dcf_hash: entry.dcf_hash,
-            encrypted_cek,
-            issued_at: now,
-        }
-    }
-
-    fn build_device_ro(
-        &mut self,
-        content_id: &str,
-        entry: &ContentEntry,
-        device_key: &RsaPublicKey,
-        now: Timestamp,
-    ) -> ProtectedRightsObject {
-        let kmac = self.engine.random_key();
-        let krek = self.engine.random_key();
-        let payload = self.build_payload(content_id, entry, &krek, now);
-        let mac = self.engine.hmac_sha1(&kmac, &payload.to_bytes());
-        let wrapped = self
-            .engine
-            .kem_wrap(device_key, &kmac, &krek)
-            .expect("KEM wrap with an honest device key cannot fail");
-        ProtectedRightsObject {
-            payload,
-            key_protection: KeyProtection::Device(wrapped),
-            mac,
-            signature: None,
-        }
-    }
-
-    fn build_domain_ro(
-        &mut self,
-        content_id: &str,
-        entry: &ContentEntry,
-        domain: &Domain,
-        now: Timestamp,
-    ) -> ProtectedRightsObject {
-        let kmac = self.engine.random_key();
-        let krek = self.engine.random_key();
-        let payload = self.build_payload(content_id, entry, &krek, now);
-        let mac = self.engine.hmac_sha1(&kmac, &payload.to_bytes());
-        let mut key_material = [0u8; 32];
-        key_material[..16].copy_from_slice(&kmac);
-        key_material[16..].copy_from_slice(&krek);
-        let wrapped = self
-            .engine
-            .aes_wrap(domain.key(), &key_material)
-            .expect("domain key wrap cannot fail");
-        // The signature over the payload is mandatory for Domain ROs.
-        let signature = self
-            .engine
-            .pss_sign(self.keys.private(), &payload.to_bytes())
-            .expect("RI key large enough for PSS");
-        ProtectedRightsObject {
-            payload,
-            key_protection: KeyProtection::Domain {
-                domain_id: domain.id().clone(),
-                generation: domain.generation(),
-                wrapped,
-            },
-            mac,
-            signature: Some(signature),
-        }
+        self.service.issue_domain_ro(content_id, domain_id, now)
     }
 
     // ----- domains --------------------------------------------------------------
 
     /// Creates a domain with a fresh shared key.
     pub fn create_domain(&mut self, domain_id: &str, max_members: usize) -> DomainId {
-        let id = DomainId::new(domain_id);
-        let key = self.engine.random_key();
-        self.domains
-            .insert(id.clone(), Domain::new(id.clone(), key, max_members));
-        id
+        self.service.create_domain(domain_id, max_members)
     }
 
     /// Whether a domain exists.
     pub fn has_domain(&self, domain_id: &DomainId) -> bool {
-        self.domains.contains_key(domain_id)
+        self.service.has_domain(domain_id)
     }
 
     /// Number of members currently registered in `domain_id`.
     pub fn domain_member_count(&self, domain_id: &DomainId) -> Option<usize> {
-        self.domains.get(domain_id).map(Domain::member_count)
+        self.service.domain_member_count(domain_id)
     }
 
     /// Handles a `JoinDomainRequest`: adds the device to the domain and
@@ -503,76 +200,28 @@ impl RightsIssuer {
     ///
     /// # Errors
     ///
-    /// * [`RoapError::DeviceNotRegistered`] — no trusted relationship,
-    /// * [`RoapError::SignatureInvalid`] — bad request signature,
-    /// * [`RoapError::UnknownDomain`] — the domain does not exist,
-    /// * [`RoapError::DomainFull`] — the domain reached its member limit.
+    /// See [`RiService::process_join_domain`].
     pub fn process_join_domain(
         &mut self,
         request: &JoinDomainRequest,
-        _now: Timestamp,
+        now: Timestamp,
     ) -> Result<JoinDomainResponse, RoapError> {
-        let device = self
-            .registered
-            .get(&request.device_id)
-            .cloned()
-            .ok_or(RoapError::DeviceNotRegistered)?;
-        let signed = JoinDomainRequest::signed_bytes(
-            &request.device_id,
-            &request.ri_id,
-            &request.domain_id,
-            &request.device_nonce,
-            request.request_time,
-        );
-        if !self
-            .engine
-            .pss_verify(device.certificate.public_key(), &signed, &request.signature)
-        {
-            return Err(RoapError::SignatureInvalid);
-        }
-        let domain = self
-            .domains
-            .get_mut(&request.domain_id)
-            .ok_or(RoapError::UnknownDomain)?;
-        if !domain.is_member(&request.device_id) && !domain.add_member(&request.device_id) {
-            return Err(RoapError::DomainFull);
-        }
-        let key = *domain.key();
-        let generation = domain.generation();
-        let encrypted_domain_key = self
-            .engine
-            .rsa_encrypt(device.certificate.public_key(), &key)
-            .expect("16-byte key is always below the modulus");
-        let signed = JoinDomainResponse::signed_bytes(
-            &request.device_id,
-            &self.id,
-            &request.domain_id,
-            generation,
-            &encrypted_domain_key,
-            &request.device_nonce,
-        );
-        let signature = self
-            .engine
-            .pss_sign(self.keys.private(), &signed)
-            .expect("RI key large enough for PSS");
-        Ok(JoinDomainResponse {
-            device_id: request.device_id.clone(),
-            ri_id: self.id.clone(),
-            domain_id: request.domain_id.clone(),
-            generation,
-            encrypted_domain_key,
-            device_nonce: request.device_nonce.clone(),
-            signature,
-        })
+        self.service.process_join_domain(request, now)
     }
 
-    /// Removes a device from a domain (leave-domain). Returns whether the
-    /// device was a member.
-    pub fn process_leave_domain(&mut self, device_id: &str, domain_id: &DomainId) -> bool {
-        self.domains
-            .get_mut(domain_id)
-            .map(|d| d.remove_member(device_id))
-            .unwrap_or(false)
+    /// Removes a device from a domain (leave-domain).
+    ///
+    /// # Errors
+    ///
+    /// * [`DrmError::Roap`] with [`RoapError::UnknownDomain`] — the domain
+    ///   does not exist,
+    /// * [`DrmError::NotInDomain`] — the device was not a member.
+    pub fn process_leave_domain(
+        &mut self,
+        device_id: &str,
+        domain_id: &DomainId,
+    ) -> Result<(), DrmError> {
+        self.service.process_leave_domain(device_id, domain_id)
     }
 
     /// Protocol version spoken by this implementation.
@@ -585,6 +234,9 @@ impl RightsIssuer {
 mod tests {
     use super::*;
     use crate::rel::Permission;
+    use crate::roap::NONCE_LEN;
+    use oma_crypto::rsa::RsaKeyPair;
+    use oma_pki::{EntityRole, ValidityPeriod};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -599,6 +251,7 @@ mod tests {
         assert_eq!(ri.registered_count(), 0);
         assert_eq!(ri.version(), "2.0");
         assert_eq!(ri.public_key(), ri.certificate().public_key());
+        assert_eq!(ri.service().id(), "ri.example.com");
     }
 
     #[test]
@@ -640,7 +293,14 @@ mod tests {
         assert!(ri.has_domain(&id));
         assert_eq!(ri.domain_member_count(&id), Some(0));
         assert!(!ri.has_domain(&DomainId::new("other")));
-        assert!(!ri.process_leave_domain("nobody", &id));
+        assert_eq!(
+            ri.process_leave_domain("nobody", &id),
+            Err(DrmError::NotInDomain)
+        );
+        assert_eq!(
+            ri.process_leave_domain("nobody", &DomainId::new("other")),
+            Err(DrmError::Roap(RoapError::UnknownDomain))
+        );
     }
 
     #[test]

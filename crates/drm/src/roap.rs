@@ -13,6 +13,7 @@
 use crate::domain::DomainId;
 use crate::ro::{ProtectedRightsObject, RightsObjectId};
 use oma_crypto::pss::PssSignature;
+use oma_crypto::CryptoEngine;
 use oma_pki::ocsp::OcspResponse;
 use oma_pki::{Certificate, Timestamp};
 use std::error::Error;
@@ -326,6 +327,39 @@ impl RoResponse {
     /// The Rights Object identifier carried in this response.
     pub fn ro_id(&self) -> &RightsObjectId {
         self.rights_object.id()
+    }
+
+    /// Agent-side verification of the response: checks the nonce echo and
+    /// the Rights Issuer signature over [`RoResponse::signed_bytes`]. This is
+    /// the check the DRM Agent runs before it trusts a delivered Rights
+    /// Object; it is exposed so adversarial tests can exercise it against
+    /// tampered responses directly.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoapError::Malformed`] — the device nonce does not echo
+    ///   `expected_nonce`,
+    /// * [`RoapError::SignatureInvalid`] — the signature does not verify
+    ///   under `ri_certificate`.
+    pub fn verify(
+        &self,
+        engine: &CryptoEngine,
+        ri_certificate: &Certificate,
+        expected_nonce: &[u8],
+    ) -> Result<(), RoapError> {
+        if self.device_nonce != expected_nonce {
+            return Err(RoapError::Malformed);
+        }
+        let signed = Self::signed_bytes(
+            &self.device_id,
+            &self.ri_id,
+            &self.device_nonce,
+            &self.rights_object,
+        );
+        if !engine.pss_verify(ri_certificate.public_key(), &signed, &self.signature) {
+            return Err(RoapError::SignatureInvalid);
+        }
+        Ok(())
     }
 
     /// Approximate on-the-wire size in bytes.

@@ -1,0 +1,889 @@
+//! The concurrent Rights Issuer service.
+//!
+//! [`RiService`] is the server-side heart of the license service: the same
+//! ROAP state machine as the single-terminal [`RightsIssuer`](crate::ri::RightsIssuer)
+//! wrapper, but with every handler taking `&self` so one service instance can
+//! serve many devices from many threads at once. The paper prices OMA DRM 2
+//! from the terminal's point of view; serving *millions* of terminals needs a
+//! Rights Issuer that scales, and this module makes that side executable.
+//!
+//! Concurrency design:
+//!
+//! * pending ROAP sessions, registered devices, the content catalogue,
+//!   domains and RO-id sequences live in [`ShardedMap`]s — one `RwLock` per
+//!   shard, so requests for different keys do not contend (the same
+//!   sharded-state pattern as the lock-free trace counters in
+//!   [`oma_crypto::CryptoEngine`]),
+//! * session ids come from an atomic counter,
+//! * handlers clone entries out of their shard before doing any
+//!   cryptography, so no lock is ever held across an RSA operation,
+//! * registration *claims* its session atomically (`remove`), which doubles
+//!   as replay protection: a replayed `RegistrationRequest` finds its
+//!   session gone and is rejected with [`RoapError::UnknownSession`].
+//!
+//! Rights-Object ids are allocated per scope (per registered device, or per
+//! domain for out-of-band issuing) from a sharded sequence map. Ids are
+//! therefore *deterministic per device* regardless of how requests from
+//! different devices interleave — the property the `oma-load` fleet harness
+//! asserts when it compares a multi-threaded run against a sequential
+//! reference run.
+
+use crate::dcf::Dcf;
+use crate::domain::{Domain, DomainId};
+use crate::error::DrmError;
+use crate::rel::RightsTemplate;
+use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload};
+use crate::roap::{
+    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
+    RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN,
+};
+use crate::shard::ShardedMap;
+use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
+use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use oma_crypto::sha1::DIGEST_SIZE;
+use oma_crypto::CryptoEngine;
+use oma_pki::ocsp::{OcspRequest, OcspResponse};
+use oma_pki::{
+    verify::verify_certificate_role, Certificate, CertificationAuthority, EntityRole, Timestamp,
+    ValidityPeriod,
+};
+use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::CERT_VALIDITY_SECONDS;
+
+/// A device the Rights Issuer has established a trusted relationship with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RegisteredDevice {
+    pub(crate) device_id: String,
+    pub(crate) certificate: Certificate,
+}
+
+/// A license the Rights Issuer can sell for one piece of content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ContentEntry {
+    pub(crate) cek: [u8; 16],
+    pub(crate) dcf_hash: [u8; DIGEST_SIZE],
+    pub(crate) template: RightsTemplate,
+}
+
+/// A pending ROAP registration session created by a `DeviceHello`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PendingSession {
+    pub(crate) device_id: String,
+    pub(crate) ri_nonce: Vec<u8>,
+}
+
+/// The thread-safe Rights Issuer service: every ROAP handler takes `&self`,
+/// so one instance (typically behind an [`Arc`]) serves any number of
+/// concurrent device connections.
+///
+/// # Example
+///
+/// ```
+/// use oma_drm::service::RiService;
+/// use oma_drm::roap::DeviceHello;
+/// use oma_pki::CertificationAuthority;
+/// use rand::SeedableRng;
+/// use std::sync::Arc;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+/// let service = Arc::new(RiService::new("ri.example.com", 384, &mut ca, &mut rng));
+///
+/// // `hello` needs only `&self`: many threads can open sessions at once.
+/// let handles: Vec<_> = (0..4)
+///     .map(|i| {
+///         let service = Arc::clone(&service);
+///         std::thread::spawn(move || service.hello(&DeviceHello::new(&format!("dev-{i}"))))
+///     })
+///     .collect();
+/// let mut sessions: Vec<u64> = handles
+///     .into_iter()
+///     .map(|h| h.join().unwrap().session_id)
+///     .collect();
+/// sessions.sort_unstable();
+/// sessions.dedup();
+/// assert_eq!(sessions.len(), 4, "session ids are never reused");
+/// ```
+#[derive(Debug)]
+pub struct RiService {
+    id: String,
+    keys: RsaKeyPair,
+    certificate: Certificate,
+    ca_root: Certificate,
+    ocsp: RwLock<OcspResponse>,
+    engine: CryptoEngine,
+    next_session: AtomicU64,
+    issued_ros: AtomicU64,
+    sessions: ShardedMap<u64, PendingSession>,
+    pending_by_device: ShardedMap<String, u64>,
+    registered: ShardedMap<String, RegisteredDevice>,
+    content: ShardedMap<String, ContentEntry>,
+    domains: ShardedMap<DomainId, Domain>,
+    ro_sequences: ShardedMap<String, u64>,
+}
+
+impl RiService {
+    /// Creates a service, obtaining its certificate and an initial OCSP
+    /// response from `ca`. Server-side cryptography runs on the software
+    /// backend; use [`RiService::with_backend`] for an accelerated server.
+    pub fn new<R: RngCore + ?Sized>(
+        id: &str,
+        modulus_bits: usize,
+        ca: &mut CertificationAuthority,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_backend(id, modulus_bits, ca, Arc::new(SoftwareBackend::new()), rng)
+    }
+
+    /// Creates a service whose cryptography executes on `backend`. The
+    /// service trace stays outside the terminal cost model, but a backend can
+    /// be supplied so server-side capacity studies use the same pluggable
+    /// layer as the DRM Agent.
+    pub fn with_backend<R: RngCore + ?Sized>(
+        id: &str,
+        modulus_bits: usize,
+        ca: &mut CertificationAuthority,
+        backend: Arc<dyn CryptoBackend>,
+        rng: &mut R,
+    ) -> Self {
+        let keys = RsaKeyPair::generate(modulus_bits, rng);
+        let certificate = ca.issue(
+            id,
+            EntityRole::RightsIssuer,
+            keys.public().clone(),
+            ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
+        );
+        let ocsp = ca.ocsp_respond(
+            &OcspRequest {
+                serial: certificate.serial(),
+                nonce: Vec::new(),
+            },
+            Timestamp::new(0),
+        );
+        RiService {
+            id: id.to_string(),
+            keys,
+            certificate,
+            ca_root: ca.root_certificate().clone(),
+            ocsp: RwLock::new(ocsp),
+            engine: CryptoEngine::with_backend(backend, rng.next_u64()),
+            next_session: AtomicU64::new(1),
+            issued_ros: AtomicU64::new(0),
+            sessions: ShardedMap::new(),
+            pending_by_device: ShardedMap::new(),
+            registered: ShardedMap::new(),
+            content: ShardedMap::new(),
+            domains: ShardedMap::new(),
+            ro_sequences: ShardedMap::new(),
+        }
+    }
+
+    /// The Rights Issuer identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The Rights Issuer certificate.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// The Rights Issuer public key.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.keys.public()
+    }
+
+    /// The current OCSP response presented during registration.
+    pub fn ocsp_response(&self) -> OcspResponse {
+        self.ocsp.read().expect("ocsp lock").clone()
+    }
+
+    /// Re-fetches the cached OCSP response for this service's certificate (a
+    /// fresh response is required for registration to succeed once the cached
+    /// one has become stale).
+    pub fn refresh_ocsp(&self, ca: &CertificationAuthority, now: Timestamp) {
+        let fresh = ca.ocsp_respond(
+            &OcspRequest {
+                serial: self.certificate.serial(),
+                nonce: Vec::new(),
+            },
+            now,
+        );
+        *self.ocsp.write().expect("ocsp lock") = fresh;
+    }
+
+    /// Registers a piece of content: the content encryption key received
+    /// from the Content Issuer, the DCF it encrypts (for the hash binding)
+    /// and the license template on sale.
+    pub fn add_content(
+        &self,
+        content_id: &str,
+        cek: [u8; 16],
+        dcf: &Dcf,
+        template: RightsTemplate,
+    ) {
+        self.content.insert(
+            content_id.to_string(),
+            ContentEntry {
+                cek,
+                dcf_hash: dcf.hash(),
+                template,
+            },
+        );
+    }
+
+    /// Whether the service offers rights for `content_id`.
+    pub fn has_content(&self, content_id: &str) -> bool {
+        self.content.contains(&content_id.to_string())
+    }
+
+    /// Whether `device_id` holds a trusted relationship with this service.
+    pub fn is_registered(&self, device_id: &str) -> bool {
+        self.registered.contains(&device_id.to_string())
+    }
+
+    /// Number of registered devices.
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+
+    /// Total number of Rights Objects issued by this service.
+    pub fn issued_ro_count(&self) -> u64 {
+        self.issued_ros.load(Ordering::Relaxed)
+    }
+
+    /// Number of ROAP registration sessions currently pending (opened by a
+    /// `DeviceHello`, not yet consumed by a successful registration).
+    pub fn pending_session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    // ----- ROAP: registration -------------------------------------------------
+
+    /// Pass 1 → 2 of registration: answers a `DeviceHello` with an `RiHello`.
+    ///
+    /// At most one pending session exists per device id: a new hello
+    /// supersedes (and frees) any earlier incomplete attempt, so
+    /// unauthenticated hello traffic cannot grow the session table beyond
+    /// the number of distinct device ids seen.
+    pub fn hello(&self, hello: &DeviceHello) -> RiHello {
+        let session_id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let ri_nonce = self.engine.random_nonce(NONCE_LEN);
+        self.sessions.insert(
+            session_id,
+            PendingSession {
+                device_id: hello.device_id.clone(),
+                ri_nonce: ri_nonce.clone(),
+            },
+        );
+        // Supersession is decided by session id, not by insert order: of two
+        // racing hellos for one device, the *older* session is always the
+        // one evicted — even when the older thread reaches this map last.
+        let evicted = self.pending_by_device.update_or_insert_with(
+            hello.device_id.clone(),
+            || session_id,
+            |current| {
+                if *current >= session_id {
+                    // A newer hello already holds the slot; this session is
+                    // the stale one (None when we just inserted ourselves).
+                    Some(session_id).filter(|stale| stale != current)
+                } else {
+                    let superseded = *current;
+                    *current = session_id;
+                    Some(superseded)
+                }
+            },
+        );
+        if let Some(stale) = evicted {
+            self.sessions.remove(&stale);
+        }
+        RiHello {
+            ri_id: self.id.clone(),
+            session_id,
+            ri_nonce,
+            selected_algorithms: hello.supported_algorithms.clone(),
+            trusted_authorities: vec![self.ca_root.subject().to_string()],
+        }
+    }
+
+    /// Pass 3 → 4 of registration: verifies a `RegistrationRequest` and, if
+    /// the device checks out, answers with a signed `RegistrationResponse`.
+    ///
+    /// A session is consumed atomically by the first successful
+    /// registration; replaying the same request (same session id and nonce)
+    /// is rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoapError::UnknownSession`] — the session id was never issued, was
+    ///   already consumed, or the request is a replay,
+    /// * [`RoapError::Malformed`] — the device id differs from the hello,
+    /// * [`RoapError::CertificateInvalid`] — the device certificate fails
+    ///   validation against the CA root,
+    /// * [`RoapError::SignatureInvalid`] — the request signature is wrong.
+    pub fn process_registration(
+        &self,
+        request: &RegistrationRequest,
+        now: Timestamp,
+    ) -> Result<RegistrationResponse, RoapError> {
+        let session = self
+            .sessions
+            .get_cloned(&request.session_id)
+            .ok_or(RoapError::UnknownSession)?;
+        if session.device_id != request.device_id {
+            return Err(RoapError::Malformed);
+        }
+        verify_certificate_role(
+            &self.engine,
+            &request.certificate,
+            &self.ca_root,
+            EntityRole::DrmAgent,
+            now,
+        )
+        .map_err(|_| RoapError::CertificateInvalid)?;
+        let signed = RegistrationRequest::signed_bytes(
+            request.session_id,
+            &request.device_id,
+            &request.device_nonce,
+            request.request_time,
+            &request.certificate,
+        );
+        if !self.engine.pss_verify(
+            request.certificate.public_key(),
+            &signed,
+            &request.signature,
+        ) {
+            return Err(RoapError::SignatureInvalid);
+        }
+
+        // Claim the session. Exactly one request wins; a concurrent or
+        // replayed duplicate sees the session gone.
+        if self.sessions.remove(&request.session_id).is_none() {
+            return Err(RoapError::UnknownSession);
+        }
+        self.pending_by_device
+            .remove_if(&request.device_id, |pending| *pending == request.session_id);
+        self.registered.insert(
+            request.device_id.clone(),
+            RegisteredDevice {
+                device_id: request.device_id.clone(),
+                certificate: request.certificate.clone(),
+            },
+        );
+
+        let ocsp = self.ocsp_response();
+        let signed = RegistrationResponse::signed_bytes(
+            request.session_id,
+            &self.id,
+            &request.device_nonce,
+            &self.certificate,
+            &ocsp,
+        );
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &signed)
+            .expect("RI key large enough for PSS");
+        Ok(RegistrationResponse {
+            session_id: request.session_id,
+            ri_id: self.id.clone(),
+            device_nonce: request.device_nonce.clone(),
+            ri_certificate: self.certificate.clone(),
+            ocsp_response: ocsp,
+            signature,
+        })
+    }
+
+    // ----- ROAP: rights object acquisition -------------------------------------
+
+    /// Handles an `RORequest`, returning a signed `ROResponse` with the
+    /// protected Rights Object.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoapError::DeviceNotRegistered`] — no trusted relationship,
+    /// * [`RoapError::SignatureInvalid`] — bad request signature,
+    /// * [`RoapError::UnknownRightsObject`] — no rights on sale for the
+    ///   content,
+    /// * [`RoapError::UnknownDomain`] / [`RoapError::DomainFull`] — domain
+    ///   request problems.
+    pub fn process_ro_request(
+        &self,
+        request: &RoRequest,
+        now: Timestamp,
+    ) -> Result<RoResponse, RoapError> {
+        let device = self
+            .registered
+            .get_cloned(&request.device_id)
+            .ok_or(RoapError::DeviceNotRegistered)?;
+        let signed = RoRequest::signed_bytes(
+            &request.device_id,
+            &request.ri_id,
+            &request.content_id,
+            request.domain_id.as_ref(),
+            &request.device_nonce,
+            request.request_time,
+        );
+        if !self
+            .engine
+            .pss_verify(device.certificate.public_key(), &signed, &request.signature)
+        {
+            return Err(RoapError::SignatureInvalid);
+        }
+        let entry = self
+            .content
+            .get_cloned(&request.content_id)
+            .ok_or(RoapError::UnknownRightsObject)?;
+
+        // Validate the domain *before* allocating the RO id: a rejected
+        // request must not advance the device's id sequence or the
+        // issued-RO counter.
+        let domain = match &request.domain_id {
+            None => None,
+            Some(domain_id) => {
+                let domain = self
+                    .domains
+                    .get_cloned(domain_id)
+                    .ok_or(RoapError::UnknownDomain)?;
+                if !domain.is_member(&request.device_id) {
+                    return Err(RoapError::UnknownDomain);
+                }
+                Some(domain)
+            }
+        };
+
+        let ro_id = self.next_ro_id(&format!("dev:{}", request.device_id));
+        let rights_object = match &domain {
+            None => self.build_device_ro(
+                ro_id,
+                &request.content_id,
+                &entry,
+                device.certificate.public_key(),
+                now,
+            ),
+            Some(domain) => self.build_domain_ro(ro_id, &request.content_id, &entry, domain, now),
+        };
+
+        let signed = RoResponse::signed_bytes(
+            &request.device_id,
+            &self.id,
+            &request.device_nonce,
+            &rights_object,
+        );
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &signed)
+            .expect("RI key large enough for PSS");
+        Ok(RoResponse {
+            device_id: request.device_id.clone(),
+            ri_id: self.id.clone(),
+            device_nonce: request.device_nonce.clone(),
+            rights_object,
+            signature,
+        })
+    }
+
+    /// Issues a Domain Rights Object directly (out-of-band distribution to
+    /// domain members, e.g. via removable media to an unconnected device).
+    ///
+    /// # Errors
+    ///
+    /// * [`RoapError::UnknownRightsObject`] — no rights for the content,
+    /// * [`RoapError::UnknownDomain`] — the domain does not exist.
+    pub fn issue_domain_ro(
+        &self,
+        content_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<ProtectedRightsObject, RoapError> {
+        let entry = self
+            .content
+            .get_cloned(&content_id.to_string())
+            .ok_or(RoapError::UnknownRightsObject)?;
+        let domain = self
+            .domains
+            .get_cloned(domain_id)
+            .ok_or(RoapError::UnknownDomain)?;
+        let ro_id = self.next_ro_id(&format!("dom:{domain_id}"));
+        Ok(self.build_domain_ro(ro_id, content_id, &entry, &domain, now))
+    }
+
+    /// Allocates the next Rights Object id for `scope` (a registered device
+    /// or a domain). Each scope owns its own sequence in a sharded map, so
+    /// the id a device receives depends only on how many ROs *that device*
+    /// already obtained — never on how requests from different devices
+    /// interleave.
+    fn next_ro_id(&self, scope: &str) -> RightsObjectId {
+        let seq = self.ro_sequences.update_or_insert_with(
+            scope.to_string(),
+            || 0,
+            |n| {
+                let current = *n;
+                *n += 1;
+                current
+            },
+        );
+        self.issued_ros.fetch_add(1, Ordering::Relaxed);
+        RightsObjectId::new(&format!("ro:{}:{}:{}", self.id, scope, seq))
+    }
+
+    fn build_payload(
+        &self,
+        id: RightsObjectId,
+        content_id: &str,
+        entry: &ContentEntry,
+        krek: &[u8; 16],
+        now: Timestamp,
+    ) -> RightsObjectPayload {
+        let encrypted_cek = self
+            .engine
+            .aes_wrap(krek, &entry.cek)
+            .expect("CEK wrapping with a 16-byte KREK cannot fail");
+        RightsObjectPayload {
+            id,
+            rights_issuer: self.id.clone(),
+            content_id: content_id.to_string(),
+            rights: entry.template.rights().clone(),
+            dcf_hash: entry.dcf_hash,
+            encrypted_cek,
+            issued_at: now,
+        }
+    }
+
+    fn build_device_ro(
+        &self,
+        id: RightsObjectId,
+        content_id: &str,
+        entry: &ContentEntry,
+        device_key: &RsaPublicKey,
+        now: Timestamp,
+    ) -> ProtectedRightsObject {
+        let kmac = self.engine.random_key();
+        let krek = self.engine.random_key();
+        let payload = self.build_payload(id, content_id, entry, &krek, now);
+        let mac = self.engine.hmac_sha1(&kmac, &payload.to_bytes());
+        let wrapped = self
+            .engine
+            .kem_wrap(device_key, &kmac, &krek)
+            .expect("KEM wrap with an honest device key cannot fail");
+        ProtectedRightsObject {
+            payload,
+            key_protection: KeyProtection::Device(wrapped),
+            mac,
+            signature: None,
+        }
+    }
+
+    fn build_domain_ro(
+        &self,
+        id: RightsObjectId,
+        content_id: &str,
+        entry: &ContentEntry,
+        domain: &Domain,
+        now: Timestamp,
+    ) -> ProtectedRightsObject {
+        let kmac = self.engine.random_key();
+        let krek = self.engine.random_key();
+        let payload = self.build_payload(id, content_id, entry, &krek, now);
+        let mac = self.engine.hmac_sha1(&kmac, &payload.to_bytes());
+        let mut key_material = [0u8; 32];
+        key_material[..16].copy_from_slice(&kmac);
+        key_material[16..].copy_from_slice(&krek);
+        let wrapped = self
+            .engine
+            .aes_wrap(domain.key(), &key_material)
+            .expect("domain key wrap cannot fail");
+        // The signature over the payload is mandatory for Domain ROs.
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &payload.to_bytes())
+            .expect("RI key large enough for PSS");
+        ProtectedRightsObject {
+            payload,
+            key_protection: KeyProtection::Domain {
+                domain_id: domain.id().clone(),
+                generation: domain.generation(),
+                wrapped,
+            },
+            mac,
+            signature: Some(signature),
+        }
+    }
+
+    // ----- domains --------------------------------------------------------------
+
+    /// Creates a domain with a fresh shared key.
+    pub fn create_domain(&self, domain_id: &str, max_members: usize) -> DomainId {
+        let id = DomainId::new(domain_id);
+        let key = self.engine.random_key();
+        self.domains
+            .insert(id.clone(), Domain::new(id.clone(), key, max_members));
+        id
+    }
+
+    /// Whether a domain exists.
+    pub fn has_domain(&self, domain_id: &DomainId) -> bool {
+        self.domains.contains(domain_id)
+    }
+
+    /// Number of members currently registered in `domain_id`.
+    pub fn domain_member_count(&self, domain_id: &DomainId) -> Option<usize> {
+        self.domains
+            .with(domain_id, |d| d.map(Domain::member_count))
+    }
+
+    /// Handles a `JoinDomainRequest`: adds the device to the domain and
+    /// returns the domain key encrypted under the device public key. The
+    /// membership check-and-add runs under the domain's shard write lock, so
+    /// a full domain never over-admits under concurrency.
+    ///
+    /// # Errors
+    ///
+    /// * [`RoapError::DeviceNotRegistered`] — no trusted relationship,
+    /// * [`RoapError::SignatureInvalid`] — bad request signature,
+    /// * [`RoapError::UnknownDomain`] — the domain does not exist,
+    /// * [`RoapError::DomainFull`] — the domain reached its member limit.
+    pub fn process_join_domain(
+        &self,
+        request: &JoinDomainRequest,
+        _now: Timestamp,
+    ) -> Result<JoinDomainResponse, RoapError> {
+        let device = self
+            .registered
+            .get_cloned(&request.device_id)
+            .ok_or(RoapError::DeviceNotRegistered)?;
+        let signed = JoinDomainRequest::signed_bytes(
+            &request.device_id,
+            &request.ri_id,
+            &request.domain_id,
+            &request.device_nonce,
+            request.request_time,
+        );
+        if !self
+            .engine
+            .pss_verify(device.certificate.public_key(), &signed, &request.signature)
+        {
+            return Err(RoapError::SignatureInvalid);
+        }
+        let (key, generation) = self.domains.update(&request.domain_id, |domain| {
+            let domain = domain.ok_or(RoapError::UnknownDomain)?;
+            if !domain.is_member(&request.device_id) && !domain.add_member(&request.device_id) {
+                return Err(RoapError::DomainFull);
+            }
+            Ok((*domain.key(), domain.generation()))
+        })?;
+        let encrypted_domain_key = self
+            .engine
+            .rsa_encrypt(device.certificate.public_key(), &key)
+            .expect("16-byte key is always below the modulus");
+        let signed = JoinDomainResponse::signed_bytes(
+            &request.device_id,
+            &self.id,
+            &request.domain_id,
+            generation,
+            &encrypted_domain_key,
+            &request.device_nonce,
+        );
+        let signature = self
+            .engine
+            .pss_sign(self.keys.private(), &signed)
+            .expect("RI key large enough for PSS");
+        Ok(JoinDomainResponse {
+            device_id: request.device_id.clone(),
+            ri_id: self.id.clone(),
+            domain_id: request.domain_id.clone(),
+            generation,
+            encrypted_domain_key,
+            device_nonce: request.device_nonce.clone(),
+            signature,
+        })
+    }
+
+    /// Removes a device from a domain (leave-domain).
+    ///
+    /// # Errors
+    ///
+    /// * [`DrmError::Roap`] with [`RoapError::UnknownDomain`] — the domain
+    ///   does not exist,
+    /// * [`DrmError::NotInDomain`] — the device was not a member.
+    pub fn process_leave_domain(
+        &self,
+        device_id: &str,
+        domain_id: &DomainId,
+    ) -> Result<(), DrmError> {
+        self.domains.update(domain_id, |domain| {
+            let domain = domain.ok_or(DrmError::Roap(RoapError::UnknownDomain))?;
+            if domain.remove_member(device_id) {
+                Ok(())
+            } else {
+                Err(DrmError::NotInDomain)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::Permission;
+    use crate::ContentIssuer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service() -> (CertificationAuthority, RiService, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5e41);
+        let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+        let service = RiService::new("ri", 384, &mut ca, &mut rng);
+        (ca, service, rng)
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RiService>();
+    }
+
+    #[test]
+    fn hello_from_many_threads_yields_unique_sessions() {
+        let (_ca, service, _rng) = service();
+        let service = Arc::new(service);
+        let mut ids: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let service = Arc::clone(&service);
+                    scope.spawn(move || {
+                        service
+                            .hello(&DeviceHello::new(&format!("dev-{i}")))
+                            .session_id
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn ro_ids_are_scoped_per_device() {
+        let (_ca, service, _rng) = service();
+        let a0 = service.next_ro_id("dev:a");
+        let b0 = service.next_ro_id("dev:b");
+        let a1 = service.next_ro_id("dev:a");
+        assert_eq!(a0.as_str(), "ro:ri:dev:a:0");
+        assert_eq!(b0.as_str(), "ro:ri:dev:b:0");
+        assert_eq!(a1.as_str(), "ro:ri:dev:a:1");
+        assert_eq!(service.issued_ro_count(), 3);
+    }
+
+    #[test]
+    fn repeated_hellos_keep_one_pending_session_per_device() {
+        let (_ca, service, _rng) = service();
+        for _ in 0..50 {
+            service.hello(&DeviceHello::new("chatty-device"));
+        }
+        service.hello(&DeviceHello::new("other-device"));
+        assert_eq!(
+            service.pending_session_count(),
+            2,
+            "a new hello supersedes the device's earlier pending session"
+        );
+    }
+
+    #[test]
+    fn rejected_ro_request_does_not_advance_id_sequence() {
+        use crate::roap::RoRequest;
+        let (mut ca, service, mut rng) = service();
+        let ci = ContentIssuer::new("ci");
+        let (dcf, cek) = ci.package(b"bytes", "cid:x", &mut rng);
+        service.add_content(
+            "cid:x",
+            cek,
+            &dcf,
+            RightsTemplate::unlimited(Permission::Play),
+        );
+        let mut agent = crate::DrmAgent::new("dev-a", 384, &mut ca, &mut rng);
+        agent.register_with(&service, Timestamp::new(0)).unwrap();
+
+        // A signed request for a domain the device never joined is rejected
+        // and must not burn an RO id.
+        let nope = DomainId::new("nope");
+        assert_eq!(
+            agent.acquire_domain_rights_with(&service, "cid:x", &nope, Timestamp::new(0)),
+            Err(DrmError::NotInDomain)
+        );
+        // Same at the service layer (agent-side membership check bypassed).
+        let request = RoRequest {
+            device_id: "dev-a".into(),
+            ri_id: "ri".into(),
+            content_id: "cid:x".into(),
+            domain_id: Some(nope),
+            device_nonce: vec![0; NONCE_LEN],
+            request_time: Timestamp::new(0),
+            signature: oma_crypto::pss::PssSignature::from_bytes(vec![0; 48]),
+        };
+        assert!(service
+            .process_ro_request(&request, Timestamp::new(0))
+            .is_err());
+        assert_eq!(service.issued_ro_count(), 0);
+
+        // The first successful RO still gets sequence number 0.
+        let response = agent
+            .acquire_rights_with(&service, "cid:x", Timestamp::new(0))
+            .unwrap();
+        assert_eq!(response.ro_id().as_str(), "ro:ri:dev:dev-a:0");
+        assert_eq!(service.issued_ro_count(), 1);
+    }
+
+    #[test]
+    fn leave_domain_reports_both_failure_reasons() {
+        let (_ca, service, _rng) = service();
+        let id = service.create_domain("family", 2);
+        assert_eq!(
+            service.process_leave_domain("ghost", &DomainId::new("nope")),
+            Err(DrmError::Roap(RoapError::UnknownDomain))
+        );
+        assert_eq!(
+            service.process_leave_domain("ghost", &id),
+            Err(DrmError::NotInDomain)
+        );
+    }
+
+    #[test]
+    fn refresh_ocsp_updates_shared_response() {
+        let (ca, service, _rng) = service();
+        let before = service.ocsp_response();
+        service.refresh_ocsp(&ca, Timestamp::new(9_999));
+        let after = service.ocsp_response();
+        assert_ne!(before, after);
+        assert_eq!(after.tbs().produced_at, Timestamp::new(9_999));
+    }
+
+    #[test]
+    fn catalogue_and_domain_queries_take_shared_self() {
+        let (_ca, service, mut rng) = service();
+        let ci = ContentIssuer::new("ci");
+        let (dcf, cek) = ci.package(b"bytes", "cid:x", &mut rng);
+        service.add_content(
+            "cid:x",
+            cek,
+            &dcf,
+            RightsTemplate::unlimited(Permission::Play),
+        );
+        assert!(service.has_content("cid:x"));
+        assert!(!service.has_content("cid:y"));
+        let domain = service.create_domain("family", 4);
+        assert!(service.has_domain(&domain));
+        assert_eq!(service.domain_member_count(&domain), Some(0));
+        assert_eq!(service.registered_count(), 0);
+        assert!(!service.is_registered("anyone"));
+        let ro = service
+            .issue_domain_ro("cid:x", &domain, Timestamp::new(0))
+            .unwrap();
+        assert!(ro.is_domain_ro());
+        assert_eq!(ro.id().as_str(), "ro:ri:dom:family:0");
+    }
+}

@@ -1,0 +1,234 @@
+//! A sharded, lock-per-shard concurrent map.
+//!
+//! The server-side [`RiService`](crate::service::RiService) keeps all of its
+//! mutable state — pending ROAP sessions, registered devices, the content
+//! catalogue, domains and Rights-Object-id sequences — in these maps. The
+//! design mirrors the sharded atomic trace counters inside
+//! [`oma_crypto::CryptoEngine`]: state is split across a fixed number of
+//! shards so that concurrent requests touching *different* keys contend on
+//! different locks, while requests for the *same* key serialise on one
+//! shard's `RwLock`. Reads (certificate lookups, catalogue queries) take the
+//! shard read lock and clone the entry out, so no lock is held across any
+//! cryptographic work.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::RwLock;
+
+/// Number of shards. A power of two keeps the modulo cheap; 16 shards are
+/// plenty for the handful of worker threads a license server realistically
+/// runs per core while keeping the memory footprint trivial.
+pub const SHARD_COUNT: usize = 16;
+
+/// A concurrent hash map split across [`SHARD_COUNT`] independently locked
+/// shards.
+///
+/// # Example
+///
+/// ```
+/// use oma_drm::shard::ShardedMap;
+///
+/// let map: ShardedMap<String, u64> = ShardedMap::new();
+/// map.insert("dev-1".to_string(), 7);
+/// assert_eq!(map.get_cloned(&"dev-1".to_string()), Some(7));
+/// assert_eq!(map.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash + Eq, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V> ShardedMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        ShardedMap {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let index = self.hasher.hash_one(key) as usize % SHARD_COUNT;
+        &self.shards[index]
+    }
+
+    /// Inserts `value` under `key`, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key)
+            .write()
+            .expect("shard lock")
+            .insert(key, value)
+    }
+
+    /// Removes the entry for `key`, returning it if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().expect("shard lock").remove(key)
+    }
+
+    /// Removes the entry for `key` only when `pred` holds for its current
+    /// value. Check and removal run under one shard write lock, so a
+    /// concurrent writer cannot slip a fresh value in between.
+    pub fn remove_if(&self, key: &K, pred: impl FnOnce(&V) -> bool) -> Option<V> {
+        let shard = self.shard(key);
+        let mut guard = shard.write().expect("shard lock");
+        if guard.get(key).is_some_and(pred) {
+            guard.remove(key)
+        } else {
+            None
+        }
+    }
+
+    /// Whether an entry for `key` exists.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key)
+            .read()
+            .expect("shard lock")
+            .contains_key(key)
+    }
+
+    /// Total number of entries across all shards.
+    ///
+    /// The count is a sum of per-shard snapshots, not a single atomic
+    /// snapshot; it is exact whenever the map is quiescent.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").len())
+            .sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs `f` on a shared reference to the entry for `key` (or `None`)
+    /// while holding the shard read lock.
+    pub fn with<R>(&self, key: &K, f: impl FnOnce(Option<&V>) -> R) -> R {
+        f(self.shard(key).read().expect("shard lock").get(key))
+    }
+
+    /// Runs `f` on a mutable reference to the entry for `key` (or `None`)
+    /// while holding the shard write lock. This is the atomic
+    /// read-modify-write primitive: membership checks and updates inside `f`
+    /// cannot interleave with other writers of the same key.
+    pub fn update<R>(&self, key: &K, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        f(self.shard(key).write().expect("shard lock").get_mut(key))
+    }
+
+    /// Runs `f` on the entry for `key`, inserting `default()` first when the
+    /// key is absent. The whole operation holds the shard write lock, so two
+    /// concurrent callers for one key serialise.
+    pub fn update_or_insert_with<R>(
+        &self,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        let shard = self.shard(&key);
+        let mut guard = shard.write().expect("shard lock");
+        f(guard.entry(key).or_insert_with(default))
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    /// Clones the value stored under `key` out of its shard.
+    pub fn get_cloned(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .read()
+            .expect("shard lock")
+            .get(key)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let map: ShardedMap<u64, String> = ShardedMap::new();
+        assert!(map.is_empty());
+        assert!(map.insert(1, "a".into()).is_none());
+        assert_eq!(map.insert(1, "b".into()), Some("a".into()));
+        assert!(map.contains(&1));
+        assert_eq!(map.get_cloned(&1), Some("b".into()));
+        assert_eq!(map.remove(&1), Some("b".into()));
+        assert!(map.remove(&1).is_none());
+        assert!(!map.contains(&1));
+    }
+
+    #[test]
+    fn len_spans_shards() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        for i in 0..100 {
+            map.insert(i, i);
+        }
+        assert_eq!(map.len(), 100);
+        assert!(!map.is_empty());
+    }
+
+    #[test]
+    fn update_is_a_read_modify_write() {
+        let map: ShardedMap<&'static str, u32> = ShardedMap::new();
+        map.insert("k", 5);
+        let seen = map.update(&"k", |v| {
+            let v = v.expect("present");
+            *v += 1;
+            *v
+        });
+        assert_eq!(seen, 6);
+        assert_eq!(map.get_cloned(&"k"), Some(6));
+        assert!(map.update(&"missing", |v| v.is_none()));
+    }
+
+    #[test]
+    fn remove_if_checks_under_the_lock() {
+        let map: ShardedMap<u8, u32> = ShardedMap::new();
+        map.insert(1, 10);
+        assert_eq!(map.remove_if(&1, |v| *v == 99), None);
+        assert!(map.contains(&1));
+        assert_eq!(map.remove_if(&1, |v| *v == 10), Some(10));
+        assert!(!map.contains(&1));
+        assert_eq!(map.remove_if(&2, |_| true), None);
+    }
+
+    #[test]
+    fn update_or_insert_with_defaults_once() {
+        let map: ShardedMap<u8, u64> = ShardedMap::new();
+        for _ in 0..3 {
+            map.update_or_insert_with(9, || 0, |v| *v += 1);
+        }
+        assert_eq!(map.get_cloned(&9), Some(3));
+    }
+
+    #[test]
+    fn concurrent_counters_lose_no_updates() {
+        let map: ShardedMap<usize, u64> = ShardedMap::new();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= 1_000 {
+                        break;
+                    }
+                    map.update_or_insert_with(i % 32, || 0, |v| *v += 1);
+                });
+            }
+        });
+        let total: u64 = (0..32).map(|k| map.get_cloned(&k).unwrap_or(0)).sum();
+        assert_eq!(total, 1_000);
+    }
+}

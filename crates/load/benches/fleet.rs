@@ -1,0 +1,24 @@
+//! Fleet throughput bench: how fast one shared `RiService` can complete
+//! full device life-cycles (Registration → Acquisition → Installation →
+//! Consumption) as the worker count grows.
+//!
+//! Run with: `cargo bench -p oma-load`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oma_load::{run_fleet, FleetSpec};
+
+fn fleet_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    let devices = 8;
+    group.throughput(Throughput::Elements(devices as u64));
+    for workers in [1usize, 2, 4] {
+        let spec = FleetSpec::new(devices, workers);
+        group.bench_with_input(BenchmarkId::new("lifecycles", workers), &spec, |b, spec| {
+            b.iter(|| run_fleet(spec).expect("fleet run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

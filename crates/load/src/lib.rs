@@ -1,0 +1,463 @@
+//! A deterministic device-fleet load harness for the concurrent Rights
+//! Issuer service.
+//!
+//! The paper prices OMA DRM 2 from the terminal's point of view; this crate
+//! looks at the other end of the wire. [`run_fleet`] spawns N worker threads
+//! that drive per-device-seeded [`DrmAgent`]s through full Registration →
+//! Acquisition → Installation → Consumption cycles against **one shared
+//! [`RiService`]**, and reports throughput (registrations/s, ROs/s) plus
+//! fleet-wide per-phase operation traces and cycle totals through
+//! [`oma_perf::report::FleetSummary`] — the same reporting surface as the
+//! paper's Figure 6/7 tables.
+//!
+//! Determinism is the harness's defining property: everything a device
+//! observes is derived from that device's seed, and Rights-Object ids are
+//! allocated per device by the service. A multi-threaded run therefore
+//! produces, device for device, **byte-identical outcomes** to a
+//! single-threaded reference run — which is exactly what the concurrency
+//! test suite asserts to prove the sharded service loses no updates.
+//!
+//! # Example
+//!
+//! ```
+//! use oma_load::{run_fleet, run_sequential, FleetSpec};
+//!
+//! let spec = FleetSpec::smoke();
+//! let concurrent = run_fleet(&spec).unwrap();
+//! let sequential = run_sequential(&spec).unwrap();
+//!
+//! assert_eq!(concurrent.registrations, spec.devices as u64);
+//! assert!(concurrent.duplicate_ro_ids().is_empty());
+//! // Per-device outcomes and aggregate traces match the sequential run.
+//! assert!(concurrent.matches(&sequential));
+//! println!("{}", concurrent.summary("smoke fleet"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
+use oma_crypto::rsa::RsaKeyPair;
+use oma_crypto::sha1::{sha1, DIGEST_SIZE};
+use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
+use oma_perf::phases::PhaseTraces;
+use oma_perf::report::FleetSummary;
+use oma_perf::runner::PhaseCycles;
+use oma_pki::{CertificationAuthority, EntityRole, Timestamp, ValidityPeriod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The protocol timestamp every fleet interaction uses. A fixed instant
+/// keeps runs reproducible; OCSP freshness and datetime constraints are
+/// exercised by the dedicated adversarial suites instead.
+fn now() -> Timestamp {
+    Timestamp::new(1_000)
+}
+
+use oma_drm::CERT_VALIDITY_SECONDS;
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of simulated devices.
+    pub devices: usize,
+    /// Worker threads driving the devices.
+    pub workers: usize,
+    /// Full Acquisition → Installation → Consumption cycles per device
+    /// (registration happens once per device).
+    pub acquisitions_per_device: usize,
+    /// Number of distinct content items in the Rights Issuer's catalogue.
+    pub contents: usize,
+    /// Plaintext length of each content item in bytes.
+    pub content_len: usize,
+    /// RSA modulus size for the CA, the service and every device.
+    pub rsa_modulus_bits: usize,
+    /// Base seed; every per-device seed derives from it.
+    pub base_seed: u64,
+}
+
+impl FleetSpec {
+    /// A fleet of `devices` devices driven by `workers` threads, with one
+    /// acquisition cycle per device over a small catalogue (test-sized
+    /// 384-bit keys, 1 KiB content).
+    pub fn new(devices: usize, workers: usize) -> Self {
+        FleetSpec {
+            devices,
+            workers,
+            acquisitions_per_device: 1,
+            contents: 4,
+            content_len: 1024,
+            rsa_modulus_bits: 384,
+            base_seed: 0xf1ee7,
+        }
+    }
+
+    /// A minimal fleet for doctests and smoke checks.
+    pub fn smoke() -> Self {
+        FleetSpec {
+            contents: 2,
+            content_len: 256,
+            ..Self::new(3, 2)
+        }
+    }
+
+    /// The identifier of device `index` (fixed width, so every ROAP message
+    /// a device sends has the same length regardless of its index).
+    pub fn device_id(&self, index: usize) -> String {
+        format!("dev-{index:05}")
+    }
+
+    /// The RNG seed of device `index`. Each device derives all of its key
+    /// material and nonces from this seed alone.
+    pub fn device_seed(&self, index: usize) -> u64 {
+        self.base_seed ^ (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Returns the spec with a different worker count (the sequential
+    /// reference of a concurrent spec is `with_workers(1)`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// One catalogue entry the fleet acquires rights for.
+#[derive(Debug)]
+struct CatalogItem {
+    content_id: String,
+    dcf: Dcf,
+    digest: [u8; DIGEST_SIZE],
+}
+
+/// Everything one device observed during its life-cycle. Two runs of the
+/// same spec must produce equal outcomes for every device, no matter how
+/// the scheduler interleaved them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceOutcome {
+    /// The device identifier.
+    pub device_id: String,
+    /// Rights Object ids the service issued to this device, in order.
+    pub ro_ids: Vec<String>,
+    /// SHA-1 digest of each recovered plaintext, in acquisition order.
+    pub content_digests: Vec<[u8; DIGEST_SIZE]>,
+    /// Per-phase operation traces of the device's crypto engine (consumption
+    /// holds the sum over all accesses).
+    pub traces: PhaseTraces,
+    /// Per-phase cycles charged by the device's backend. The consumption
+    /// field holds the sum over all of this device's accesses, so total
+    /// this with [`PhaseCycles::sum`], not `total(accesses)`.
+    pub cycles: PhaseCycles,
+}
+
+/// The result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock duration of the device-driving portion of the run.
+    pub elapsed: Duration,
+    /// Devices registered with the service when the run finished.
+    pub registrations: u64,
+    /// Rights Objects the service issued.
+    pub rights_objects: u64,
+    /// Per-device outcomes, sorted by device id.
+    pub devices: Vec<DeviceOutcome>,
+    /// Fleet-wide per-phase operation traces (sum over devices).
+    pub traces: PhaseTraces,
+    /// Fleet-wide per-phase cycle totals (sum over devices; the consumption
+    /// field holds the summed figure — see [`PhaseCycles::sum`]).
+    pub cycles: PhaseCycles,
+}
+
+impl FleetReport {
+    /// Builds the printable summary for this run.
+    pub fn summary(&self, name: &str) -> FleetSummary {
+        FleetSummary {
+            name: name.to_string(),
+            workers: self.workers,
+            devices: self.devices.len(),
+            elapsed_secs: self.elapsed.as_secs_f64(),
+            registrations: self.registrations,
+            rights_objects: self.rights_objects,
+            phase_cycles: self.cycles,
+        }
+    }
+
+    /// Rights Object ids that were issued more than once across the whole
+    /// fleet. Must be empty: a duplicate would mean two devices hold the
+    /// same license identity.
+    pub fn duplicate_ro_ids(&self) -> Vec<String> {
+        let mut all: Vec<&String> = self.devices.iter().flat_map(|d| d.ro_ids.iter()).collect();
+        all.sort_unstable();
+        let mut duplicates = Vec::new();
+        for pair in all.windows(2) {
+            if pair[0] == pair[1] && duplicates.last() != Some(pair[0]) {
+                duplicates.push(pair[0].clone());
+            }
+        }
+        duplicates
+    }
+
+    /// Whether this run's deterministic observables — per-device outcomes,
+    /// aggregate traces and cycles, registration and RO counts — equal
+    /// `other`'s. Wall-clock time and worker count are excluded: they are
+    /// the two things *allowed* to differ between a concurrent run and its
+    /// sequential reference.
+    pub fn matches(&self, other: &FleetReport) -> bool {
+        self.devices == other.devices
+            && self.traces == other.traces
+            && self.cycles == other.cycles
+            && self.registrations == other.registrations
+            && self.rights_objects == other.rights_objects
+    }
+}
+
+/// Builds the shared world: CA, service and content catalogue. Setup is
+/// single-threaded and fully determined by the spec.
+fn build_world(spec: &FleetSpec) -> (Mutex<CertificationAuthority>, RiService, Vec<CatalogItem>) {
+    let mut rng = StdRng::seed_from_u64(spec.base_seed);
+    let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+    let service = RiService::new("ri.fleet", spec.rsa_modulus_bits, &mut ca, &mut rng);
+    let ci = ContentIssuer::new("ci.fleet");
+    let catalog = (0..spec.contents.max(1))
+        .map(|c| {
+            let mut content_rng = StdRng::seed_from_u64(spec.base_seed ^ (((c as u64) << 32) | 1));
+            let mut content = vec![0u8; spec.content_len];
+            rand::RngCore::fill_bytes(&mut content_rng, &mut content);
+            let content_id = format!("cid:fleet-{c:03}");
+            let (dcf, cek) = ci.package(&content, &content_id, &mut rng);
+            service.add_content(
+                &content_id,
+                cek,
+                &dcf,
+                RightsTemplate::unlimited(Permission::Play),
+            );
+            CatalogItem {
+                content_id,
+                dcf,
+                digest: sha1(&content),
+            }
+        })
+        .collect();
+    (Mutex::new(ca), service, catalog)
+}
+
+/// Drives one device through registration plus its acquisition cycles.
+fn drive_device(
+    spec: &FleetSpec,
+    index: usize,
+    service: &RiService,
+    ca: &Mutex<CertificationAuthority>,
+    catalog: &[CatalogItem],
+) -> Result<DeviceOutcome, DrmError> {
+    let mut rng = StdRng::seed_from_u64(spec.device_seed(index));
+    let backend = Arc::new(SoftwareBackend::new());
+    let device_id = spec.device_id(index);
+    // Generate the (expensive) device key pair outside the CA lock, so
+    // workers never serialise on key generation; the lock covers only the
+    // certificate signature.
+    let keys = RsaKeyPair::generate(spec.rsa_modulus_bits, &mut rng);
+    let (certificate, ca_root) = {
+        let mut ca = ca.lock().expect("ca lock");
+        let certificate = ca.issue(
+            &device_id,
+            EntityRole::DrmAgent,
+            keys.public().clone(),
+            ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
+        );
+        (certificate, ca.root_certificate().clone())
+    };
+    let mut agent = DrmAgent::with_credentials(
+        &device_id,
+        keys,
+        certificate,
+        ca_root,
+        Arc::<SoftwareBackend>::clone(&backend),
+        &mut rng,
+    );
+
+    let mut traces = PhaseTraces::new();
+    let mut cycles = PhaseCycles::default();
+    agent.engine().reset_trace();
+    backend.take_charged_cycles();
+
+    agent.register_with(service, now())?;
+    traces.registration.merge(&agent.engine().take_trace());
+    cycles.registration += backend.take_charged_cycles();
+
+    let mut ro_ids = Vec::with_capacity(spec.acquisitions_per_device);
+    let mut content_digests = Vec::with_capacity(spec.acquisitions_per_device);
+    for k in 0..spec.acquisitions_per_device {
+        let item = &catalog[(index + k) % catalog.len()];
+
+        let response = agent.acquire_rights_with(service, &item.content_id, now())?;
+        traces.acquisition.merge(&agent.engine().take_trace());
+        cycles.acquisition += backend.take_charged_cycles();
+
+        let ro_id = agent.install_rights(&response, now())?;
+        traces.installation.merge(&agent.engine().take_trace());
+        cycles.installation += backend.take_charged_cycles();
+
+        let plaintext = agent.consume(&ro_id, &item.dcf, Permission::Play, now())?;
+        traces
+            .consumption_per_access
+            .merge(&agent.engine().take_trace());
+        cycles.consumption_per_access += backend.take_charged_cycles();
+
+        let digest = sha1(&plaintext);
+        assert_eq!(
+            digest, item.digest,
+            "{device_id} recovered corrupted content for {}",
+            item.content_id
+        );
+        content_digests.push(digest);
+        ro_ids.push(ro_id.as_str().to_string());
+    }
+
+    Ok(DeviceOutcome {
+        device_id,
+        ro_ids,
+        content_digests,
+        traces,
+        cycles,
+    })
+}
+
+/// Runs the fleet: `spec.workers` threads pull device indices from a shared
+/// queue and drive each device's full life-cycle against one shared
+/// [`RiService`].
+///
+/// # Errors
+///
+/// Propagates the first [`DrmError`] any device hit — a failure means the
+/// protocol itself broke under concurrency, which is precisely what the
+/// harness exists to detect.
+pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
+    let (ca, service, catalog) = build_world(spec);
+    let workers = spec.workers.max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>> =
+        (0..spec.devices).map(|_| Mutex::new(None)).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= spec.devices {
+                    break;
+                }
+                let outcome = drive_device(spec, index, &service, &ca, &catalog);
+                *slots[index].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut devices = Vec::with_capacity(spec.devices);
+    for slot in slots {
+        devices.push(
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every device index was claimed")?,
+        );
+    }
+    devices.sort_by(|a, b| a.device_id.cmp(&b.device_id));
+
+    let mut traces = PhaseTraces::new();
+    let mut cycles = PhaseCycles::default();
+    for device in &devices {
+        traces.merge(&device.traces);
+        cycles.merge(&device.cycles);
+    }
+
+    Ok(FleetReport {
+        workers,
+        elapsed,
+        registrations: service.registered_count() as u64,
+        rights_objects: service.issued_ro_count(),
+        devices,
+        traces,
+        cycles,
+    })
+}
+
+/// Runs the same fleet on a single thread — the reference run that
+/// concurrent results are compared against.
+///
+/// # Errors
+///
+/// See [`run_fleet`].
+pub fn run_sequential(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
+    run_fleet(&spec.clone().with_workers(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ids_are_fixed_width_and_seeds_distinct() {
+        let spec = FleetSpec::new(4, 2);
+        assert_eq!(spec.device_id(0), "dev-00000");
+        assert_eq!(spec.device_id(123), "dev-00123");
+        assert_eq!(spec.device_id(0).len(), spec.device_id(9_999).len());
+        let seeds: std::collections::HashSet<u64> = (0..100).map(|i| spec.device_seed(i)).collect();
+        assert_eq!(seeds.len(), 100);
+    }
+
+    #[test]
+    fn smoke_fleet_registers_and_issues_deterministically() {
+        let spec = FleetSpec::smoke();
+        let run = run_fleet(&spec).unwrap();
+        assert_eq!(run.registrations, spec.devices as u64);
+        assert_eq!(
+            run.rights_objects,
+            (spec.devices * spec.acquisitions_per_device) as u64
+        );
+        assert!(run.duplicate_ro_ids().is_empty());
+        for device in &run.devices {
+            assert_eq!(device.ro_ids.len(), spec.acquisitions_per_device);
+            assert!(!device.traces.registration.is_empty());
+            assert!(device.cycles.registration > 0);
+        }
+        // Per-device RO ids depend only on the device, so the report is
+        // reproducible run over run.
+        let again = run_fleet(&spec).unwrap();
+        assert!(run.matches(&again));
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_reference() {
+        let spec = FleetSpec::new(6, 3);
+        let concurrent = run_fleet(&spec).unwrap();
+        let sequential = run_sequential(&spec).unwrap();
+        assert_eq!(concurrent.workers, 3);
+        assert_eq!(sequential.workers, 1);
+        assert!(concurrent.matches(&sequential));
+        assert_eq!(concurrent.cycles, sequential.cycles);
+    }
+
+    #[test]
+    fn summary_carries_throughput() {
+        let spec = FleetSpec::smoke();
+        let run = run_fleet(&spec).unwrap();
+        let summary = run.summary("smoke");
+        assert_eq!(summary.devices, spec.devices);
+        assert_eq!(summary.registrations, spec.devices as u64);
+        assert!(summary.registrations_per_sec() > 0.0);
+        assert!(summary.to_string().contains("ROs/s"));
+    }
+
+    #[test]
+    fn duplicate_detector_reports_duplicates() {
+        let spec = FleetSpec::smoke();
+        let mut run = run_fleet(&spec).unwrap();
+        let stolen = run.devices[0].ro_ids[0].clone();
+        run.devices[1].ro_ids.push(stolen.clone());
+        assert_eq!(run.duplicate_ro_ids(), vec![stolen]);
+    }
+}

@@ -86,6 +86,18 @@ impl PhaseTraces {
         }
     }
 
+    /// Merges another set of phase traces into this one, phase by phase.
+    /// Fleet aggregation uses this: per-device traces sum into a fleet-wide
+    /// per-phase total, and because trace addition commutes the aggregate is
+    /// independent of the order devices finished in.
+    pub fn merge(&mut self, other: &PhaseTraces) {
+        self.registration.merge(&other.registration);
+        self.acquisition.merge(&other.acquisition);
+        self.installation.merge(&other.installation);
+        self.consumption_per_access
+            .merge(&other.consumption_per_access);
+    }
+
     /// Combined trace of the one-shot phases (registration + acquisition +
     /// installation).
     pub fn setup_total(&self) -> OpTrace {

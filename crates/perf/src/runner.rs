@@ -55,6 +55,41 @@ impl PhaseCycles {
             + self.installation
             + self.consumption_per_access * accesses
     }
+
+    /// Adds another phase bill into this one. The `oma-load` fleet harness
+    /// sums per-device bills into fleet-wide per-phase totals with this;
+    /// addition commutes, so the aggregate is schedule-independent.
+    ///
+    /// In a merged aggregate the `consumption_per_access` field holds the
+    /// *sum* of the merged consumption figures, no longer a per-access
+    /// value — price such aggregates with [`PhaseCycles::sum`], not
+    /// [`PhaseCycles::total`].
+    pub fn merge(&mut self, other: &PhaseCycles) {
+        self.registration += other.registration;
+        self.acquisition += other.acquisition;
+        self.installation += other.installation;
+        self.consumption_per_access += other.consumption_per_access;
+    }
+
+    /// Grand total of the four phase fields as stored, with no per-access
+    /// scaling. This is the correct total for [`PhaseCycles::merge`]d
+    /// aggregates, where the consumption field already holds a sum over
+    /// accesses.
+    pub fn sum(&self) -> u64 {
+        self.registration + self.acquisition + self.installation + self.consumption_per_access
+    }
+
+    /// The cycle count of one phase (the consumption field as stored: a
+    /// per-access figure for a single measured run, a summed figure in a
+    /// merged aggregate).
+    pub fn phase(&self, phase: crate::phases::Phase) -> u64 {
+        match phase {
+            crate::phases::Phase::Registration => self.registration,
+            crate::phases::Phase::Acquisition => self.acquisition,
+            crate::phases::Phase::Installation => self.installation,
+            crate::phases::Phase::Consumption => self.consumption_per_access,
+        }
+    }
 }
 
 /// The result of a measured protocol run: per-phase traces, the cycles the
@@ -358,6 +393,27 @@ mod tests {
         };
         assert_eq!(cycles.total(0), 111);
         assert_eq!(cycles.total(25), 111 + 175);
+        assert_eq!(cycles.sum(), 118, "sum never scales consumption");
+    }
+
+    #[test]
+    fn phase_cycles_merge_accumulates_fieldwise() {
+        let mut a = PhaseCycles {
+            registration: 1,
+            acquisition: 2,
+            installation: 3,
+            consumption_per_access: 4,
+        };
+        let b = PhaseCycles {
+            registration: 10,
+            acquisition: 20,
+            installation: 30,
+            consumption_per_access: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.registration, 11);
+        assert_eq!(a.phase(crate::phases::Phase::Consumption), 44);
+        assert_eq!(a.sum(), 110);
     }
 
     #[test]

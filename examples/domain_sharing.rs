@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Leaving the domain removes the key from the device.
-    player.leave_domain(&mut ri, &domain);
+    player.leave_domain(&mut ri, &domain)?;
     println!(
         "player left the domain; remaining members: {}",
         ri.domain_member_count(&domain).unwrap_or(0)

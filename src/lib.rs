@@ -18,7 +18,11 @@
 //!   Issuer and domains (every actor accepts a crypto backend),
 //! * [`perf`] — the Table 1 cost model, architecture variants (each mapping
 //!   1:1 onto an executable backend), use cases, the analytic and measured
-//!   models and figure generators.
+//!   models and figure generators,
+//! * [`load`] — the deterministic device-fleet load harness: worker threads
+//!   drive per-device-seeded agents against one shared concurrent
+//!   [`RiService`](drm::RiService) and report throughput next to the paper's
+//!   tables.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the benchmark harness that regenerates every table and
@@ -55,5 +59,6 @@
 pub use oma_bignum as bignum;
 pub use oma_crypto as crypto;
 pub use oma_drm as drm;
+pub use oma_load as load;
 pub use oma_perf as perf;
 pub use oma_pki as pki;
