@@ -61,9 +61,11 @@ fn protocol(c: &mut Criterion) {
         RightsTemplate::unlimited(Permission::Play),
     );
     let now = Timestamp::new(1_000);
-    agent.register(&mut ri, now).expect("registration");
+    agent
+        .register_with(ri.service(), now)
+        .expect("registration");
     let response = agent
-        .acquire_rights(&mut ri, "cid:track", now)
+        .acquire_rights_with(ri.service(), "cid:track", now)
         .expect("acquisition");
     let ro_id = agent.install_rights(&response, now).expect("installation");
 

@@ -6,6 +6,7 @@
 //! [`CryptoEngine`]; callers (in particular `oma-perf`) snapshot the engine
 //! trace around each phase to obtain the per-phase operation lists.
 
+use crate::client::{RoapClient, RoapTransport};
 use crate::dcf::Dcf;
 use crate::domain::DomainId;
 use crate::error::DrmError;
@@ -13,8 +14,8 @@ use crate::rel::Permission;
 use crate::ri::RightsIssuer;
 use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId};
 use crate::roap::{
-    DeviceHello, JoinDomainRequest, RegistrationRequest, RegistrationResponse, RoRequest,
-    RoResponse, RoapError, NONCE_LEN,
+    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
+    RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN,
 };
 use crate::service::RiService;
 use crate::storage::{DeviceStorage, InstalledRightsObject};
@@ -194,23 +195,58 @@ impl DrmAgent {
     /// Fails with [`DrmError::Roap`] when the Rights Issuer rejects the
     /// registration, and with [`DrmError::Pki`] when the Rights Issuer
     /// certificate or its OCSP response does not verify.
+    #[deprecated(note = "use `register_with(ri.service(), ..)` or `register_via(&RoapClient, ..)`")]
     pub fn register(&mut self, ri: &mut RightsIssuer, now: Timestamp) -> Result<(), DrmError> {
         self.register_with(ri.service(), now)
     }
 
     /// Registration against a shared [`RiService`] — the form the device
     /// fleet harness uses, where many agents on many threads register with
-    /// one service instance.
+    /// one service instance. Equivalent to [`DrmAgent::register_via`] over
+    /// an in-process transport.
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::register`].
+    /// See [`DrmAgent::register_via`].
     pub fn register_with(&mut self, ri: &RiService, now: Timestamp) -> Result<(), DrmError> {
+        self.register_via(&RoapClient::in_proc(ri), now)
+    }
+
+    /// Runs the 4-pass registration protocol over a [`RoapClient`] — every
+    /// message crosses the client's transport as encoded PDU frames, whether
+    /// that transport is an in-process call or a byte channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::register`]; additionally [`DrmError::Transport`] when
+    /// the transport fails.
+    pub fn register_via<T: RoapTransport>(
+        &mut self,
+        client: &RoapClient<T>,
+        now: Timestamp,
+    ) -> Result<(), DrmError> {
         // Pass 1 and 2: the hello exchange negotiates algorithms; it involves
         // no cryptography.
-        let hello = ri.hello(&DeviceHello::new(&self.device_id));
-
+        let hello = client.hello(&DeviceHello::new(&self.device_id))?;
         // Pass 3: signed RegistrationRequest.
+        let request = self.registration_request(&hello, now)?;
+        let response = client.register(&request)?;
+        // Pass 4: verify the RegistrationResponse.
+        self.complete_registration(&hello, &request, &response, now)
+    }
+
+    /// Builds the signed `RegistrationRequest` answering `hello` (pass 3 of
+    /// registration) without sending it — the sans-io form batching drivers
+    /// use to assemble many requests before one bulk exchange.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Crypto`] when signing fails (device key too small).
+    pub fn registration_request(
+        &mut self,
+        hello: &RiHello,
+        now: Timestamp,
+    ) -> Result<RegistrationRequest, DrmError> {
         let device_nonce = self.engine.random_nonce(NONCE_LEN);
         let signed = RegistrationRequest::signed_bytes(
             hello.session_id,
@@ -220,19 +256,40 @@ impl DrmAgent {
             &self.certificate,
         );
         let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
-        let request = RegistrationRequest {
+        Ok(RegistrationRequest {
             session_id: hello.session_id,
             device_id: self.device_id.clone(),
-            device_nonce: device_nonce.clone(),
+            device_nonce,
             request_time: now,
             certificate: self.certificate.clone(),
             signature,
-        };
+        })
+    }
 
-        // Pass 4: verify the RegistrationResponse.
-        let response = ri.process_registration(&request, now)?;
-        if response.device_nonce != device_nonce || response.ri_id != ri.id() {
+    /// Verifies the `RegistrationResponse` to `request` (pass 4) and, on
+    /// success, establishes the RI Context: checks the nonce and identity
+    /// echoes, the response signature, the Rights Issuer certificate chain
+    /// and the freshness of its OCSP response.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Roap`] for echo or signature failures, [`DrmError::Pki`]
+    /// for certificate or OCSP failures.
+    pub fn complete_registration(
+        &mut self,
+        hello: &RiHello,
+        request: &RegistrationRequest,
+        response: &RegistrationResponse,
+        now: Timestamp,
+    ) -> Result<(), DrmError> {
+        if response.device_nonce != request.device_nonce || response.ri_id != hello.ri_id {
             return Err(DrmError::Roap(RoapError::Malformed));
+        }
+        // Pin the claimed RI identity to the certificate: on a real wire the
+        // hello and the response come from the same (untrusted) peer, so the
+        // only authority binding `ri_id` to a key is the CA-attested subject.
+        if response.ri_certificate.subject() != response.ri_id {
+            return Err(DrmError::Roap(RoapError::CertificateInvalid));
         }
         let signed = RegistrationResponse::signed_bytes(
             response.session_id,
@@ -285,6 +342,7 @@ impl DrmAgent {
     /// [`DrmError::NotRegistered`] without a prior [`DrmAgent::register`],
     /// [`DrmError::Roap`] when the Rights Issuer rejects the request or its
     /// response does not verify.
+    #[deprecated(note = "use `acquire_rights_with(ri.service(), ..)` or `acquire_rights_via`")]
     pub fn acquire_rights(
         &mut self,
         ri: &mut RightsIssuer,
@@ -305,7 +363,27 @@ impl DrmAgent {
         content_id: &str,
         now: Timestamp,
     ) -> Result<RoResponse, DrmError> {
-        self.acquire(ri, content_id, None, now)
+        self.acquire_rights_via(&RoapClient::in_proc(ri), ri.id(), content_id, now)
+    }
+
+    /// Device-RO acquisition over a [`RoapClient`]. `ri_id` names the Rights
+    /// Issuer (known from the registration that established the RI Context).
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::acquire_rights`]; additionally
+    /// [`DrmError::Transport`] when the transport fails.
+    pub fn acquire_rights_via<T: RoapTransport>(
+        &mut self,
+        client: &RoapClient<T>,
+        ri_id: &str,
+        content_id: &str,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
+        let request = self.ro_request(ri_id, content_id, None, now)?;
+        let response = client.request_ro(&request)?;
+        self.verify_ro_response(&request, &response)?;
+        Ok(response)
     }
 
     /// Acquires a Domain Rights Object for `content_id` targeting
@@ -315,6 +393,9 @@ impl DrmAgent {
     ///
     /// Same as [`DrmAgent::acquire_rights`], plus [`DrmError::NotInDomain`]
     /// when the device has not joined `domain_id`.
+    #[deprecated(
+        note = "use `acquire_domain_rights_with(ri.service(), ..)` or `acquire_domain_rights_via`"
+    )]
     pub fn acquire_domain_rights(
         &mut self,
         ri: &mut RightsIssuer,
@@ -337,46 +418,100 @@ impl DrmAgent {
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<RoResponse, DrmError> {
+        self.acquire_domain_rights_via(
+            &RoapClient::in_proc(ri),
+            ri.id(),
+            content_id,
+            domain_id,
+            now,
+        )
+    }
+
+    /// Domain-RO acquisition over a [`RoapClient`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::acquire_domain_rights`]; additionally
+    /// [`DrmError::Transport`] when the transport fails.
+    pub fn acquire_domain_rights_via<T: RoapTransport>(
+        &mut self,
+        client: &RoapClient<T>,
+        ri_id: &str,
+        content_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<RoResponse, DrmError> {
         if self.storage.domain_key(domain_id).is_none() {
             return Err(DrmError::NotInDomain);
         }
-        self.acquire(ri, content_id, Some(domain_id.clone()), now)
+        let request = self.ro_request(ri_id, content_id, Some(domain_id.clone()), now)?;
+        let response = client.request_ro(&request)?;
+        self.verify_ro_response(&request, &response)?;
+        Ok(response)
     }
 
-    fn acquire(
+    /// Builds a signed `RORequest` without sending it — the sans-io form
+    /// batching drivers use. Device-RO when `domain_id` is `None`, Domain-RO
+    /// otherwise (the caller is responsible for the membership check that
+    /// [`DrmAgent::acquire_domain_rights_via`] performs).
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without an RI Context for `ri_id`,
+    /// [`DrmError::Crypto`] when signing fails.
+    pub fn ro_request(
         &mut self,
-        ri: &RiService,
+        ri_id: &str,
         content_id: &str,
         domain_id: Option<DomainId>,
         now: Timestamp,
-    ) -> Result<RoResponse, DrmError> {
-        let context = self
-            .ri_contexts
-            .get(ri.id())
-            .cloned()
-            .ok_or(DrmError::NotRegistered)?;
+    ) -> Result<RoRequest, DrmError> {
+        // The context map is keyed by the RI id itself; the lookup is a
+        // registration check, not a data fetch.
+        if !self.ri_contexts.contains_key(ri_id) {
+            return Err(DrmError::NotRegistered);
+        }
+        let context_ri_id = ri_id.to_string();
         let device_nonce = self.engine.random_nonce(NONCE_LEN);
         let signed = RoRequest::signed_bytes(
             &self.device_id,
-            &context.ri_id,
+            &context_ri_id,
             content_id,
             domain_id.as_ref(),
             &device_nonce,
             now,
         );
         let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
-        let request = RoRequest {
+        Ok(RoRequest {
             device_id: self.device_id.clone(),
-            ri_id: context.ri_id.clone(),
+            ri_id: context_ri_id,
             content_id: content_id.to_string(),
             domain_id,
-            device_nonce: device_nonce.clone(),
+            device_nonce,
             request_time: now,
             signature,
-        };
-        let response = ri.process_ro_request(&request, now)?;
-        response.verify(&self.engine, &context.ri_certificate, &device_nonce)?;
-        Ok(response)
+        })
+    }
+
+    /// Agent-side verification of the `ROResponse` to `request`: the nonce
+    /// echo and the Rights Issuer signature, checked against the RI Context
+    /// established at registration.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without an RI Context,
+    /// [`DrmError::Roap`] when the echo or signature is wrong.
+    pub fn verify_ro_response(
+        &self,
+        request: &RoRequest,
+        response: &RoResponse,
+    ) -> Result<(), DrmError> {
+        let context = self
+            .ri_contexts
+            .get(&request.ri_id)
+            .ok_or(DrmError::NotRegistered)?;
+        response.verify(&self.engine, &context.ri_certificate, &request.device_nonce)?;
+        Ok(())
     }
 
     // ----- phase 3: installation ----------------------------------------------------
@@ -582,6 +717,7 @@ impl DrmAgent {
     /// [`DrmError::NotRegistered`] without a prior registration, or
     /// [`DrmError::Roap`] when the Rights Issuer rejects the join or its
     /// response does not verify.
+    #[deprecated(note = "use `join_domain_with(ri.service(), ..)` or `join_domain_via`")]
     pub fn join_domain(
         &mut self,
         ri: &mut RightsIssuer,
@@ -602,33 +738,88 @@ impl DrmAgent {
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<(), DrmError> {
-        let context = self
-            .ri_contexts
-            .get(ri.id())
-            .cloned()
-            .ok_or(DrmError::NotRegistered)?;
+        self.join_domain_via(&RoapClient::in_proc(ri), ri.id(), domain_id, now)
+    }
+
+    /// Domain join over a [`RoapClient`].
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::join_domain`]; additionally [`DrmError::Transport`]
+    /// when the transport fails.
+    pub fn join_domain_via<T: RoapTransport>(
+        &mut self,
+        client: &RoapClient<T>,
+        ri_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<(), DrmError> {
+        let request = self.join_request(ri_id, domain_id, now)?;
+        let response = client.join_domain(&request)?;
+        self.complete_join(&request, &response)
+    }
+
+    /// Builds a signed `JoinDomainRequest` without sending it (sans-io form).
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without an RI Context for `ri_id`,
+    /// [`DrmError::Crypto`] when signing fails.
+    pub fn join_request(
+        &mut self,
+        ri_id: &str,
+        domain_id: &DomainId,
+        now: Timestamp,
+    ) -> Result<JoinDomainRequest, DrmError> {
+        // The context map is keyed by the RI id itself; the lookup is a
+        // registration check, not a data fetch.
+        if !self.ri_contexts.contains_key(ri_id) {
+            return Err(DrmError::NotRegistered);
+        }
+        let context_ri_id = ri_id.to_string();
         let device_nonce = self.engine.random_nonce(NONCE_LEN);
         let signed = JoinDomainRequest::signed_bytes(
             &self.device_id,
-            &context.ri_id,
+            &context_ri_id,
             domain_id,
             &device_nonce,
             now,
         );
         let signature = self.engine.pss_sign(self.keys.private(), &signed)?;
-        let request = JoinDomainRequest {
+        Ok(JoinDomainRequest {
             device_id: self.device_id.clone(),
-            ri_id: context.ri_id.clone(),
+            ri_id: context_ri_id,
             domain_id: domain_id.clone(),
-            device_nonce: device_nonce.clone(),
+            device_nonce,
             request_time: now,
             signature,
-        };
-        let response = ri.process_join_domain(&request, now)?;
-        if response.device_nonce != device_nonce || &response.domain_id != domain_id {
+        })
+    }
+
+    /// Verifies the `JoinDomainResponse` to `request`, decrypts the domain
+    /// key and stores it: the echoes, the Rights Issuer signature, then one
+    /// RSA private-key operation to recover the key.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::NotRegistered`] without an RI Context, [`DrmError::Roap`]
+    /// for echo or signature failures, [`DrmError::Crypto`] when the key
+    /// fails to decrypt.
+    pub fn complete_join(
+        &mut self,
+        request: &JoinDomainRequest,
+        response: &JoinDomainResponse,
+    ) -> Result<(), DrmError> {
+        let context = self
+            .ri_contexts
+            .get(&request.ri_id)
+            .cloned()
+            .ok_or(DrmError::NotRegistered)?;
+        if response.device_nonce != request.device_nonce || response.domain_id != request.domain_id
+        {
             return Err(DrmError::Roap(RoapError::Malformed));
         }
-        let signed = crate::roap::JoinDomainResponse::signed_bytes(
+        let signed = JoinDomainResponse::signed_bytes(
             &response.device_id,
             &response.ri_id,
             &response.domain_id,
@@ -654,7 +845,7 @@ impl DrmAgent {
         let mut key = [0u8; 16];
         key.copy_from_slice(&decrypted[decrypted.len() - 16..]);
         self.storage
-            .store_domain_key(domain_id.clone(), response.generation, key);
+            .store_domain_key(request.domain_id.clone(), response.generation, key);
         Ok(())
     }
 
@@ -666,6 +857,7 @@ impl DrmAgent {
     /// [`DrmError::Roap`]/[`RoapError::UnknownDomain`] for an unknown domain
     /// or [`DrmError::NotInDomain`] when the device was not a member. The
     /// local domain key is removed in every case.
+    #[deprecated(note = "use `leave_domain_with(ri.service(), ..)` or `leave_domain_via`")]
     pub fn leave_domain(
         &mut self,
         ri: &mut RightsIssuer,
@@ -684,12 +876,31 @@ impl DrmAgent {
         ri: &RiService,
         domain_id: &DomainId,
     ) -> Result<(), DrmError> {
+        self.leave_domain_via(&RoapClient::in_proc(ri), domain_id)
+    }
+
+    /// Domain leave over a [`RoapClient`]. The local domain key is removed
+    /// even when the Rights Issuer reports a failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`DrmAgent::leave_domain`]; additionally [`DrmError::Transport`]
+    /// when the transport fails.
+    pub fn leave_domain_via<T: RoapTransport>(
+        &mut self,
+        client: &RoapClient<T>,
+        domain_id: &DomainId,
+    ) -> Result<(), DrmError> {
         self.storage.remove_domain_key(domain_id);
-        ri.process_leave_domain(&self.device_id, domain_id)
+        client.leave_domain(&self.device_id, domain_id)
     }
 }
 
 #[cfg(test)]
+// The unit tests double as coverage for the deprecated `&mut RightsIssuer`
+// shims: every legacy call here exercises the client-routed compatibility
+// path the seed callers rely on.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rel::RightsTemplate;

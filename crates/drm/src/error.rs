@@ -31,6 +31,10 @@ pub enum DrmError {
     NotInDomain,
     /// A ROAP protocol failure.
     Roap(RoapError),
+    /// A transport-level failure while exchanging ROAP PDUs (the peer hung
+    /// up, the channel closed, ...). Protocol-level rejections arrive as
+    /// [`DrmError::Roap`] instead.
+    Transport(String),
     /// A PKI failure (certificate, OCSP).
     Pki(oma_pki::PkiError),
     /// An underlying cryptographic failure.
@@ -53,6 +57,7 @@ impl fmt::Display for DrmError {
             DrmError::ContentMismatch => write!(f, "rights object covers different content"),
             DrmError::NotInDomain => write!(f, "device is not a member of the domain"),
             DrmError::Roap(e) => write!(f, "roap failure: {e}"),
+            DrmError::Transport(reason) => write!(f, "roap transport failure: {reason}"),
             DrmError::Pki(e) => write!(f, "pki failure: {e}"),
             DrmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
         }

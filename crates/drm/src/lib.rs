@@ -39,9 +39,12 @@
 //! let (dcf, cek) = ci.package(b"music bytes", "cid:track-1", &mut rng);
 //! ri.add_content("cid:track-1", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
 //!
-//! // Registration -> Acquisition -> Installation -> Consumption.
-//! agent.register(&mut ri, now)?;
-//! let response = agent.acquire_rights(&mut ri, "cid:track-1", now)?;
+//! // Registration -> Acquisition -> Installation -> Consumption. Every
+//! // ROAP message travels as an encoded PDU frame through a `RoapClient`
+//! // (here over the in-process transport; see the `wire` module for the
+//! // frame format and `ChannelTransport` for a serialized byte channel).
+//! agent.register_with(ri.service(), now)?;
+//! let response = agent.acquire_rights_with(ri.service(), "cid:track-1", now)?;
 //! let ro_id = agent.install_rights(&response, now)?;
 //! let plaintext = agent.consume(&ro_id, &dcf, Permission::Play, now)?;
 //! assert_eq!(plaintext, b"music bytes");
@@ -53,6 +56,7 @@
 
 pub mod agent;
 pub mod ci;
+pub mod client;
 pub mod dcf;
 pub mod domain;
 mod error;
@@ -63,6 +67,7 @@ pub mod roap;
 pub mod service;
 pub mod shard;
 pub mod storage;
+pub mod wire;
 
 /// Validity requested for certificates issued to DRM actors (10 years) —
 /// one policy constant shared by the DRM Agent, the Rights Issuer service
@@ -71,6 +76,7 @@ pub const CERT_VALIDITY_SECONDS: u64 = 10 * 365 * 24 * 3600;
 
 pub use agent::{DrmAgent, RiContext};
 pub use ci::ContentIssuer;
+pub use client::{ChannelTransport, InProcTransport, RoapClient, RoapTransport};
 pub use dcf::Dcf;
 pub use domain::{Domain, DomainId};
 pub use error::DrmError;
@@ -80,3 +86,4 @@ pub use ro::{ProtectedRightsObject, RightsObjectId};
 pub use roap::RoapError;
 pub use service::RiService;
 pub use shard::ShardedMap;
+pub use wire::{RoapPdu, RoapStatus};

@@ -45,6 +45,10 @@ pub enum RoapError {
     DomainFull,
     /// The message was malformed or referenced mismatching identities.
     Malformed,
+    /// The wire envelope carried a protocol version this peer does not speak.
+    UnsupportedVersion,
+    /// The wire envelope carried a PDU type this peer does not know.
+    UnknownPdu,
 }
 
 impl fmt::Display for RoapError {
@@ -58,6 +62,8 @@ impl fmt::Display for RoapError {
             RoapError::UnknownDomain => "unknown domain",
             RoapError::DomainFull => "domain is full",
             RoapError::Malformed => "malformed roap message",
+            RoapError::UnsupportedVersion => "unsupported roap wire version",
+            RoapError::UnknownPdu => "unknown roap pdu type",
         };
         f.write_str(s)
     }
@@ -513,6 +519,8 @@ mod tests {
             RoapError::UnknownDomain,
             RoapError::DomainFull,
             RoapError::Malformed,
+            RoapError::UnsupportedVersion,
+            RoapError::UnknownPdu,
         ] {
             assert!(!e.to_string().is_empty());
         }

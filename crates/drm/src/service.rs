@@ -38,6 +38,7 @@ use crate::roap::{
     RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN,
 };
 use crate::shard::ShardedMap;
+use crate::wire::{RoapPdu, RoapStatus};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use oma_crypto::sha1::DIGEST_SIZE;
@@ -721,6 +722,118 @@ impl RiService {
                 Err(DrmError::NotInDomain)
             }
         })
+    }
+
+    // ----- wire dispatch ---------------------------------------------------------
+
+    /// The single wire entry point: decodes one [`RoapPdu`] frame, routes it
+    /// to the matching handler, and encodes the response frame. Every
+    /// failure — a frame that does not decode, a request the handlers
+    /// reject — comes back as an encoded [`RoapStatus`] PDU, so a wire peer
+    /// always receives a well-formed answer and never a Rust error.
+    ///
+    /// Request timestamps are taken from the PDUs themselves (`request_time`
+    /// fields), mirroring the in-process API where caller and service share
+    /// one `now` — which is what makes the in-process and wire paths
+    /// byte-identical. **Trust boundary:** on a real wire this lets the peer
+    /// pick the clock its certificate is validated against; a deployment
+    /// with its own clock should use [`RiService::dispatch_at`], which pins
+    /// `now` on the server side. Note also that `LeaveDomainRequest`, like
+    /// the in-process `process_leave_domain` it routes to, is unsigned:
+    /// exposing `dispatch` to untrusted peers means any peer can issue
+    /// leave requests for any device id.
+    ///
+    /// Like every other handler, `dispatch` takes `&self`: any number of
+    /// threads can push frames into one service instance.
+    pub fn dispatch(&self, frame: &[u8]) -> Vec<u8> {
+        self.dispatch_with_clock(frame, None)
+    }
+
+    /// [`RiService::dispatch`] with a server-chosen timestamp: `now` is used
+    /// for certificate-validity and freshness decisions instead of the
+    /// request's own `request_time`, so a wire peer cannot back-date itself
+    /// into an expired certificate's validity window.
+    pub fn dispatch_at(&self, frame: &[u8], now: Timestamp) -> Vec<u8> {
+        self.dispatch_with_clock(frame, Some(now))
+    }
+
+    fn dispatch_with_clock(&self, frame: &[u8], now: Option<Timestamp>) -> Vec<u8> {
+        let response = match RoapPdu::decode(frame) {
+            Ok(pdu) => self.dispatch_pdu(pdu, now),
+            Err(e) => RoapPdu::Status(RoapStatus::from(e)),
+        };
+        response.encode()
+    }
+
+    /// Dispatches a stream of concatenated request frames, returning the
+    /// concatenated response frames in request order. One call amortizes the
+    /// envelope handling over a whole batch — the bulk entry point the
+    /// `oma-load` fleet harness drives. If the stream turns undecodable
+    /// partway, the frames handled so far are answered and a final error
+    /// status closes the response stream.
+    ///
+    /// Timestamps follow [`RiService::dispatch`] semantics (peer-supplied
+    /// `request_time`).
+    pub fn dispatch_batch(&self, stream: &[u8]) -> Vec<u8> {
+        let mut rest = stream;
+        // Responses are mostly larger than requests (certificates, ROs).
+        let mut out = Vec::with_capacity(stream.len() * 2);
+        while !rest.is_empty() {
+            match RoapPdu::decode_prefix(rest) {
+                Ok((pdu, consumed)) => {
+                    out.extend_from_slice(&self.dispatch_pdu(pdu, None).encode());
+                    rest = &rest[consumed..];
+                }
+                Err(e) => {
+                    out.extend_from_slice(&RoapPdu::Status(RoapStatus::from(e)).encode());
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Routes one decoded request PDU to its handler. `clock` overrides the
+    /// request-embedded timestamp when the server owns a clock. Response
+    /// PDUs arriving where a request belongs are rejected as malformed.
+    fn dispatch_pdu(&self, pdu: RoapPdu, clock: Option<Timestamp>) -> RoapPdu {
+        match pdu {
+            RoapPdu::DeviceHello(hello) => RoapPdu::RiHello(self.hello(&hello)),
+            RoapPdu::RegistrationRequest(request) => {
+                let now = clock.unwrap_or(request.request_time);
+                match self.process_registration(&request, now) {
+                    Ok(response) => RoapPdu::RegistrationResponse(response),
+                    Err(e) => RoapPdu::Status(RoapStatus::from(e)),
+                }
+            }
+            RoapPdu::RoRequest(request) => {
+                let now = clock.unwrap_or(request.request_time);
+                match self.process_ro_request(&request, now) {
+                    Ok(response) => RoapPdu::RoResponse(response),
+                    Err(e) => RoapPdu::Status(RoapStatus::from(e)),
+                }
+            }
+            RoapPdu::JoinDomainRequest(request) => {
+                let now = clock.unwrap_or(request.request_time);
+                match self.process_join_domain(&request, now) {
+                    Ok(response) => RoapPdu::JoinDomainResponse(response),
+                    Err(e) => RoapPdu::Status(RoapStatus::from(e)),
+                }
+            }
+            RoapPdu::LeaveDomainRequest {
+                device_id,
+                domain_id,
+            } => match self.process_leave_domain(&device_id, &domain_id) {
+                Ok(()) => RoapPdu::Status(RoapStatus::Ok),
+                Err(e) => RoapPdu::Status(RoapStatus::from(&e)),
+            },
+            // Response PDUs are never valid requests.
+            RoapPdu::RiHello(_)
+            | RoapPdu::RegistrationResponse(_)
+            | RoapPdu::RoResponse(_)
+            | RoapPdu::JoinDomainResponse(_)
+            | RoapPdu::Status(_) => RoapPdu::Status(RoapStatus::Roap(RoapError::Malformed)),
+        }
     }
 }
 

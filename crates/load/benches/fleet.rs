@@ -5,7 +5,7 @@
 //! Run with: `cargo bench -p oma-load`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oma_load::{run_fleet, FleetSpec};
+use oma_load::{run_fleet, run_fleet_wire, FleetSpec};
 
 fn fleet_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
@@ -20,5 +20,22 @@ fn fleet_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput);
+/// The same fleet driven through `dispatch_batch` waves. Since the client
+/// redesign, the per-call path above also encodes/decodes every PDU, so the
+/// delta between the two groups measures wave batching (one bulk dispatch
+/// per protocol step versus one dispatch per exchange), not serialization.
+fn fleet_wire_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_wire");
+    let devices = 8;
+    group.throughput(Throughput::Elements(devices as u64));
+    for workers in [1usize, 4] {
+        let spec = FleetSpec::new(devices, workers);
+        group.bench_with_input(BenchmarkId::new("lifecycles", workers), &spec, |b, spec| {
+            b.iter(|| run_fleet_wire(spec).expect("wire fleet run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput, fleet_wire_throughput);
 criterion_main!(benches);

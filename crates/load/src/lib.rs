@@ -17,6 +17,12 @@
 //! single-threaded reference run — which is exactly what the concurrency
 //! test suite asserts to prove the sharded service loses no updates.
 //!
+//! [`run_fleet_wire`] drives the same fleet **over the wire**: every ROAP
+//! exchange is encoded into [`RoapPdu`] frames and pushed through
+//! [`RiService::dispatch_batch`] in fleet-wide waves, measuring the
+//! serialized protocol path next to the in-process numbers. Its outcomes
+//! `match` the in-process driver's, frame codec and all.
+//!
 //! # Example
 //!
 //! ```
@@ -39,6 +45,11 @@
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::sha1::{sha1, DIGEST_SIZE};
+use oma_drm::roap::{
+    DeviceHello, RegistrationRequest, RegistrationResponse, RiHello, RoRequest, RoResponse,
+    RoapError,
+};
+use oma_drm::wire::{self, RoapPdu};
 use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
 use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
@@ -120,6 +131,13 @@ impl FleetSpec {
     /// reference of a concurrent spec is `with_workers(1)`).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Returns the spec with a different number of acquisition cycles per
+    /// device.
+    pub fn with_acquisitions(mut self, acquisitions_per_device: usize) -> Self {
+        self.acquisitions_per_device = acquisitions_per_device;
         self
     }
 }
@@ -245,14 +263,14 @@ fn build_world(spec: &FleetSpec) -> (Mutex<CertificationAuthority>, RiService, V
     (Mutex::new(ca), service, catalog)
 }
 
-/// Drives one device through registration plus its acquisition cycles.
-fn drive_device(
+/// Provisions one device: key pair, certificate from the shared CA, and an
+/// agent on a fresh metered software backend. Shared by the in-process
+/// driver and the wire driver, so both provision byte-identical devices.
+fn provision_device(
     spec: &FleetSpec,
     index: usize,
-    service: &RiService,
     ca: &Mutex<CertificationAuthority>,
-    catalog: &[CatalogItem],
-) -> Result<DeviceOutcome, DrmError> {
+) -> (DrmAgent, Arc<SoftwareBackend>) {
     let mut rng = StdRng::seed_from_u64(spec.device_seed(index));
     let backend = Arc::new(SoftwareBackend::new());
     let device_id = spec.device_id(index);
@@ -270,7 +288,7 @@ fn drive_device(
         );
         (certificate, ca.root_certificate().clone())
     };
-    let mut agent = DrmAgent::with_credentials(
+    let agent = DrmAgent::with_credentials(
         &device_id,
         keys,
         certificate,
@@ -278,6 +296,19 @@ fn drive_device(
         Arc::<SoftwareBackend>::clone(&backend),
         &mut rng,
     );
+    (agent, backend)
+}
+
+/// Drives one device through registration plus its acquisition cycles.
+fn drive_device(
+    spec: &FleetSpec,
+    index: usize,
+    service: &RiService,
+    ca: &Mutex<CertificationAuthority>,
+    catalog: &[CatalogItem],
+) -> Result<DeviceOutcome, DrmError> {
+    let (mut agent, backend) = provision_device(spec, index, ca);
+    let device_id = spec.device_id(index);
 
     let mut traces = PhaseTraces::new();
     let mut cycles = PhaseCycles::default();
@@ -395,6 +426,306 @@ pub fn run_sequential(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
     run_fleet(&spec.clone().with_workers(1))
 }
 
+// ----- wire mode -------------------------------------------------------------
+
+/// Per-device state carried between the wire driver's waves.
+struct WireDevice {
+    index: usize,
+    device_id: String,
+    agent: DrmAgent,
+    backend: Arc<SoftwareBackend>,
+    traces: PhaseTraces,
+    cycles: PhaseCycles,
+    ro_ids: Vec<String>,
+    content_digests: Vec<[u8; DIGEST_SIZE]>,
+    hello: Option<RiHello>,
+    registration: Option<RegistrationRequest>,
+    registration_response: Option<RegistrationResponse>,
+    ro_request: Option<RoRequest>,
+    ro_response: Option<RoResponse>,
+}
+
+/// Runs `f` over every device, the slice split into one contiguous chunk per
+/// worker thread. Device state never crosses a thread boundary mid-wave, so
+/// outcomes stay deterministic per device.
+fn wire_wave<F>(devices: &mut [WireDevice], workers: usize, f: F) -> Result<(), DrmError>
+where
+    F: Fn(&mut WireDevice) -> Result<(), DrmError> + Sync,
+{
+    if devices.is_empty() {
+        return Ok(());
+    }
+    let chunk = devices.len().div_ceil(workers.max(1));
+    let mut first_error = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .chunks_mut(chunk)
+            .map(|chunk| {
+                scope.spawn(|| {
+                    for device in chunk {
+                        f(device)?;
+                    }
+                    Ok::<(), DrmError>(())
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(e) = handle.join().expect("wire wave worker") {
+                first_error.get_or_insert(e);
+            }
+        }
+    });
+    match first_error {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Decodes the concatenated response stream of one `dispatch_batch` call
+/// and hands each device its response PDU via `f`.
+fn distribute_responses<F>(
+    devices: &mut [WireDevice],
+    responses: &[u8],
+    f: F,
+) -> Result<(), DrmError>
+where
+    F: Fn(&mut WireDevice, RoapPdu) -> Result<(), DrmError>,
+{
+    let pdus = wire::decode_stream(responses).map_err(DrmError::Roap)?;
+    if pdus.len() != devices.len() {
+        return Err(DrmError::Transport(format!(
+            "batch answered {} of {} requests",
+            pdus.len(),
+            devices.len()
+        )));
+    }
+    for (device, pdu) in devices.iter_mut().zip(pdus) {
+        if let RoapPdu::Status(status) = &pdu {
+            status.into_result()?;
+        }
+        f(device, pdu)?;
+    }
+    Ok(())
+}
+
+/// Runs the fleet in wire mode: every ROAP exchange is encoded into
+/// [`RoapPdu`] frames and pushed through [`RiService::dispatch_batch`], one
+/// bulk call per protocol wave (hellos, registrations, then each acquisition
+/// round). Worker threads do the per-device cryptography between waves; the
+/// envelope handling is amortized over the whole fleet.
+///
+/// The deterministic observables are identical to the in-process driver's:
+/// `run_fleet_wire(spec)?.matches(&run_sequential(spec)?)` holds, because
+/// the codec moves the very same PDUs the direct calls pass as structs.
+///
+/// # Errors
+///
+/// See [`run_fleet`]; additionally [`DrmError::Transport`] if the batch
+/// response stream does not answer every request.
+pub fn run_fleet_wire(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
+    let (ca, service, catalog) = build_world(spec);
+    let workers = spec.workers.max(1);
+
+    let started = Instant::now();
+
+    // Provision every device (parallel, CA lock covers only certification).
+    let mut devices: Vec<WireDevice> = Vec::with_capacity(spec.devices);
+    {
+        let slots: Vec<Mutex<Option<WireDevice>>> =
+            (0..spec.devices).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= spec.devices {
+                        break;
+                    }
+                    let (agent, backend) = provision_device(spec, index, &ca);
+                    agent.engine().reset_trace();
+                    backend.take_charged_cycles();
+                    *slots[index].lock().expect("slot lock") = Some(WireDevice {
+                        index,
+                        device_id: spec.device_id(index),
+                        agent,
+                        backend,
+                        traces: PhaseTraces::new(),
+                        cycles: PhaseCycles::default(),
+                        ro_ids: Vec::new(),
+                        content_digests: Vec::new(),
+                        hello: None,
+                        registration: None,
+                        registration_response: None,
+                        ro_request: None,
+                        ro_response: None,
+                    });
+                });
+            }
+        });
+        for slot in slots {
+            devices.push(
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every device index was claimed"),
+            );
+        }
+    }
+
+    // Wave 1: DeviceHello for every device, one batch.
+    let stream: Vec<u8> = devices
+        .iter()
+        .flat_map(|d| RoapPdu::DeviceHello(DeviceHello::new(&d.device_id)).encode())
+        .collect();
+    let responses = service.dispatch_batch(&stream);
+    distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
+        RoapPdu::RiHello(hello) => {
+            device.hello = Some(hello);
+            Ok(())
+        }
+        _ => Err(DrmError::Roap(RoapError::Malformed)),
+    })?;
+
+    // Wave 2: signed RegistrationRequests, one batch, then verification.
+    wire_wave(&mut devices, workers, |device| {
+        let hello = device.hello.as_ref().expect("hello wave ran").clone();
+        let request = device.agent.registration_request(&hello, now())?;
+        device
+            .traces
+            .registration
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.registration += device.backend.take_charged_cycles();
+        device.registration = Some(request);
+        Ok(())
+    })?;
+    let stream: Vec<u8> = devices
+        .iter()
+        .flat_map(|d| {
+            RoapPdu::RegistrationRequest(d.registration.clone().expect("request built")).encode()
+        })
+        .collect();
+    let responses = service.dispatch_batch(&stream);
+    distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
+        RoapPdu::RegistrationResponse(response) => {
+            device.registration_response = Some(response);
+            Ok(())
+        }
+        _ => Err(DrmError::Roap(RoapError::Malformed)),
+    })?;
+    wire_wave(&mut devices, workers, |device| {
+        let hello = device.hello.take().expect("hello wave ran");
+        let request = device.registration.take().expect("request built");
+        let response = device
+            .registration_response
+            .take()
+            .expect("response stored");
+        device
+            .agent
+            .complete_registration(&hello, &request, &response, now())?;
+        device
+            .traces
+            .registration
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.registration += device.backend.take_charged_cycles();
+        Ok(())
+    })?;
+
+    // Acquisition rounds: RORequest batch, then verify + install + consume.
+    for round in 0..spec.acquisitions_per_device {
+        wire_wave(&mut devices, workers, |device| {
+            let item = &catalog[(device.index + round) % catalog.len()];
+            let request = device
+                .agent
+                .ro_request(service.id(), &item.content_id, None, now())?;
+            device
+                .traces
+                .acquisition
+                .merge(&device.agent.engine().take_trace());
+            device.cycles.acquisition += device.backend.take_charged_cycles();
+            device.ro_request = Some(request);
+            Ok(())
+        })?;
+        let stream: Vec<u8> = devices
+            .iter()
+            .flat_map(|d| RoapPdu::RoRequest(d.ro_request.clone().expect("request built")).encode())
+            .collect();
+        let responses = service.dispatch_batch(&stream);
+        distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
+            RoapPdu::RoResponse(response) => {
+                device.ro_response = Some(response);
+                Ok(())
+            }
+            _ => Err(DrmError::Roap(RoapError::Malformed)),
+        })?;
+        wire_wave(&mut devices, workers, |device| {
+            let item = &catalog[(device.index + round) % catalog.len()];
+            let request = device.ro_request.take().expect("request built");
+            let response = device.ro_response.take().expect("response stored");
+            device.agent.verify_ro_response(&request, &response)?;
+            device
+                .traces
+                .acquisition
+                .merge(&device.agent.engine().take_trace());
+            device.cycles.acquisition += device.backend.take_charged_cycles();
+
+            let ro_id = device.agent.install_rights(&response, now())?;
+            device
+                .traces
+                .installation
+                .merge(&device.agent.engine().take_trace());
+            device.cycles.installation += device.backend.take_charged_cycles();
+
+            let plaintext = device
+                .agent
+                .consume(&ro_id, &item.dcf, Permission::Play, now())?;
+            device
+                .traces
+                .consumption_per_access
+                .merge(&device.agent.engine().take_trace());
+            device.cycles.consumption_per_access += device.backend.take_charged_cycles();
+
+            let digest = sha1(&plaintext);
+            assert_eq!(
+                digest, item.digest,
+                "{} recovered corrupted content for {}",
+                device.device_id, item.content_id
+            );
+            device.content_digests.push(digest);
+            device.ro_ids.push(ro_id.as_str().to_string());
+            Ok(())
+        })?;
+    }
+    let elapsed = started.elapsed();
+
+    let mut outcomes: Vec<DeviceOutcome> = devices
+        .into_iter()
+        .map(|d| DeviceOutcome {
+            device_id: d.device_id,
+            ro_ids: d.ro_ids,
+            content_digests: d.content_digests,
+            traces: d.traces,
+            cycles: d.cycles,
+        })
+        .collect();
+    outcomes.sort_by(|a, b| a.device_id.cmp(&b.device_id));
+
+    let mut traces = PhaseTraces::new();
+    let mut cycles = PhaseCycles::default();
+    for device in &outcomes {
+        traces.merge(&device.traces);
+        cycles.merge(&device.cycles);
+    }
+
+    Ok(FleetReport {
+        workers,
+        elapsed,
+        registrations: service.registered_count() as u64,
+        rights_objects: service.issued_ro_count(),
+        devices: outcomes,
+        traces,
+        cycles,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,6 +781,19 @@ mod tests {
         assert_eq!(summary.registrations, spec.devices as u64);
         assert!(summary.registrations_per_sec() > 0.0);
         assert!(summary.to_string().contains("ROs/s"));
+    }
+
+    #[test]
+    fn wire_fleet_matches_in_proc_reference() {
+        let spec = FleetSpec::new(5, 3).with_acquisitions(2);
+        let wire = run_fleet_wire(&spec).unwrap();
+        let reference = run_sequential(&spec).unwrap();
+        assert_eq!(wire.registrations, spec.devices as u64);
+        assert!(
+            wire.matches(&reference),
+            "wire-mode outcomes must be byte-identical to direct calls"
+        );
+        assert!(wire.duplicate_ro_ids().is_empty());
     }
 
     #[test]

@@ -170,11 +170,11 @@ pub fn measure_use_case_on(
     agent.engine().reset_trace();
     backend.take_charged_cycles();
 
-    agent.register(&mut ri, now)?;
+    agent.register_with(ri.service(), now)?;
     traces.registration = agent.engine().take_trace();
     cycles.registration = backend.take_charged_cycles();
 
-    let response = agent.acquire_rights(&mut ri, &content_id, now)?;
+    let response = agent.acquire_rights_with(ri.service(), &content_id, now)?;
     traces.acquisition = agent.engine().take_trace();
     cycles.acquisition = backend.take_charged_cycles();
 

@@ -34,21 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Both devices establish trust with the Rights Issuer.
-    phone.register(&mut ri, now)?;
-    player.register(&mut ri, now)?;
+    phone.register_with(ri.service(), now)?;
+    player.register_with(ri.service(), now)?;
     println!("both devices registered with {}", ri.id());
 
     // The user sets up a family domain and registers both devices.
     let domain: DomainId = ri.create_domain("family-domain", 8);
-    phone.join_domain(&mut ri, &domain, now)?;
-    player.join_domain(&mut ri, &domain, now)?;
+    phone.join_domain_with(ri.service(), &domain, now)?;
+    player.join_domain_with(ri.service(), &domain, now)?;
     println!(
         "domain '{domain}' now has {} member devices",
         ri.domain_member_count(&domain).unwrap_or(0)
     );
 
     // The phone buys a Domain Rights Object...
-    let response = phone.acquire_domain_rights(&mut ri, "cid:album", &domain, now)?;
+    let response = phone.acquire_domain_rights_with(ri.service(), "cid:album", &domain, now)?;
     assert!(response.rights_object.is_domain_ro());
     let ro_id = phone.install_rights(&response, now)?;
     println!("phone acquired and installed domain RO {ro_id}");
@@ -67,14 +67,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A device outside the domain cannot use the Domain RO.
     let mut stranger = DrmAgent::new("strangers-phone", 1024, &mut ca, &mut rng);
-    stranger.register(&mut ri, now)?;
+    stranger.register_with(ri.service(), now)?;
     match stranger.install_protected_ro(&response.rights_object, ri.id(), now) {
         Err(DrmError::NotInDomain) => println!("outsider correctly rejected (not a domain member)"),
         other => println!("unexpected result for outsider: {other:?}"),
     }
 
     // Leaving the domain removes the key from the device.
-    player.leave_domain(&mut ri, &domain)?;
+    player.leave_domain_with(ri.service(), &domain)?;
     println!(
         "player left the domain; remaining members: {}",
         ri.domain_member_count(&domain).unwrap_or(0)

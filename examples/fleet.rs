@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example fleet`
 
-use oma_drm2::load::{run_fleet, run_sequential, FleetSpec};
+use oma_drm2::load::{run_fleet, run_fleet_wire, run_sequential, FleetSpec};
 
 fn main() {
     let spec = FleetSpec {
@@ -52,4 +52,16 @@ fn main() {
 
     let speedup = sequential.elapsed.as_secs_f64() / concurrent.elapsed.as_secs_f64();
     println!("wall-clock speedup over sequential: {speedup:.2}x");
+
+    println!("\nre-running the same fleet over the wire (dispatch_batch waves)...\n");
+    let wire = run_fleet_wire(&spec).expect("wire fleet run");
+    println!("{}", wire.summary("Wire-mode fleet"));
+    assert!(
+        wire.matches(&sequential),
+        "wire-mode outcomes must be byte-identical to the in-process runs"
+    );
+    println!(
+        "wire-mode outcomes byte-identical to in-process runs: {}",
+        wire.matches(&sequential)
+    );
 }

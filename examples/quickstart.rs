@@ -37,10 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Registration -> Acquisition -> Installation -> Consumption.
     let now = Timestamp::new(1_000);
-    agent.register(&mut ri, now)?;
+    agent.register_with(ri.service(), now)?;
     println!("registered with {} (RI context established)", ri.id());
 
-    let response = agent.acquire_rights(&mut ri, "cid:track-0001@ci.example.com", now)?;
+    let response = agent.acquire_rights_with(ri.service(), "cid:track-0001@ci.example.com", now)?;
     println!(
         "acquired rights object {} ({} bytes on the wire)",
         response.ro_id(),

@@ -48,10 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut traces = PhaseTraces::new();
     agent.engine().reset_trace();
 
-    agent.register(&mut ri, now)?;
+    agent.register_with(ri.service(), now)?;
     traces.registration = agent.engine().take_trace();
 
-    let response = agent.acquire_rights(&mut ri, "cid:ringtone", now)?;
+    let response = agent.acquire_rights_with(ri.service(), "cid:ringtone", now)?;
     traces.acquisition = agent.engine().take_trace();
 
     let ro_id = agent.install_rights(&response, now)?;

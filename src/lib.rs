@@ -46,8 +46,8 @@
 //! let (dcf, cek) = ci.package(b"ringtone bytes", "cid:ring", &mut rng);
 //! ri.add_content("cid:ring", cek, &dcf, RightsTemplate::unlimited(Permission::Play));
 //!
-//! agent.register(&mut ri, now)?;
-//! let response = agent.acquire_rights(&mut ri, "cid:ring", now)?;
+//! agent.register_with(ri.service(), now)?;
+//! let response = agent.acquire_rights_with(ri.service(), "cid:ring", now)?;
 //! let ro_id = agent.install_rights(&response, now)?;
 //! assert_eq!(agent.consume(&ro_id, &dcf, Permission::Play, now)?, b"ringtone bytes");
 //! # Ok(()) }

@@ -1,6 +1,11 @@
 //! Cross-crate integration tests: the full OMA DRM 2 life-cycle driven
 //! through the umbrella crate's public API.
 
+// This suite deliberately drives the deprecated `&mut RightsIssuer` shims:
+// seed callers must keep compiling and behaving identically now that the
+// legacy paths route through `RoapClient<InProcTransport>`.
+#![allow(deprecated)]
+
 use oma_drm2::drm::{ContentIssuer, DrmAgent, DrmError, Permission, RightsIssuer, RightsTemplate};
 use oma_drm2::pki::{CertificationAuthority, PkiError, Timestamp};
 use rand::rngs::StdRng;

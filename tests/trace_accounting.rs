@@ -4,6 +4,11 @@
 //! (Registration → Acquisition → Installation → Consumption), consistent
 //! snapshot/take semantics, and no lost updates under concurrency.
 
+// This suite deliberately drives the deprecated `&mut RightsIssuer` shims:
+// seed callers must keep compiling and behaving identically now that the
+// legacy paths route through `RoapClient<InProcTransport>`.
+#![allow(deprecated)]
+
 use oma_drm2::crypto::{Algorithm, CryptoEngine, OpTrace};
 use oma_drm2::drm::{ContentIssuer, DrmAgent, Permission, RightsIssuer, RightsTemplate};
 use oma_drm2::pki::{CertificationAuthority, Timestamp};

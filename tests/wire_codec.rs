@@ -1,0 +1,341 @@
+//! Property and corpus tests for the ROAP wire codec.
+//!
+//! Two properties must hold for every PDU variant:
+//!
+//! 1. **Round-trip** — `decode(encode(pdu)) == pdu`, for randomly generated
+//!    field values (including empty strings, empty byte fields and every
+//!    constraint/key-protection shape).
+//! 2. **Totality** — `decode` never panics and returns `Err` for malformed
+//!    input: truncations at every byte position, single-bit flips, inflated
+//!    length fields, and purely random buffers.
+
+use oma_drm2::bignum::BigUint;
+use oma_drm2::crypto::kem::WrappedKeys;
+use oma_drm2::crypto::pss::PssSignature;
+use oma_drm2::crypto::rsa::RsaPublicKey;
+use oma_drm2::drm::ro::{
+    KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload,
+};
+use oma_drm2::drm::roap::{
+    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
+    RiHello, RoRequest, RoResponse,
+};
+use oma_drm2::drm::wire::RoapStatus;
+use oma_drm2::drm::{Constraint, DomainId, Permission, Rights, RoapError, RoapPdu};
+use oma_drm2::pki::ocsp::{CertificateStatus, OcspResponse, TbsOcspResponse};
+use oma_drm2::pki::{Certificate, EntityRole, TbsCertificate, Timestamp, ValidityPeriod};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Number of distinct PDU shapes `pdu_from_seed` can produce.
+const VARIANTS: u64 = 11;
+
+fn rand_string(rng: &mut StdRng, max_len: u64) -> String {
+    let len = rng.next_u64() % (max_len + 1);
+    (0..len)
+        .map(|_| char::from(b'a' + (rng.next_u64() % 26) as u8))
+        .collect()
+}
+
+fn rand_bytes(rng: &mut StdRng, max_len: u64) -> Vec<u8> {
+    let len = (rng.next_u64() % (max_len + 1)) as usize;
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+fn rand_signature(rng: &mut StdRng) -> PssSignature {
+    PssSignature::from_bytes(rand_bytes(rng, 64))
+}
+
+fn rand_timestamp(rng: &mut StdRng) -> Timestamp {
+    Timestamp::new(rng.next_u64())
+}
+
+fn rand_validity(rng: &mut StdRng) -> ValidityPeriod {
+    let a = rng.next_u64();
+    let b = rng.next_u64();
+    ValidityPeriod::new(Timestamp::new(a.min(b)), Timestamp::new(a.max(b)))
+}
+
+fn rand_public_key(rng: &mut StdRng) -> RsaPublicKey {
+    RsaPublicKey::new(
+        BigUint::from_bytes_be(&rand_bytes(rng, 48)),
+        BigUint::from_bytes_be(&[rand_bytes(rng, 4), vec![1]].concat()),
+    )
+}
+
+fn rand_role(rng: &mut StdRng) -> EntityRole {
+    match rng.next_u64() % 3 {
+        0 => EntityRole::CertificationAuthority,
+        1 => EntityRole::RightsIssuer,
+        _ => EntityRole::DrmAgent,
+    }
+}
+
+fn rand_certificate(rng: &mut StdRng) -> Certificate {
+    let tbs = TbsCertificate {
+        serial: rng.next_u64(),
+        issuer: rand_string(rng, 12),
+        subject: rand_string(rng, 12),
+        role: rand_role(rng),
+        public_key: rand_public_key(rng),
+        validity: rand_validity(rng),
+    };
+    Certificate::new(tbs, rand_signature(rng))
+}
+
+fn rand_ocsp(rng: &mut StdRng) -> OcspResponse {
+    let tbs = TbsOcspResponse {
+        responder: rand_string(rng, 12),
+        serial: rng.next_u64(),
+        status: match rng.next_u64() % 3 {
+            0 => CertificateStatus::Good,
+            1 => CertificateStatus::Revoked,
+            _ => CertificateStatus::Unknown,
+        },
+        produced_at: rand_timestamp(rng),
+        nonce: rand_bytes(rng, 14),
+    };
+    OcspResponse::new(tbs, rand_signature(rng))
+}
+
+fn rand_constraint(rng: &mut StdRng) -> Constraint {
+    match rng.next_u64() % 4 {
+        0 => Constraint::Unconstrained,
+        1 => Constraint::Count(rng.next_u64() as u32),
+        2 => Constraint::Datetime(rand_validity(rng)),
+        _ => Constraint::Interval(rng.next_u64()),
+    }
+}
+
+fn rand_rights(rng: &mut StdRng) -> Rights {
+    let permissions = [
+        Permission::Play,
+        Permission::Display,
+        Permission::Execute,
+        Permission::Print,
+        Permission::Export,
+    ];
+    let mut rights = Rights::new();
+    for _ in 0..rng.next_u64() % 4 {
+        let p = permissions[(rng.next_u64() % 5) as usize];
+        rights = rights.grant(p, rand_constraint(rng));
+    }
+    rights
+}
+
+fn rand_digest(rng: &mut StdRng) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+fn rand_protected_ro(rng: &mut StdRng) -> ProtectedRightsObject {
+    let payload = RightsObjectPayload {
+        id: RightsObjectId::new(&rand_string(rng, 24)),
+        rights_issuer: rand_string(rng, 12),
+        content_id: rand_string(rng, 24),
+        rights: rand_rights(rng),
+        dcf_hash: rand_digest(rng),
+        encrypted_cek: rand_bytes(rng, 24),
+        issued_at: rand_timestamp(rng),
+    };
+    let key_protection = if rng.next_u64().is_multiple_of(2) {
+        KeyProtection::Device(WrappedKeys {
+            c1: rand_bytes(rng, 64),
+            c2: rand_bytes(rng, 40),
+        })
+    } else {
+        KeyProtection::Domain {
+            domain_id: DomainId::new(&rand_string(rng, 12)),
+            generation: rng.next_u64() as u32,
+            wrapped: rand_bytes(rng, 40),
+        }
+    };
+    let signature = if rng.next_u64().is_multiple_of(2) {
+        Some(rand_signature(rng))
+    } else {
+        None
+    };
+    ProtectedRightsObject {
+        payload,
+        key_protection,
+        mac: rand_digest(rng),
+        signature,
+    }
+}
+
+fn rand_str_list(rng: &mut StdRng) -> Vec<String> {
+    (0..rng.next_u64() % 5)
+        .map(|_| rand_string(rng, 10))
+        .collect()
+}
+
+/// Builds one PDU of shape `variant` with field values drawn from `seed`.
+fn pdu_from_seed(variant: u64, seed: u64) -> RoapPdu {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    match variant % VARIANTS {
+        0 => RoapPdu::DeviceHello(DeviceHello {
+            device_id: rand_string(rng, 20),
+            version: rand_string(rng, 6),
+            supported_algorithms: rand_str_list(rng),
+        }),
+        1 => RoapPdu::RiHello(RiHello {
+            ri_id: rand_string(rng, 20),
+            session_id: rng.next_u64(),
+            ri_nonce: rand_bytes(rng, 14),
+            selected_algorithms: rand_str_list(rng),
+            trusted_authorities: rand_str_list(rng),
+        }),
+        2 => RoapPdu::RegistrationRequest(RegistrationRequest {
+            session_id: rng.next_u64(),
+            device_id: rand_string(rng, 20),
+            device_nonce: rand_bytes(rng, 14),
+            request_time: rand_timestamp(rng),
+            certificate: rand_certificate(rng),
+            signature: rand_signature(rng),
+        }),
+        3 => RoapPdu::RegistrationResponse(RegistrationResponse {
+            session_id: rng.next_u64(),
+            ri_id: rand_string(rng, 20),
+            device_nonce: rand_bytes(rng, 14),
+            ri_certificate: rand_certificate(rng),
+            ocsp_response: rand_ocsp(rng),
+            signature: rand_signature(rng),
+        }),
+        4 => RoapPdu::RoRequest(RoRequest {
+            device_id: rand_string(rng, 20),
+            ri_id: rand_string(rng, 20),
+            content_id: rand_string(rng, 24),
+            domain_id: if rng.next_u64().is_multiple_of(2) {
+                Some(DomainId::new(&rand_string(rng, 12)))
+            } else {
+                None
+            },
+            device_nonce: rand_bytes(rng, 14),
+            request_time: rand_timestamp(rng),
+            signature: rand_signature(rng),
+        }),
+        5 => RoapPdu::RoResponse(RoResponse {
+            device_id: rand_string(rng, 20),
+            ri_id: rand_string(rng, 20),
+            device_nonce: rand_bytes(rng, 14),
+            rights_object: rand_protected_ro(rng),
+            signature: rand_signature(rng),
+        }),
+        6 => RoapPdu::JoinDomainRequest(JoinDomainRequest {
+            device_id: rand_string(rng, 20),
+            ri_id: rand_string(rng, 20),
+            domain_id: DomainId::new(&rand_string(rng, 12)),
+            device_nonce: rand_bytes(rng, 14),
+            request_time: rand_timestamp(rng),
+            signature: rand_signature(rng),
+        }),
+        7 => RoapPdu::JoinDomainResponse(JoinDomainResponse {
+            device_id: rand_string(rng, 20),
+            ri_id: rand_string(rng, 20),
+            domain_id: DomainId::new(&rand_string(rng, 12)),
+            generation: rng.next_u64() as u32,
+            encrypted_domain_key: rand_bytes(rng, 64),
+            device_nonce: rand_bytes(rng, 14),
+            signature: rand_signature(rng),
+        }),
+        8 => RoapPdu::LeaveDomainRequest {
+            device_id: rand_string(rng, 20),
+            domain_id: DomainId::new(&rand_string(rng, 12)),
+        },
+        9 => RoapPdu::Status(RoapStatus::from_code((rng.next_u64() % 12) as u8).unwrap()),
+        _ => RoapPdu::Status(RoapStatus::Ok),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_variant_roundtrips(seed in 0u64..u64::MAX) {
+        for variant in 0..VARIANTS {
+            let pdu = pdu_from_seed(variant, seed);
+            let frame = pdu.encode();
+            let decoded = RoapPdu::decode(&frame);
+            prop_assert_eq!(decoded.as_ref(), Ok(&pdu), "variant {} seed {}", variant, seed);
+        }
+    }
+
+    #[test]
+    fn truncation_never_decodes_and_never_panics(seed in 0u64..u64::MAX) {
+        for variant in 0..VARIANTS {
+            let frame = pdu_from_seed(variant, seed).encode();
+            // Every strict prefix must be rejected.
+            let step = (frame.len() / 37).max(1);
+            for cut in (0..frame.len()).step_by(step) {
+                prop_assert!(RoapPdu::decode(&frame[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_decode_or_fail_but_never_panic(seed in 0u64..u64::MAX) {
+        for variant in 0..VARIANTS {
+            let frame = pdu_from_seed(variant, seed).encode();
+            let step = (frame.len() / 53).max(1);
+            for pos in (0..frame.len()).step_by(step) {
+                let mut mutated = frame.clone();
+                mutated[pos] ^= 1 << (pos % 8);
+                // A flip may still decode (e.g. inside a nonce); it must
+                // never panic and never produce the original PDU bytes.
+                let _ = RoapPdu::decode(&mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_buffers_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xf22);
+    for len in [0usize, 1, 4, 17, 18, 19, 64, 256, 4096] {
+        for _ in 0..64 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            let _ = RoapPdu::decode(&buf);
+            let _ = oma_drm2::drm::wire::decode_stream(&buf);
+        }
+    }
+}
+
+#[test]
+fn inflated_length_fields_are_rejected() {
+    for variant in 0..VARIANTS {
+        let frame = pdu_from_seed(variant, 7).encode();
+        // Inflate every aligned 4-byte window as if it were a length field.
+        for pos in (0..frame.len().saturating_sub(4)).step_by(2) {
+            let mut mutated = frame.clone();
+            mutated[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+            let _ = RoapPdu::decode(&mutated); // must not panic or hang
+        }
+        // Declaring a huge body without providing it must fail cleanly.
+        let mut huge = frame.clone();
+        huge[14..18].copy_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(RoapPdu::decode(&huge).is_err());
+    }
+}
+
+#[test]
+fn envelope_session_ids_surface() {
+    let pdu = pdu_from_seed(2, 99);
+    if let RoapPdu::RegistrationRequest(r) = &pdu {
+        assert_eq!(pdu.session_id(), r.session_id);
+    } else {
+        panic!("variant 2 is a registration request");
+    }
+    assert_eq!(pdu_from_seed(8, 99).session_id(), 0);
+}
+
+#[test]
+fn unsupported_version_is_a_distinct_error() {
+    let mut frame = pdu_from_seed(0, 3).encode();
+    frame[4] = 99;
+    assert_eq!(RoapPdu::decode(&frame), Err(RoapError::UnsupportedVersion));
+}

@@ -1,0 +1,276 @@
+//! Golden wire vectors: committed byte-exact encodings of one literal PDU
+//! per variant, guarding the codec against accidental format drift.
+//!
+//! Every PDU here is built from fully literal field values — no RNG, no key
+//! generation — so the expected bytes depend on nothing but the codec
+//! itself. If an encoding change is intentional (a new wire version), bless
+//! new vectors with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test wire_golden
+//! ```
+//!
+//! and review the resulting `tests/golden/*.bin` diff like any other wire
+//! format change.
+
+use oma_drm2::bignum::BigUint;
+use oma_drm2::crypto::kem::WrappedKeys;
+use oma_drm2::crypto::pss::PssSignature;
+use oma_drm2::crypto::rsa::RsaPublicKey;
+use oma_drm2::drm::ro::{
+    KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload,
+};
+use oma_drm2::drm::roap::{
+    DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
+    RiHello, RoRequest, RoResponse,
+};
+use oma_drm2::drm::wire::RoapStatus;
+use oma_drm2::drm::{Constraint, DomainId, Permission, Rights, RoapError, RoapPdu};
+use oma_drm2::pki::ocsp::{CertificateStatus, OcspResponse, TbsOcspResponse};
+use oma_drm2::pki::{Certificate, EntityRole, TbsCertificate, Timestamp, ValidityPeriod};
+use std::path::PathBuf;
+
+fn signature(byte: u8, len: usize) -> PssSignature {
+    PssSignature::from_bytes(vec![byte; len])
+}
+
+fn certificate() -> Certificate {
+    Certificate::new(
+        TbsCertificate {
+            serial: 7,
+            issuer: "cmla".into(),
+            subject: "phone-001".into(),
+            role: EntityRole::DrmAgent,
+            public_key: RsaPublicKey::new(
+                BigUint::from_bytes_be(&[0xC3; 48]),
+                BigUint::from_bytes_be(&65_537u32.to_be_bytes()),
+            ),
+            validity: ValidityPeriod::new(Timestamp::new(0), Timestamp::new(10_000)),
+        },
+        signature(0xA1, 48),
+    )
+}
+
+fn ocsp() -> OcspResponse {
+    OcspResponse::new(
+        TbsOcspResponse {
+            responder: "cmla".into(),
+            serial: 3,
+            status: CertificateStatus::Good,
+            produced_at: Timestamp::new(900),
+            nonce: Vec::new(),
+        },
+        signature(0xB2, 48),
+    )
+}
+
+fn device_ro() -> ProtectedRightsObject {
+    ProtectedRightsObject {
+        payload: RightsObjectPayload {
+            id: RightsObjectId::new("ro:ri:dev:phone-001:0"),
+            rights_issuer: "ri.example.com".into(),
+            content_id: "cid:track-1".into(),
+            rights: Rights::new()
+                .grant(Permission::Play, Constraint::Count(5))
+                .grant(
+                    Permission::Display,
+                    Constraint::Datetime(ValidityPeriod::new(
+                        Timestamp::new(100),
+                        Timestamp::new(200),
+                    )),
+                )
+                .grant(Permission::Export, Constraint::Interval(3_600))
+                .grant(Permission::Print, Constraint::Unconstrained),
+            dcf_hash: [0x5A; 20],
+            encrypted_cek: vec![0x11; 24],
+            issued_at: Timestamp::new(1_000),
+        },
+        key_protection: KeyProtection::Device(WrappedKeys {
+            c1: vec![0x22; 48],
+            c2: vec![0x33; 40],
+        }),
+        mac: [0x44; 20],
+        signature: None,
+    }
+}
+
+fn domain_ro() -> ProtectedRightsObject {
+    let mut ro = device_ro();
+    ro.key_protection = KeyProtection::Domain {
+        domain_id: DomainId::new("family"),
+        generation: 2,
+        wrapped: vec![0x55; 40],
+    };
+    ro.signature = Some(signature(0x66, 48));
+    ro
+}
+
+/// The named golden PDUs: one per envelope variant, plus both Rights Object
+/// protection shapes and both status flavours.
+fn golden_pdus() -> Vec<(&'static str, RoapPdu)> {
+    vec![
+        (
+            "device_hello",
+            RoapPdu::DeviceHello(DeviceHello::new("phone-001")),
+        ),
+        (
+            "ri_hello",
+            RoapPdu::RiHello(RiHello {
+                ri_id: "ri.example.com".into(),
+                session_id: 42,
+                ri_nonce: vec![0x77; 14],
+                selected_algorithms: vec!["SHA-1".into(), "RSA-PSS".into()],
+                trusted_authorities: vec!["cmla".into()],
+            }),
+        ),
+        (
+            "registration_request",
+            RoapPdu::RegistrationRequest(RegistrationRequest {
+                session_id: 42,
+                device_id: "phone-001".into(),
+                device_nonce: vec![0x88; 14],
+                request_time: Timestamp::new(1_000),
+                certificate: certificate(),
+                signature: signature(0x99, 48),
+            }),
+        ),
+        (
+            "registration_response",
+            RoapPdu::RegistrationResponse(RegistrationResponse {
+                session_id: 42,
+                ri_id: "ri.example.com".into(),
+                device_nonce: vec![0x88; 14],
+                ri_certificate: certificate(),
+                ocsp_response: ocsp(),
+                signature: signature(0xAA, 48),
+            }),
+        ),
+        (
+            "ro_request",
+            RoapPdu::RoRequest(RoRequest {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                content_id: "cid:track-1".into(),
+                domain_id: None,
+                device_nonce: vec![0xBB; 14],
+                request_time: Timestamp::new(1_000),
+                signature: signature(0xCC, 48),
+            }),
+        ),
+        (
+            "ro_request_domain",
+            RoapPdu::RoRequest(RoRequest {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                content_id: "cid:track-1".into(),
+                domain_id: Some(DomainId::new("family")),
+                device_nonce: vec![0xBB; 14],
+                request_time: Timestamp::new(1_000),
+                signature: signature(0xCC, 48),
+            }),
+        ),
+        (
+            "ro_response_device",
+            RoapPdu::RoResponse(RoResponse {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                device_nonce: vec![0xBB; 14],
+                rights_object: device_ro(),
+                signature: signature(0xDD, 48),
+            }),
+        ),
+        (
+            "ro_response_domain",
+            RoapPdu::RoResponse(RoResponse {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                device_nonce: vec![0xBB; 14],
+                rights_object: domain_ro(),
+                signature: signature(0xDD, 48),
+            }),
+        ),
+        (
+            "join_domain_request",
+            RoapPdu::JoinDomainRequest(JoinDomainRequest {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                domain_id: DomainId::new("family"),
+                device_nonce: vec![0xEE; 14],
+                request_time: Timestamp::new(1_000),
+                signature: signature(0xF0, 48),
+            }),
+        ),
+        (
+            "join_domain_response",
+            RoapPdu::JoinDomainResponse(JoinDomainResponse {
+                device_id: "phone-001".into(),
+                ri_id: "ri.example.com".into(),
+                domain_id: DomainId::new("family"),
+                generation: 2,
+                encrypted_domain_key: vec![0xF1; 48],
+                device_nonce: vec![0xEE; 14],
+                signature: signature(0xF2, 48),
+            }),
+        ),
+        (
+            "leave_domain_request",
+            RoapPdu::LeaveDomainRequest {
+                device_id: "phone-001".into(),
+                domain_id: DomainId::new("family"),
+            },
+        ),
+        ("status_ok", RoapPdu::Status(RoapStatus::Ok)),
+        (
+            "status_domain_full",
+            RoapPdu::Status(RoapStatus::Roap(RoapError::DomainFull)),
+        ),
+        (
+            "status_not_in_domain",
+            RoapPdu::Status(RoapStatus::NotInDomain),
+        ),
+    ]
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.bin"))
+}
+
+#[test]
+fn golden_vectors_match_committed_bytes() {
+    let bless = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut drifted = Vec::new();
+    for (name, pdu) in golden_pdus() {
+        let encoded = pdu.encode();
+        let path = golden_path(name);
+        if bless {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &encoded).unwrap();
+            continue;
+        }
+        let expected = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing golden vector {}: {e}", path.display()));
+        if encoded != expected {
+            drifted.push(name);
+        }
+        // The committed bytes must also decode back to the very same PDU.
+        assert_eq!(
+            RoapPdu::decode(&expected).as_ref(),
+            Ok(&pdu),
+            "golden vector {name} no longer decodes to its PDU"
+        );
+    }
+    assert!(
+        drifted.is_empty(),
+        "wire codec drift detected for {drifted:?}; if intentional, bump the \
+         wire version and re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_coverage_spans_every_envelope_tag() {
+    use std::collections::HashSet;
+    let tags: HashSet<u8> = golden_pdus().iter().map(|(_, p)| p.tag()).collect();
+    assert_eq!(tags.len(), 10, "one golden vector per envelope tag");
+}
