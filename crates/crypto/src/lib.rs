@@ -17,7 +17,7 @@
 //!   exponentiations, with a software implementation and a cycle-accurate
 //!   simulated hardware-macro implementation so the paper's HW/SW
 //!   partitionings are *executable*, not just priced,
-//! * [`provider`] — an instrumented [`CryptoEngine`](provider::CryptoEngine)
+//! * [`provider`] — an instrumented [`CryptoEngine`]
 //!   that performs every operation through a backend *and* records
 //!   `(algorithm, invocations, blocks)` in lock-free sharded counters so
 //!   that the performance model in `oma-perf` can cost a protocol run

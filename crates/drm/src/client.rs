@@ -116,12 +116,22 @@ impl RoapTransport for ChannelTransport {
 
 /// Serves ROAP over one [`ChannelTransport`] endpoint: every received frame
 /// is passed through [`RiService::dispatch`] and the response frame sent
-/// back. Returns when the client endpoint is dropped.
-pub fn serve(service: &RiService, endpoint: &ChannelTransport) {
-    while let Ok(frame) = endpoint.recv() {
-        if endpoint.send(service.dispatch(&frame)).is_err() {
-            break;
-        }
+/// back.
+///
+/// The loop runs until the peer endpoint disconnects, which is surfaced as
+/// the [`DrmError::Transport`] it was detected as — a server thread
+/// supervising many connections can tell *that* and *why* a connection
+/// ended instead of silently falling off a loop (the TCP connection loop in
+/// `oma-net` reports disconnects the same way).
+///
+/// # Errors
+///
+/// Always returns [`DrmError::Transport`] eventually: "channel closed" is
+/// the clean end of a conversation whose client hung up.
+pub fn serve(service: &RiService, endpoint: &ChannelTransport) -> Result<(), DrmError> {
+    loop {
+        let frame = endpoint.recv()?;
+        endpoint.send(service.dispatch(&frame))?;
     }
 }
 
@@ -263,6 +273,26 @@ mod tests {
         let hello = client.hello(&DeviceHello::new("dev")).unwrap();
         assert_eq!(hello.ri_id, "ri");
         assert_eq!(service.pending_session_count(), 1);
+    }
+
+    #[test]
+    fn serve_surfaces_peer_disconnect_as_transport_error() {
+        let mut rng = StdRng::seed_from_u64(0x5e4e);
+        let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+        let service = RiService::new("ri", 384, &mut ca, &mut rng);
+        let (client_end, server_end) = ChannelTransport::pair();
+        let result = std::thread::scope(|scope| {
+            let service = &service;
+            let server = scope.spawn(move || serve(service, &server_end));
+            let client = RoapClient::new(client_end);
+            client.hello(&DeviceHello::new("dev")).unwrap();
+            drop(client);
+            server.join().expect("server thread")
+        });
+        assert!(
+            matches!(result, Err(DrmError::Transport(_))),
+            "hang-up must end the loop with a Transport error, got {result:?}"
+        );
     }
 
     #[test]

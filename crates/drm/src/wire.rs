@@ -300,22 +300,16 @@ impl RoapPdu {
     ///
     /// See [`RoapPdu::decode`].
     pub fn decode_prefix(stream: &[u8]) -> Result<(Self, usize), RoapError> {
-        if stream.len() < HEADER_LEN {
-            return Err(RoapError::Malformed);
-        }
-        if stream[..4] != WIRE_MAGIC {
-            return Err(RoapError::Malformed);
-        }
-        if stream[4] != WIRE_VERSION {
-            return Err(RoapError::UnsupportedVersion);
-        }
+        // One source of truth for the header rules: `frame_len` validates
+        // magic, version and the body-length cap. A frame that has not
+        // fully arrived is a truncation here, not a wait-for-more.
+        let frame_len = match Self::frame_len(stream)? {
+            Some(frame_len) if stream.len() >= frame_len => frame_len,
+            _ => return Err(RoapError::Malformed),
+        };
         let tag = stream[5];
         let session_id = u64::from_be_bytes(stream[6..14].try_into().expect("8 bytes"));
-        let body_len = u32::from_be_bytes(stream[14..18].try_into().expect("4 bytes")) as usize;
-        if body_len > MAX_BODY_LEN || stream.len() - HEADER_LEN < body_len {
-            return Err(RoapError::Malformed);
-        }
-        let mut r = Reader::new(&stream[HEADER_LEN..HEADER_LEN + body_len]);
+        let mut r = Reader::new(&stream[HEADER_LEN..frame_len]);
         let pdu = Self::decode_body(tag, session_id, &mut r)?;
         r.finish()?;
         // Canonical form: the header session id must be exactly what this
@@ -323,7 +317,50 @@ impl RoapPdu {
         if pdu.session_id() != session_id {
             return Err(RoapError::Malformed);
         }
-        Ok((pdu, HEADER_LEN + body_len))
+        Ok((pdu, frame_len))
+    }
+
+    /// Inspects the first bytes of an incoming byte stream and reports how
+    /// long the frame they begin is — the primitive a streaming transport
+    /// needs to reassemble frames split across TCP segments (or to find the
+    /// boundary between frames coalesced into one segment) *before* the
+    /// whole frame has arrived.
+    ///
+    /// Returns `Ok(None)` while fewer than [`HEADER_LEN`] bytes are
+    /// available (read more and retry), and `Ok(Some(total))` once the
+    /// header is complete, where `total` is the full frame length including
+    /// the header. The caller buffers until `total` bytes are available and
+    /// hands them to [`RoapPdu::decode`] / [`RiService::dispatch`].
+    ///
+    /// [`RiService::dispatch`]: crate::service::RiService::dispatch
+    ///
+    /// # Errors
+    ///
+    /// The same header rejections as [`RoapPdu::decode_prefix`]:
+    /// [`RoapError::Malformed`] for a bad magic or an oversized length
+    /// field, [`RoapError::UnsupportedVersion`] for an unknown version
+    /// byte. A streaming peer cannot resynchronise after any of these — the
+    /// connection should answer with a `Status` PDU and close.
+    pub fn frame_len(prefix: &[u8]) -> Result<Option<usize>, RoapError> {
+        if prefix.len() < HEADER_LEN {
+            if let Some(checkable) = prefix.get(..4) {
+                if checkable != WIRE_MAGIC {
+                    return Err(RoapError::Malformed);
+                }
+            }
+            return Ok(None);
+        }
+        if prefix[..4] != WIRE_MAGIC {
+            return Err(RoapError::Malformed);
+        }
+        if prefix[4] != WIRE_VERSION {
+            return Err(RoapError::UnsupportedVersion);
+        }
+        let body_len = u32::from_be_bytes(prefix[14..18].try_into().expect("4 bytes")) as usize;
+        if body_len > MAX_BODY_LEN {
+            return Err(RoapError::Malformed);
+        }
+        Ok(Some(HEADER_LEN + body_len))
     }
 
     fn encode_body(&self) -> Vec<u8> {
@@ -852,6 +889,35 @@ mod tests {
             0xdead_beef
         );
         assert_eq!(RoapPdu::decode(&frame).unwrap(), pdu);
+    }
+
+    #[test]
+    fn frame_len_reassembles_from_any_prefix() {
+        let frame = hello_pdu().encode();
+        // Every strict prefix of the header asks for more bytes; a complete
+        // header names the full frame length.
+        for cut in 0..HEADER_LEN {
+            assert_eq!(RoapPdu::frame_len(&frame[..cut]), Ok(None), "cut {cut}");
+        }
+        for cut in HEADER_LEN..=frame.len() {
+            assert_eq!(RoapPdu::frame_len(&frame[..cut]), Ok(Some(frame.len())));
+        }
+        // Garbage is rejected as soon as the magic is readable, well before
+        // a full header arrives.
+        assert_eq!(
+            RoapPdu::frame_len(b"HTTP"),
+            Err(RoapError::Malformed),
+            "wrong magic"
+        );
+        let mut wrong_version = frame.clone();
+        wrong_version[4] = 9;
+        assert_eq!(
+            RoapPdu::frame_len(&wrong_version),
+            Err(RoapError::UnsupportedVersion)
+        );
+        let mut hostile_len = frame;
+        hostile_len[14..18].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(RoapPdu::frame_len(&hostile_len), Err(RoapError::Malformed));
     }
 
     #[test]

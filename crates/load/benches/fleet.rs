@@ -5,7 +5,7 @@
 //! Run with: `cargo bench -p oma-load`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oma_load::{run_fleet, run_fleet_wire, FleetSpec};
+use oma_load::{run_fleet, run_fleet_tcp, run_fleet_wire, FleetSpec};
 
 fn fleet_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
@@ -37,5 +37,27 @@ fn fleet_wire_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fleet_throughput, fleet_wire_throughput);
+/// The same fleet again over loopback TCP: every device life-cycle is a
+/// fresh connection into the bounded-pool `RoapTcpServer`. The delta to the
+/// `fleet` group prices the socket path — syscalls, framing reassembly and
+/// connection churn — on top of identical protocol work.
+fn fleet_tcp_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_tcp");
+    let devices = 8;
+    group.throughput(Throughput::Elements(devices as u64));
+    for workers in [1usize, 4] {
+        let spec = FleetSpec::new(devices, workers);
+        group.bench_with_input(BenchmarkId::new("lifecycles", workers), &spec, |b, spec| {
+            b.iter(|| run_fleet_tcp(spec).expect("tcp fleet run"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    fleet_throughput,
+    fleet_wire_throughput,
+    fleet_tcp_throughput
+);
 criterion_main!(benches);

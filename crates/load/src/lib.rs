@@ -23,6 +23,12 @@
 //! serialized protocol path next to the in-process numbers. Its outcomes
 //! `match` the in-process driver's, frame codec and all.
 //!
+//! [`run_fleet_tcp`] goes the last rung down: the frames cross **real
+//! loopback TCP connections** into a bounded-pool
+//! [`oma_net::RoapTcpServer`], one connection per device life-cycle, and
+//! the outcomes still `match` the in-process reference — transport is the
+//! only thing that changed.
+//!
 //! # Example
 //!
 //! ```
@@ -45,12 +51,14 @@
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::sha1::{sha1, DIGEST_SIZE};
+use oma_drm::client::{RoapClient, RoapTransport};
 use oma_drm::roap::{
     DeviceHello, RegistrationRequest, RegistrationResponse, RiHello, RoRequest, RoResponse,
     RoapError,
 };
 use oma_drm::wire::{self, RoapPdu};
 use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
+use oma_net::{RoapTcpServer, ServerConfig, TcpTransport};
 use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
 use oma_perf::runner::PhaseCycles;
@@ -299,11 +307,36 @@ fn provision_device(
     (agent, backend)
 }
 
-/// Drives one device through registration plus its acquisition cycles.
+/// Drives one device through registration plus its acquisition cycles
+/// against an in-process service — a [`drive_device_via`] over the
+/// in-process transport, which is exactly what the legacy `*_with` agent
+/// methods are.
 fn drive_device(
     spec: &FleetSpec,
     index: usize,
     service: &RiService,
+    ca: &Mutex<CertificationAuthority>,
+    catalog: &[CatalogItem],
+) -> Result<DeviceOutcome, DrmError> {
+    drive_device_via(
+        spec,
+        index,
+        service.id(),
+        &RoapClient::in_proc(service),
+        ca,
+        catalog,
+    )
+}
+
+/// Drives one device through registration plus its acquisition cycles over
+/// an arbitrary ROAP transport. Every driver — in-process, loopback TCP —
+/// runs this one code path, which is what makes their per-device outcomes
+/// (traces, cycles, RO ids, recovered content) byte-identical.
+fn drive_device_via<T: RoapTransport>(
+    spec: &FleetSpec,
+    index: usize,
+    ri_id: &str,
+    client: &RoapClient<T>,
     ca: &Mutex<CertificationAuthority>,
     catalog: &[CatalogItem],
 ) -> Result<DeviceOutcome, DrmError> {
@@ -315,7 +348,7 @@ fn drive_device(
     agent.engine().reset_trace();
     backend.take_charged_cycles();
 
-    agent.register_with(service, now())?;
+    agent.register_via(client, now())?;
     traces.registration.merge(&agent.engine().take_trace());
     cycles.registration += backend.take_charged_cycles();
 
@@ -324,7 +357,7 @@ fn drive_device(
     for k in 0..spec.acquisitions_per_device {
         let item = &catalog[(index + k) % catalog.len()];
 
-        let response = agent.acquire_rights_with(service, &item.content_id, now())?;
+        let response = agent.acquire_rights_via(client, ri_id, &item.content_id, now())?;
         traces.acquisition.merge(&agent.engine().take_trace());
         cycles.acquisition += backend.take_charged_cycles();
 
@@ -388,7 +421,18 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
     });
     let elapsed = started.elapsed();
 
-    let mut devices = Vec::with_capacity(spec.devices);
+    collect_report(slots, workers, elapsed, &service)
+}
+
+/// Collects the per-device outcome slots of a finished run into the sorted,
+/// fleet-aggregated report. Shared by every driver.
+fn collect_report(
+    slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>>,
+    workers: usize,
+    elapsed: Duration,
+    service: &RiService,
+) -> Result<FleetReport, DrmError> {
+    let mut devices = Vec::with_capacity(slots.len());
     for slot in slots {
         devices.push(
             slot.into_inner()
@@ -424,6 +468,63 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
 /// See [`run_fleet`].
 pub fn run_sequential(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
     run_fleet(&spec.clone().with_workers(1))
+}
+
+/// Runs the fleet **over loopback TCP**: a [`RoapTcpServer`] (worker pool
+/// sized like the client side, clock pinned to the fleet's fixed protocol
+/// timestamp) serves one shared [`RiService`], and every device opens its
+/// own connection, drives its full life-cycle through a
+/// `RoapClient<TcpTransport>`, and disconnects — so a run of N devices is
+/// also N accept/serve/hang-up cycles, the connection-churn pattern the
+/// in-process drivers cannot express.
+///
+/// The device-driving code path is byte-for-byte the one [`run_fleet`]
+/// uses; only the transport differs. The deterministic observables —
+/// per-device RO ids, recovered-content digests, per-phase operation traces
+/// and cycle bills — therefore `match` the in-process reference exactly:
+/// `run_fleet_tcp(spec)?.matches(&run_sequential(spec)?)` holds.
+///
+/// # Errors
+///
+/// See [`run_fleet`]; additionally [`DrmError::Transport`] when the server
+/// cannot bind or a connection fails mid-protocol.
+pub fn run_fleet_tcp(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
+    let (ca, service, catalog) = build_world(spec);
+    let service = Arc::new(service);
+    let workers = spec.workers.max(1);
+    let server = RoapTcpServer::bind(
+        Arc::clone(&service),
+        ServerConfig {
+            workers,
+            clock: Some(now()),
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = server.local_addr();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>> =
+        (0..spec.devices).map(|_| Mutex::new(None)).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= spec.devices {
+                    break;
+                }
+                let outcome = TcpTransport::connect(addr).and_then(|transport| {
+                    let client = RoapClient::new(transport);
+                    drive_device_via(spec, index, service.id(), &client, &ca, &catalog)
+                });
+                *slots[index].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+    server.shutdown();
+
+    collect_report(slots, workers, elapsed, &service)
 }
 
 // ----- wire mode -------------------------------------------------------------
@@ -794,6 +895,29 @@ mod tests {
             "wire-mode outcomes must be byte-identical to direct calls"
         );
         assert!(wire.duplicate_ro_ids().is_empty());
+    }
+
+    #[test]
+    fn tcp_fleet_matches_in_proc_reference() {
+        let spec = FleetSpec::new(5, 3).with_acquisitions(2);
+        let tcp = run_fleet_tcp(&spec).unwrap();
+        let reference = run_sequential(&spec).unwrap();
+        assert_eq!(tcp.registrations, spec.devices as u64);
+        assert!(
+            tcp.matches(&reference),
+            "loopback-TCP outcomes must be byte-identical to direct calls"
+        );
+        assert!(tcp.duplicate_ro_ids().is_empty());
+    }
+
+    #[test]
+    fn tcp_fleet_single_worker_matches_concurrent_tcp() {
+        // Connection churn and request interleaving across the socket must
+        // not leak into any deterministic observable.
+        let spec = FleetSpec::smoke();
+        let concurrent = run_fleet_tcp(&spec).unwrap();
+        let single = run_fleet_tcp(&spec.clone().with_workers(1)).unwrap();
+        assert!(concurrent.matches(&single));
     }
 
     #[test]

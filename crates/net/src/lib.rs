@@ -1,0 +1,715 @@
+//! ROAP over real sockets.
+//!
+//! Everything below the wire layer is transport-agnostic: a [`RoapPdu`]
+//! frame is a self-delimiting byte string, [`RiService::dispatch`] turns
+//! one request frame into one response frame, and
+//! [`RoapClient`](oma_drm::client::RoapClient) only needs a
+//! [`RoapTransport`] to speak the whole protocol. This crate supplies the
+//! missing rung: the frames actually cross a TCP connection.
+//!
+//! * [`TcpTransport`] — the client end: one connection, one frame out, one
+//!   frame back per [`RoapTransport::roundtrip`], with partial reads
+//!   reassembled via the envelope's length header
+//!   ([`RoapPdu::frame_len`]).
+//! * [`RoapTcpServer`] — the service end: a listener plus a **bounded**
+//!   worker pool; each worker serves one connection at a time, feeding every
+//!   received frame through [`RiService::dispatch_at`] so certificate
+//!   validity is judged by the *server's* clock, never the peer's
+//!   (see [`ServerConfig::clock`]).
+//! * [`serve_connection`] — the per-connection loop itself, usable without
+//!   the server when a test or example owns its own accept loop. Frames may
+//!   arrive split across TCP segments or coalesced several-per-segment; the
+//!   loop reassembles both cases, and hangs up on peers that stop
+//!   delivering bytes for [`ServerConfig::idle_timeout`].
+//!
+//! The crate is std-only by design (the vendored-deps rule): no async
+//! runtime, no socket abstraction — `std::net` blocking sockets and plain
+//! threads, which is also the honest model of the 2005-era license servers
+//! the paper's Rights Issuer would have talked to.
+//!
+//! Shutdown is graceful: [`RoapTcpServer::shutdown`] stops accepting,
+//! lets every in-flight conversation answer the frames it has already
+//! received, then joins the pool. Peer disconnects surface as clean
+//! [`DrmError::Transport`] returns from the connection loop — a dead
+//! connection never wedges a worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oma_drm::client::RoapTransport;
+use oma_drm::service::RiService;
+use oma_drm::wire::{RoapPdu, RoapStatus};
+use oma_drm::DrmError;
+use oma_pki::Timestamp;
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often a blocked server thread re-checks the shutdown flag: the accept
+/// loop polls its non-blocking listener at this interval, and every
+/// connection's read timeout is set to it. Bounds shutdown latency without
+/// busy-waiting.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Default [`ServerConfig::idle_timeout`], and the patience of a bare
+/// [`serve_connection`]: generous next to any honest client's think time
+/// (even full-size RSA signing is milliseconds), small enough that an
+/// abandoned connection frees its worker quickly.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Maps an I/O failure in `context` onto the transport error peers report.
+fn transport_err(context: &str, e: io::Error) -> DrmError {
+    DrmError::Transport(format!("{context}: {e}"))
+}
+
+/// Reads exactly one length-framed ROAP PDU from `reader`, reassembling
+/// partial reads: first the fixed envelope header, whose length field names
+/// the frame's total size ([`RoapPdu::frame_len`]), then the remainder of
+/// the body — however many TCP segments either part was split across.
+///
+/// Returns the raw frame bytes (header included), ready for
+/// [`RoapPdu::decode`] or [`RiService::dispatch`].
+///
+/// # Errors
+///
+/// [`DrmError::Transport`] when the peer disconnects (at a frame boundary
+/// or mid-frame) or the read fails; [`DrmError::Roap`] when the header is
+/// not a valid ROAP envelope — after which the stream cannot be
+/// resynchronised and should be closed.
+pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, DrmError> {
+    let mut frame = vec![0u8; oma_drm::wire::HEADER_LEN];
+    reader
+        .read_exact(&mut frame)
+        .map_err(|e| transport_err("read frame header", e))?;
+    let total = RoapPdu::frame_len(&frame)
+        .map_err(DrmError::Roap)?
+        .expect("a complete header always yields a frame length");
+    frame.resize(total, 0);
+    reader
+        .read_exact(&mut frame[oma_drm::wire::HEADER_LEN..])
+        .map_err(|e| transport_err("read frame body", e))?;
+    Ok(frame)
+}
+
+/// The client end of a ROAP-over-TCP connection: a [`RoapTransport`] whose
+/// [`roundtrip`](RoapTransport::roundtrip) writes the request frame to the
+/// socket and reassembles the single response frame, handling responses
+/// split across TCP segments.
+///
+/// One transport owns one connection. Dropping it closes the connection,
+/// which the server side reports as a clean peer disconnect.
+///
+/// # Example
+///
+/// Once a server is up, connecting and registering is three lines:
+///
+/// ```
+/// # use oma_drm::client::RoapClient;
+/// # use oma_drm::{DrmAgent, RiService};
+/// # use oma_net::{RoapTcpServer, ServerConfig, TcpTransport};
+/// # use oma_pki::{CertificationAuthority, Timestamp};
+/// # use rand::SeedableRng;
+/// # use std::sync::Arc;
+/// # fn main() -> Result<(), oma_drm::DrmError> {
+/// # let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// # let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+/// # let service = Arc::new(RiService::new("ri.example.com", 384, &mut ca, &mut rng));
+/// # let mut agent = DrmAgent::new("phone-001", 384, &mut ca, &mut rng);
+/// # let now = Timestamp::new(1_000);
+/// # let server = RoapTcpServer::bind(
+/// #     service,
+/// #     ServerConfig { clock: Some(now), ..ServerConfig::default() },
+/// # )?;
+/// let client = RoapClient::new(TcpTransport::connect(server.local_addr())?);
+/// agent.register_via(&client, now)?;
+/// assert!(agent.is_registered_with("ri.example.com"));
+/// # server.shutdown();
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a ROAP server, typically at
+    /// [`RoapTcpServer::local_addr`]. Nagle's algorithm is disabled: frames
+    /// are small and latency-bound, the workload TCP_NODELAY exists for.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Transport`] when the connection cannot be established.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, DrmError> {
+        let stream = TcpStream::connect(addr).map_err(|e| transport_err("connect", e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| transport_err("set_nodelay", e))?;
+        Ok(TcpTransport { stream })
+    }
+
+    /// Wraps an already-established connection (e.g. accepted by a custom
+    /// listener) without touching its socket options.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        TcpTransport { stream }
+    }
+
+    /// The local address of the underlying connection.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Transport`] when the socket cannot report it.
+    pub fn local_addr(&self) -> Result<SocketAddr, DrmError> {
+        self.stream
+            .local_addr()
+            .map_err(|e| transport_err("local_addr", e))
+    }
+}
+
+impl RoapTransport for TcpTransport {
+    fn roundtrip(&self, frame: &[u8]) -> Result<Vec<u8>, DrmError> {
+        // `Read`/`Write` are implemented on `&TcpStream`, so a shared
+        // transport reference suffices — the protocol is strictly
+        // request/response on one connection, never pipelined.
+        let mut stream = &self.stream;
+        stream
+            .write_all(frame)
+            .map_err(|e| transport_err("send frame", e))?;
+        read_frame(&mut stream)
+    }
+}
+
+/// Tuning knobs of a [`RoapTcpServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Size of the bounded worker pool. Each worker serves one connection at
+    /// a time; further accepted connections wait in the hand-off queue until
+    /// a worker frees up, so the pool bounds concurrency, not the number of
+    /// clients.
+    pub workers: usize,
+    /// The server-pinned clock handed to [`RiService::dispatch_at`] for
+    /// every frame. `None` falls back to [`RiService::dispatch`], which
+    /// trusts each request's own `request_time` — acceptable between
+    /// cooperating test processes, not on a hostile wire (a peer could
+    /// back-date itself into an expired certificate's validity window).
+    pub clock: Option<Timestamp>,
+    /// How long a connection may sit without delivering a single byte
+    /// before the server hangs up on it. This is what keeps a half-open
+    /// peer (vanished without a FIN) or a connect-and-say-nothing client
+    /// from occupying a bounded-pool worker forever.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            clock: None,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+        }
+    }
+}
+
+/// A ROAP server on a real TCP listener.
+///
+/// `bind` starts one accept thread plus [`ServerConfig::workers`] worker
+/// threads and returns immediately; [`RoapClient`]s connect via
+/// [`TcpTransport::connect`] at [`RoapTcpServer::local_addr`]. Every frame
+/// received on any connection goes through one shared [`RiService`] — the
+/// same `&self` handlers the in-process and channel transports call, so a
+/// lifecycle over TCP produces byte-identical protocol messages.
+///
+/// [`RoapClient`]: oma_drm::client::RoapClient
+///
+/// Call [`shutdown`](RoapTcpServer::shutdown) (or drop the server) to stop:
+/// accepting ends, conversations in flight get their answers, the threads
+/// join.
+#[derive(Debug)]
+pub struct RoapTcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections_served: Arc<AtomicU64>,
+}
+
+impl RoapTcpServer {
+    /// Binds to an ephemeral loopback port (`127.0.0.1:0`) — the form tests,
+    /// examples and the fleet harness use. Ask [`RoapTcpServer::local_addr`]
+    /// for the chosen port.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Transport`] when the listener cannot be set up.
+    pub fn bind(service: Arc<RiService>, config: ServerConfig) -> Result<Self, DrmError> {
+        Self::bind_addr(service, (Ipv4Addr::LOCALHOST, 0), config)
+    }
+
+    /// Binds to an explicit address.
+    ///
+    /// # Errors
+    ///
+    /// See [`RoapTcpServer::bind`].
+    pub fn bind_addr<A: ToSocketAddrs>(
+        service: Arc<RiService>,
+        addr: A,
+        config: ServerConfig,
+    ) -> Result<Self, DrmError> {
+        let listener = TcpListener::bind(addr).map_err(|e| transport_err("bind", e))?;
+        // Non-blocking accept lets the accept loop observe the shutdown flag
+        // without a wake-up connection.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_err("set_nonblocking", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| transport_err("local_addr", e))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections_served = Arc::new(AtomicU64::new(0));
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let service = Arc::clone(&service);
+                let conn_rx = Arc::clone(&conn_rx);
+                let shutdown = Arc::clone(&shutdown);
+                let served = Arc::clone(&connections_served);
+                thread::Builder::new()
+                    .name(format!("roap-tcp-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the hand-off itself.
+                        let conn = conn_rx.lock().expect("connection queue lock").recv();
+                        match conn {
+                            Ok(stream) => {
+                                // A disconnect (or a peer that lost framing)
+                                // ends one conversation, never the worker.
+                                let _ = serve_connection_inner(
+                                    &service,
+                                    stream,
+                                    config.clock,
+                                    config.idle_timeout,
+                                    &shutdown,
+                                );
+                                served.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // The accept loop dropped the sender and the
+                            // queue is drained: shutdown complete.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = thread::Builder::new()
+            .name("roap-tcp-accept".into())
+            .spawn(move || {
+                // Exiting this loop drops `conn_tx`, which is what tells the
+                // workers no further connections will arrive.
+                while !accept_shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if conn_tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(POLL_INTERVAL);
+                        }
+                        // Transient per-connection accept failures (e.g. the
+                        // peer reset before the hand-off) leave the listener
+                        // healthy; keep accepting.
+                        Err(_) => thread::sleep(POLL_INTERVAL),
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(RoapTcpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            connections_served,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections whose conversation has finished (served to
+    /// disconnect, protocol failure, or drained at shutdown).
+    pub fn connections_served(&self) -> u64 {
+        self.connections_served.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting new connections, answer every
+    /// frame already received on in-flight connections, close them, and
+    /// join all server threads. Returns once the last worker has exited.
+    ///
+    /// Dropping the server performs the same shutdown implicitly.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept_thread.take() {
+            accept.join().expect("accept thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+    }
+}
+
+impl Drop for RoapTcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves ROAP on one established TCP connection until the peer disconnects:
+/// buffers incoming bytes, slices them into envelope frames (frames may
+/// arrive split across segments or several-per-segment), feeds each through
+/// [`RiService::dispatch_at`] (or [`RiService::dispatch`] when `clock` is
+/// `None`) and writes the response frames back in order.
+///
+/// This is the loop every [`RoapTcpServer`] worker runs; it is public so
+/// tests and examples owning their own listener can serve a single
+/// connection directly.
+///
+/// # Errors
+///
+/// * [`DrmError::Transport`] — the peer disconnected (the *normal* end of a
+///   conversation, surfaced explicitly so callers never spin on a dead
+///   connection), delivered no byte for `idle_timeout` (a half-open or
+///   abandoned connection), or a socket operation failed,
+/// * [`DrmError::Roap`] — the peer sent bytes that are not a ROAP envelope;
+///   a `Status` PDU naming the reason is written back before the
+///   connection closes, mirroring [`RiService::dispatch_batch`]'s
+///   stream-poisoning behaviour.
+pub fn serve_connection(
+    service: &RiService,
+    stream: TcpStream,
+    clock: Option<Timestamp>,
+    idle_timeout: Duration,
+) -> Result<(), DrmError> {
+    serve_connection_inner(
+        service,
+        stream,
+        clock,
+        idle_timeout,
+        &AtomicBool::new(false),
+    )
+}
+
+/// [`serve_connection`] with the server's shutdown flag threaded through:
+/// once the flag is set, the loop answers the complete frames it has
+/// already buffered and then returns `Ok(())` instead of waiting for more —
+/// unconditionally, so a peer parked mid-frame can never hold up
+/// [`RoapTcpServer::shutdown`].
+fn serve_connection_inner(
+    service: &RiService,
+    mut stream: TcpStream,
+    clock: Option<Timestamp>,
+    idle_timeout: Duration,
+    shutdown: &AtomicBool,
+) -> Result<(), DrmError> {
+    // The read timeout doubles as the shutdown/idle poll interval.
+    stream
+        .set_read_timeout(Some(POLL_INTERVAL))
+        .map_err(|e| transport_err("set_read_timeout", e))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| transport_err("set_nodelay", e))?;
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_byte_at = Instant::now();
+    loop {
+        // Answer every complete frame currently buffered.
+        loop {
+            match RoapPdu::frame_len(&buf) {
+                Ok(Some(total)) if buf.len() >= total => {
+                    let response = match clock {
+                        Some(now) => service.dispatch_at(&buf[..total], now),
+                        None => service.dispatch(&buf[..total]),
+                    };
+                    buf.drain(..total);
+                    stream
+                        .write_all(&response)
+                        .map_err(|e| transport_err("send response", e))?;
+                }
+                // An incomplete frame: wait for the rest of it.
+                Ok(_) => break,
+                Err(e) => {
+                    // Framing is lost for good — tell the peer why, then
+                    // hang up.
+                    let _ = stream.write_all(&RoapPdu::Status(RoapStatus::from(e)).encode());
+                    return Err(DrmError::Roap(e));
+                }
+            }
+        }
+
+        if shutdown.load(Ordering::Relaxed) {
+            // Drained: every complete frame received has been answered. A
+            // partial trailing frame can never complete once we stop
+            // reading, so it does not keep the connection (or the server's
+            // shutdown) alive.
+            return Ok(());
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    DrmError::Transport("peer disconnected".into())
+                } else {
+                    DrmError::Transport(format!(
+                        "peer disconnected mid-frame ({} bytes unparsed)",
+                        buf.len()
+                    ))
+                });
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_byte_at = Instant::now();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if last_byte_at.elapsed() >= idle_timeout {
+                    // Half-open peer or connect-and-say-nothing client: free
+                    // the worker instead of letting it sit occupied forever.
+                    return Err(DrmError::Transport(format!(
+                        "idle for {:?}, closing connection",
+                        idle_timeout
+                    )));
+                }
+            }
+            Err(e) => return Err(transport_err("read", e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oma_drm::client::RoapClient;
+    use oma_drm::roap::DeviceHello;
+    use oma_pki::CertificationAuthority;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn service() -> Arc<RiService> {
+        let mut rng = StdRng::seed_from_u64(0x7c9);
+        let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+        Arc::new(RiService::new("ri", 384, &mut ca, &mut rng))
+    }
+
+    fn pinned() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            clock: Some(Timestamp::new(1_000)),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn hello_roundtrip_over_loopback() {
+        let server = RoapTcpServer::bind(service(), pinned()).unwrap();
+        let client = RoapClient::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let hello = client.hello(&DeviceHello::new("dev")).unwrap();
+        assert_eq!(hello.ri_id, "ri");
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_connection_carries_many_exchanges() {
+        let server = RoapTcpServer::bind(service(), pinned()).unwrap();
+        let client = RoapClient::new(TcpTransport::connect(server.local_addr()).unwrap());
+        let mut sessions = Vec::new();
+        for i in 0..5 {
+            let hello = client
+                .hello(&DeviceHello::new(&format!("dev-{i}")))
+                .unwrap();
+            sessions.push(hello.session_id);
+        }
+        sessions.dedup();
+        assert_eq!(sessions.len(), 5, "each hello opened its own session");
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_connections_outnumbering_workers_are_all_served() {
+        let service = service();
+        let server = RoapTcpServer::bind(
+            Arc::clone(&service),
+            ServerConfig {
+                workers: 1,
+                clock: Some(Timestamp::new(1_000)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // 6 concurrent clients against a single worker: connections queue at
+        // the hand-off and every one still gets its answer.
+        thread::scope(|scope| {
+            for i in 0..6 {
+                let addr = server.local_addr();
+                scope.spawn(move || {
+                    let client = RoapClient::new(TcpTransport::connect(addr).unwrap());
+                    client
+                        .hello(&DeviceHello::new(&format!("dev-{i}")))
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(service.pending_session_count(), 6);
+        // Workers notice the hang-ups within a poll interval each.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while server.connections_served() < 6 && std::time::Instant::now() < deadline {
+            thread::sleep(POLL_INTERVAL);
+        }
+        assert_eq!(server.connections_served(), 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_disconnect_is_a_transport_error_on_the_client() {
+        let server = RoapTcpServer::bind(service(), pinned()).unwrap();
+        let transport = TcpTransport::connect(server.local_addr()).unwrap();
+        let client = RoapClient::new(transport);
+        client.hello(&DeviceHello::new("dev")).unwrap();
+        server.shutdown();
+        // The pool is gone; the next roundtrip cannot complete.
+        let err = client.hello(&DeviceHello::new("dev")).unwrap_err();
+        assert!(matches!(err, DrmError::Transport(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn connection_loop_surfaces_peer_disconnect() {
+        // Drive serve_connection directly: a client that hangs up must end
+        // the loop with a clean Transport error, not leave it spinning.
+        let service = service();
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let result = thread::scope(|scope| {
+            let service = &service;
+            let handle = scope.spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                serve_connection(
+                    service,
+                    stream,
+                    Some(Timestamp::new(1_000)),
+                    DEFAULT_IDLE_TIMEOUT,
+                )
+            });
+            let client = RoapClient::new(TcpTransport::connect(addr).unwrap());
+            client.hello(&DeviceHello::new("dev")).unwrap();
+            drop(client);
+            handle.join().expect("connection loop thread")
+        });
+        assert!(
+            matches!(result, Err(DrmError::Transport(_))),
+            "hang-up must end the loop with a Transport error, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn non_roap_bytes_get_a_status_answer_and_a_hangup() {
+        use oma_drm::roap::RoapError;
+        let service = service();
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (result, answer) = thread::scope(|scope| {
+            let service = &service;
+            let handle = scope.spawn(move || {
+                let (stream, _) = listener.accept().unwrap();
+                serve_connection(service, stream, None, DEFAULT_IDLE_TIMEOUT)
+            });
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+            let answer = read_frame(&mut stream);
+            (handle.join().expect("connection loop thread"), answer)
+        });
+        assert_eq!(result, Err(DrmError::Roap(RoapError::Malformed)));
+        let status = RoapPdu::decode(&answer.expect("status frame before hang-up")).unwrap();
+        assert_eq!(
+            status,
+            RoapPdu::Status(RoapStatus::Roap(RoapError::Malformed))
+        );
+    }
+
+    #[test]
+    fn shutdown_completes_despite_a_parked_partial_frame() {
+        // A peer that writes half a header and then goes silent (without
+        // closing) must not be able to hold up graceful shutdown.
+        let server = RoapTcpServer::bind(service(), pinned()).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"ROAP\x01").unwrap(); // valid magic, then nothing
+        thread::sleep(POLL_INTERVAL * 4); // let a worker pick it up
+        let started = Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown must drain, not wait for the missing frame bytes"
+        );
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_and_free_their_worker() {
+        let service = service();
+        let server = RoapTcpServer::bind(
+            Arc::clone(&service),
+            ServerConfig {
+                workers: 1,
+                clock: Some(Timestamp::new(1_000)),
+                idle_timeout: Duration::from_millis(100),
+            },
+        )
+        .unwrap();
+        // A connect-and-say-nothing client occupies the only worker...
+        let silent = TcpStream::connect(server.local_addr()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while server.connections_served() < 1 && Instant::now() < deadline {
+            thread::sleep(POLL_INTERVAL);
+        }
+        // ...until the idle timeout reaps it, after which the next client
+        // is served normally.
+        assert_eq!(server.connections_served(), 1);
+        let client = RoapClient::new(TcpTransport::connect(server.local_addr()).unwrap());
+        assert_eq!(client.hello(&DeviceHello::new("dev")).unwrap().ri_id, "ri");
+        drop(silent);
+        server.shutdown();
+    }
+
+    #[test]
+    fn read_frame_reassembles_one_byte_writes() {
+        let frame = RoapPdu::DeviceHello(DeviceHello::new("dev")).encode();
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let received = thread::scope(|scope| {
+            let frame = &frame;
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.set_nodelay(true).unwrap();
+                for byte in frame.iter() {
+                    stream.write_all(&[*byte]).unwrap();
+                }
+            });
+            let (mut stream, _) = listener.accept().unwrap();
+            read_frame(&mut stream).unwrap()
+        });
+        assert_eq!(received, frame);
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --release --example fleet`
 
-use oma_drm2::load::{run_fleet, run_fleet_wire, run_sequential, FleetSpec};
+use oma_drm2::load::{run_fleet, run_fleet_tcp, run_fleet_wire, run_sequential, FleetSpec};
 
 fn main() {
     let spec = FleetSpec {
@@ -63,5 +63,17 @@ fn main() {
     println!(
         "wire-mode outcomes byte-identical to in-process runs: {}",
         wire.matches(&sequential)
+    );
+
+    println!("\nre-running the same fleet over loopback TCP (one connection per device)...\n");
+    let tcp = run_fleet_tcp(&spec).expect("tcp fleet run");
+    println!("{}", tcp.summary("Loopback-TCP fleet"));
+    assert!(
+        tcp.matches(&sequential),
+        "TCP outcomes must be byte-identical to the in-process runs"
+    );
+    println!(
+        "TCP outcomes byte-identical to in-process runs: {}",
+        tcp.matches(&sequential)
     );
 }

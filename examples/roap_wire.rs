@@ -43,9 +43,10 @@ fn main() {
     let (client_end, server_end) = ChannelTransport::pair();
     std::thread::scope(|scope| {
         // The service dispatches frames on its own thread until the client
-        // endpoint is dropped.
+        // endpoint is dropped, at which point `serve` reports the
+        // disconnect as a Transport error.
         let service_ref = &service;
-        scope.spawn(move || serve(service_ref, &server_end));
+        let server = scope.spawn(move || serve(service_ref, &server_end));
         let client = RoapClient::new(client_end);
 
         agent.register_via(&client, now).expect("registration");
@@ -74,6 +75,8 @@ fn main() {
         println!("left domain: {:?}", agent.joined_domains());
 
         drop(client);
+        let disconnect = server.join().expect("server thread");
+        println!("server saw the hang-up: {:?}", disconnect.unwrap_err());
     });
 
     assert_eq!(service.issued_ro_count(), 1);

@@ -16,6 +16,9 @@
 //! * [`pki`] — certificates, certification authority and OCSP,
 //! * [`drm`] — DCF, Rights Objects, ROAP, DRM Agent, Rights Issuer, Content
 //!   Issuer and domains (every actor accepts a crypto backend),
+//! * [`net`] — ROAP over TCP: the [`RoapTcpServer`](net::RoapTcpServer)
+//!   bounded-pool server and the [`TcpTransport`](net::TcpTransport) client
+//!   transport, std-only,
 //! * [`perf`] — the Table 1 cost model, architecture variants (each mapping
 //!   1:1 onto an executable backend), use cases, the analytic and measured
 //!   models and figure generators,
@@ -60,5 +63,6 @@ pub use oma_bignum as bignum;
 pub use oma_crypto as crypto;
 pub use oma_drm as drm;
 pub use oma_load as load;
+pub use oma_net as net;
 pub use oma_perf as perf;
 pub use oma_pki as pki;

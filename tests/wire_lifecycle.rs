@@ -17,7 +17,8 @@ use oma_drm2::crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_drm2::crypto::OpTrace;
 use oma_drm2::drm::client::{serve, ChannelTransport, RoapClient};
 use oma_drm2::drm::{
-    ContentIssuer, Dcf, DomainId, DrmAgent, Permission, RiService, RightsTemplate, RoapPdu,
+    ContentIssuer, Dcf, DomainId, DrmAgent, DrmError, Permission, RiService, RightsTemplate,
+    RoapPdu,
 };
 use oma_drm2::pki::{CertificationAuthority, Timestamp};
 use rand::rngs::StdRng;
@@ -133,7 +134,7 @@ fn run_lifecycle(direct: bool) -> Outcome {
         let (client_end, server_end) = ChannelTransport::pair();
         std::thread::scope(|scope| {
             let service_ref = &service;
-            scope.spawn(move || serve(service_ref, &server_end));
+            let server = scope.spawn(move || serve(service_ref, &server_end));
             let client = RoapClient::new(client_end);
 
             agent.register_via(&client, now).unwrap();
@@ -167,9 +168,14 @@ fn run_lifecycle(direct: bool) -> Outcome {
             phase_traces.push(agent.engine().take_trace());
             phase_cycles.push(backend.take_charged_cycles());
 
-            // Dropping the client closes the channel; `serve` returns and
-            // the scope joins the server thread.
+            // Dropping the client closes the channel; `serve` surfaces the
+            // disconnect as a Transport error instead of spinning on the
+            // dead endpoint.
             drop(client);
+            assert!(matches!(
+                server.join().unwrap(),
+                Err(DrmError::Transport(_))
+            ));
             (
                 RoapPdu::RoResponse(response).encode(),
                 RoapPdu::RoResponse(domain_response).encode(),
