@@ -35,6 +35,9 @@ pub enum CryptoError {
     /// Decryption produced data that could not be interpreted
     /// (e.g. wrapped key of the wrong size).
     MalformedPlaintext(&'static str),
+    /// RSA key components do not form a consistent key
+    /// (e.g. `p`/`q` without the modular inverses CRT needs).
+    InvalidKeyComponents,
 }
 
 impl fmt::Display for CryptoError {
@@ -63,6 +66,9 @@ impl fmt::Display for CryptoError {
             CryptoError::KeyTooSmall => write!(f, "RSA key too small for this operation"),
             CryptoError::MalformedPlaintext(what) => {
                 write!(f, "decrypted data is malformed: {what}")
+            }
+            CryptoError::InvalidKeyComponents => {
+                write!(f, "RSA key components are inconsistent")
             }
         }
     }

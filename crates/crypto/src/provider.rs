@@ -364,6 +364,22 @@ impl CryptoEngine {
         nonce
     }
 
+    /// Checkpoints the engine's deterministic random stream. Restoring the
+    /// returned state with [`CryptoEngine::restore_rng_state`] makes the
+    /// engine continue the stream exactly where the checkpoint was taken —
+    /// the primitive a write-ahead log needs so that nonces, salts and key
+    /// material drawn *after* crash recovery are byte-identical to an
+    /// uninterrupted run.
+    pub fn rng_state(&self) -> [u8; 32] {
+        self.rng.lock().expect("rng lock").state_bytes()
+    }
+
+    /// Restores a checkpoint taken with [`CryptoEngine::rng_state`],
+    /// replacing the engine's current random stream.
+    pub fn restore_rng_state(&self, state: [u8; 32]) {
+        *self.rng.lock().expect("rng lock") = StdRng::from_state_bytes(state);
+    }
+
     // ----- hashing and MAC ---------------------------------------------------
 
     /// SHA-1 of `data`, recorded per 128-bit block.

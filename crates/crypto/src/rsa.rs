@@ -135,6 +135,55 @@ impl RsaPrivateKey {
         &self.public
     }
 
+    /// The private exponent `d`. Exposed (together with
+    /// [`RsaPrivateKey::primes`]) so durable storage can serialise a key;
+    /// handle with the care private key material deserves.
+    pub fn d(&self) -> &BigUint {
+        &self.d
+    }
+
+    /// The prime factors `(p, q)` of the modulus.
+    pub fn primes(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
+    }
+
+    /// Rebuilds a private key from its serialised components `(n, e, d, p,
+    /// q)`, recomputing the CRT parameters. This is the inverse of reading
+    /// [`RsaPrivateKey::d`] / [`RsaPrivateKey::primes`] — the path a durable
+    /// store uses to restore a Rights Issuer identity from a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::InvalidKeyComponents`] when the components are
+    /// inconsistent: `p * q != n`, a factor is below 2, or `q` has no
+    /// inverse modulo `p`.
+    pub fn from_components(
+        public: RsaPublicKey,
+        d: BigUint,
+        p: BigUint,
+        q: BigUint,
+    ) -> Result<Self, CryptoError> {
+        let two = BigUint::from_u64(2);
+        if p < two || q < two || (&p * &q) != public.n {
+            return Err(CryptoError::InvalidKeyComponents);
+        }
+        let one = BigUint::one();
+        let p1 = &p - &one;
+        let q1 = &q - &one;
+        let dp = d.rem_of(&p1);
+        let dq = d.rem_of(&q1);
+        let qinv = q.mod_inverse(&p).ok_or(CryptoError::InvalidKeyComponents)?;
+        Ok(RsaPrivateKey {
+            public,
+            d,
+            p,
+            q,
+            dp,
+            dq,
+            qinv,
+        })
+    }
+
     /// RSADP / RSASP1 using the CRT representation: computes `c^d mod n`.
     ///
     /// # Errors
@@ -254,6 +303,11 @@ impl RsaKeyPair {
     pub fn into_private(self) -> RsaPrivateKey {
         self.private
     }
+
+    /// Wraps a restored private key back into a pair.
+    pub fn from_private(private: RsaPrivateKey) -> Self {
+        RsaKeyPair { private }
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +389,31 @@ mod tests {
         let plain = m.modpow(&pair.private().d, pair.public().modulus());
         let crt = pair.private().rsadp(&m).unwrap();
         assert_eq!(plain, crt);
+    }
+
+    #[test]
+    fn component_roundtrip_restores_an_equal_key() {
+        let pair = small_pair();
+        let (p, q) = pair.private().primes();
+        let restored = RsaPrivateKey::from_components(
+            pair.public().clone(),
+            pair.private().d().clone(),
+            p.clone(),
+            q.clone(),
+        )
+        .unwrap();
+        assert_eq!(&restored, pair.private(), "CRT parameters recomputed");
+        // Inconsistent components are rejected, not mis-restored.
+        let other = RsaKeyPair::generate(256, &mut StdRng::seed_from_u64(99));
+        assert_eq!(
+            RsaPrivateKey::from_components(
+                other.public().clone(),
+                pair.private().d().clone(),
+                p.clone(),
+                q.clone(),
+            ),
+            Err(CryptoError::InvalidKeyComponents)
+        );
     }
 
     #[test]

@@ -84,6 +84,11 @@ impl Domain {
         self.members.len()
     }
 
+    /// Member capacity.
+    pub fn max_members(&self) -> usize {
+        self.max_members
+    }
+
     /// Whether `device_id` is a member.
     pub fn is_member(&self, device_id: &str) -> bool {
         self.members.contains(device_id)
@@ -104,6 +109,25 @@ impl Domain {
     /// Removes a member. Returns whether it was present.
     pub fn remove_member(&mut self, device_id: &str) -> bool {
         self.members.remove(device_id)
+    }
+
+    /// Rebuilds a domain from persisted state — key, generation and member
+    /// set exactly as a snapshot recorded them. This is the recovery path;
+    /// use [`Domain::new`] for fresh domains.
+    pub fn restore(
+        id: DomainId,
+        key: [u8; 16],
+        generation: u32,
+        members: impl IntoIterator<Item = String>,
+        max_members: usize,
+    ) -> Self {
+        Domain {
+            id,
+            key,
+            generation,
+            members: members.into_iter().collect(),
+            max_members,
+        }
     }
 
     /// Rotates the domain key (a "domain upgrade"): installs `new_key` and

@@ -35,6 +35,9 @@ pub enum DrmError {
     /// up, the channel closed, ...). Protocol-level rejections arrive as
     /// [`DrmError::Roap`] instead.
     Transport(String),
+    /// A durable-store failure (write-ahead log or snapshot could not be
+    /// read or made durable).
+    Store(String),
     /// A PKI failure (certificate, OCSP).
     Pki(oma_pki::PkiError),
     /// An underlying cryptographic failure.
@@ -58,6 +61,7 @@ impl fmt::Display for DrmError {
             DrmError::NotInDomain => write!(f, "device is not a member of the domain"),
             DrmError::Roap(e) => write!(f, "roap failure: {e}"),
             DrmError::Transport(reason) => write!(f, "roap transport failure: {reason}"),
+            DrmError::Store(reason) => write!(f, "durable store failure: {reason}"),
             DrmError::Pki(e) => write!(f, "pki failure: {e}"),
             DrmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
         }

@@ -60,6 +60,7 @@ pub mod client;
 pub mod dcf;
 pub mod domain;
 mod error;
+pub mod journal;
 pub mod rel;
 pub mod ri;
 pub mod ro;
@@ -80,6 +81,7 @@ pub use client::{ChannelTransport, InProcTransport, RoapClient, RoapTransport};
 pub use dcf::Dcf;
 pub use domain::{Domain, DomainId};
 pub use error::DrmError;
+pub use journal::{RiEvent, RiJournal, RiStateImage, StateSource};
 pub use rel::{Constraint, Permission, Rights, RightsTemplate};
 pub use ri::RightsIssuer;
 pub use ro::{ProtectedRightsObject, RightsObjectId};

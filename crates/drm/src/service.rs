@@ -31,6 +31,10 @@
 use crate::dcf::Dcf;
 use crate::domain::{Domain, DomainId};
 use crate::error::DrmError;
+use crate::journal::{
+    session_expired, ContentImage, DomainImage, RegisteredImage, RiEvent, RiJournal, RiStateImage,
+    SessionImage, StateSource,
+};
 use crate::rel::RightsTemplate;
 use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId, RightsObjectPayload};
 use crate::roap::{
@@ -74,7 +78,16 @@ pub(crate) struct ContentEntry {
 pub(crate) struct PendingSession {
     pub(crate) device_id: String,
     pub(crate) ri_nonce: Vec<u8>,
+    /// Server clock when the hello arrived ([`Timestamp::new(0)`] when the
+    /// entry point had no clock); drives the TTL sweep.
+    pub(crate) opened_at: Timestamp,
 }
+
+/// How many dispatches with a server-pinned clock pass between two TTL
+/// sweeps of the pending-session table. Sweeping is O(sessions), so it is
+/// amortised instead of running per request; the interval only bounds how
+/// promptly expired sessions are reclaimed, never correctness.
+const SESSION_SWEEP_INTERVAL: u64 = 256;
 
 /// The thread-safe Rights Issuer service: every ROAP handler takes `&self`,
 /// so one instance (typically behind an [`Arc`]) serves any number of
@@ -108,7 +121,6 @@ pub(crate) struct PendingSession {
 /// sessions.dedup();
 /// assert_eq!(sessions.len(), 4, "session ids are never reused");
 /// ```
-#[derive(Debug)]
 pub struct RiService {
     id: String,
     keys: RsaKeyPair,
@@ -124,6 +136,24 @@ pub struct RiService {
     content: ShardedMap<String, ContentEntry>,
     domains: ShardedMap<DomainId, Domain>,
     ro_sequences: ShardedMap<String, u64>,
+    /// Attached write-ahead journal; `None` runs the service in-memory only.
+    journal: RwLock<Option<Arc<dyn RiJournal>>>,
+    /// Pending-session TTL in seconds; 0 disables the sweep.
+    session_ttl: AtomicU64,
+    /// Clocked dispatches since start, for amortising the TTL sweep.
+    dispatch_count: AtomicU64,
+}
+
+impl std::fmt::Debug for RiService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RiService")
+            .field("id", &self.id)
+            .field("registered", &self.registered.len())
+            .field("pending_sessions", &self.sessions.len())
+            .field("issued_ros", &self.issued_ro_count())
+            .field("journaled", &self.journal().is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl RiService {
@@ -179,7 +209,250 @@ impl RiService {
             content: ShardedMap::new(),
             domains: ShardedMap::new(),
             ro_sequences: ShardedMap::new(),
+            journal: RwLock::new(None),
+            session_ttl: AtomicU64::new(0),
+            dispatch_count: AtomicU64::new(0),
         }
+    }
+
+    // ----- durability -----------------------------------------------------------
+
+    /// Attaches a write-ahead journal: from now on every state mutation is
+    /// recorded through it *before* the mutating handler returns its
+    /// response. Replaces any previously attached journal. The caller is
+    /// responsible for persisting a genesis snapshot
+    /// ([`RiJournal::snapshot`] of [`RiService::state_image`]) — events
+    /// alone cannot rebuild the service identity.
+    pub fn set_journal(&self, journal: Arc<dyn RiJournal>) {
+        *self.journal.write().expect("journal lock") = Some(journal);
+    }
+
+    /// The currently attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<dyn RiJournal>> {
+        self.journal.read().expect("journal lock").clone()
+    }
+
+    /// Records `event` (with the engine's post-event RNG checkpoint) on the
+    /// attached journal, if any. The journal lock is released before the
+    /// store runs, so slow media never serialises unrelated handlers. The
+    /// checkpoint is handed over as a closure so the store can read it
+    /// inside its own append ordering — see [`RiJournal::record`].
+    fn record(&self, event: RiEvent) {
+        if let Some(journal) = self.journal() {
+            journal.record(&event, &|| self.engine.rng_state());
+        }
+    }
+
+    /// Captures a complete, canonical snapshot of the service's mutable
+    /// state — identity, tables, counters and the RNG checkpoint. Intended
+    /// for quiescent moments (startup genesis, graceful shutdown, explicit
+    /// checkpoints); entries mutated concurrently with the capture land in
+    /// the image per-shard atomically, like any other reader.
+    pub fn state_image(&self) -> RiStateImage {
+        let mut sessions = Vec::new();
+        self.sessions.for_each(|id, s| {
+            sessions.push(SessionImage {
+                session_id: *id,
+                device_id: s.device_id.clone(),
+                ri_nonce: s.ri_nonce.clone(),
+                opened_at: s.opened_at,
+            });
+        });
+        sessions.sort_by_key(|s| s.session_id);
+        let mut registered = Vec::new();
+        self.registered.for_each(|id, d| {
+            registered.push(RegisteredImage {
+                device_id: id.clone(),
+                certificate: d.certificate.clone(),
+            });
+        });
+        registered.sort_by(|a, b| a.device_id.cmp(&b.device_id));
+        let mut content = Vec::new();
+        self.content.for_each(|id, c| {
+            content.push(ContentImage {
+                content_id: id.clone(),
+                cek: c.cek,
+                dcf_hash: c.dcf_hash,
+                template: c.template.clone(),
+            });
+        });
+        content.sort_by(|a, b| a.content_id.cmp(&b.content_id));
+        let mut domains = Vec::new();
+        self.domains.for_each(|id, d| {
+            let mut members: Vec<String> = d.members().map(str::to_string).collect();
+            members.sort_unstable();
+            domains.push(DomainImage {
+                domain_id: id.clone(),
+                key: *d.key(),
+                generation: d.generation(),
+                max_members: d.max_members() as u64,
+                members,
+            });
+        });
+        domains.sort_by(|a, b| a.domain_id.cmp(&b.domain_id));
+        let mut ro_sequences = Vec::new();
+        self.ro_sequences
+            .for_each(|scope, next| ro_sequences.push((scope.clone(), *next)));
+        ro_sequences.sort();
+        RiStateImage {
+            id: self.id.clone(),
+            keys: self.keys.clone(),
+            certificate: self.certificate.clone(),
+            ca_root: self.ca_root.clone(),
+            ocsp: self.ocsp_response(),
+            next_session: self.next_session.load(Ordering::SeqCst),
+            issued_ros: self.issued_ros.load(Ordering::SeqCst),
+            session_ttl: self.session_ttl.load(Ordering::SeqCst),
+            sessions,
+            registered,
+            content,
+            domains,
+            ro_sequences,
+            rng_state: self.engine.rng_state(),
+        }
+    }
+
+    /// Rebuilds a service from a state image, byte-identically: the tables,
+    /// counters, identity *and* the random stream resume exactly where the
+    /// image captured them, so the next signature the service produces
+    /// matches what the original instance would have produced. The rebuilt
+    /// service runs on a fresh software backend and has no journal attached
+    /// — call [`RiService::set_journal`] to resume journaling.
+    pub fn from_image(image: RiStateImage) -> Self {
+        let engine = CryptoEngine::with_backend(Arc::new(SoftwareBackend::new()), 0);
+        engine.restore_rng_state(image.rng_state);
+        let service = RiService {
+            id: image.id,
+            keys: image.keys,
+            certificate: image.certificate,
+            ca_root: image.ca_root,
+            ocsp: RwLock::new(image.ocsp),
+            engine,
+            next_session: AtomicU64::new(image.next_session),
+            issued_ros: AtomicU64::new(image.issued_ros),
+            sessions: ShardedMap::new(),
+            pending_by_device: ShardedMap::new(),
+            registered: ShardedMap::new(),
+            content: ShardedMap::new(),
+            domains: ShardedMap::new(),
+            ro_sequences: ShardedMap::new(),
+            journal: RwLock::new(None),
+            session_ttl: AtomicU64::new(image.session_ttl),
+            dispatch_count: AtomicU64::new(0),
+        };
+        for session in image.sessions {
+            service.sessions.insert(
+                session.session_id,
+                PendingSession {
+                    device_id: session.device_id.clone(),
+                    ri_nonce: session.ri_nonce,
+                    opened_at: session.opened_at,
+                },
+            );
+            // Keep the largest pending session per device, mirroring the
+            // supersession rule (a canonical image has one per device).
+            service.pending_by_device.update_or_insert_with(
+                session.device_id,
+                || session.session_id,
+                |current| *current = (*current).max(session.session_id),
+            );
+        }
+        for device in image.registered {
+            service.registered.insert(
+                device.device_id.clone(),
+                RegisteredDevice {
+                    device_id: device.device_id,
+                    certificate: device.certificate,
+                },
+            );
+        }
+        for content in image.content {
+            service.content.insert(
+                content.content_id,
+                ContentEntry {
+                    cek: content.cek,
+                    dcf_hash: content.dcf_hash,
+                    template: content.template,
+                },
+            );
+        }
+        for domain in image.domains {
+            service.domains.insert(
+                domain.domain_id.clone(),
+                Domain::restore(
+                    domain.domain_id,
+                    domain.key,
+                    domain.generation,
+                    domain.members,
+                    domain.max_members as usize,
+                ),
+            );
+        }
+        for (scope, next) in image.ro_sequences {
+            service.ro_sequences.insert(scope, next);
+        }
+        service
+    }
+
+    /// Recovers a service from a durable store: the latest snapshot plus
+    /// every surviving journal record, rebuilt into a serving instance.
+    /// Subsequent responses — signatures, Rights Object ids, session ids —
+    /// are byte-identical to what an uninterrupted instance would have
+    /// produced after the last surviving record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DrmError::Store`] from the source (no genesis snapshot,
+    /// unreadable snapshot). A torn or truncated log tail is *not* an
+    /// error; recovery stops at the last valid record.
+    pub fn recover<S: StateSource + ?Sized>(source: &S) -> Result<Self, DrmError> {
+        source.load_state().map(Self::from_image)
+    }
+
+    /// The TTL applied to pending registration sessions by the sweep, in
+    /// seconds (0 = sweeping disabled).
+    pub fn session_ttl(&self) -> u64 {
+        self.session_ttl.load(Ordering::Relaxed)
+    }
+
+    /// Sets the pending-session TTL. Sessions whose `DeviceHello` arrived
+    /// more than `seconds` ago (by the server-pinned clock) are reclaimed
+    /// by [`RiService::sweep_sessions`], which [`RiService::dispatch_at`]
+    /// runs automatically every `SESSION_SWEEP_INTERVAL` (256) clocked
+    /// dispatches. 0 disables sweeping.
+    ///
+    /// The change is journaled ([`RiEvent::SessionTtlSet`]) so that sweeps
+    /// recorded later replay with the TTL that was actually in force.
+    pub fn set_session_ttl(&self, seconds: u64) {
+        self.session_ttl.store(seconds, Ordering::Relaxed);
+        self.record(RiEvent::SessionTtlSet { seconds });
+    }
+
+    /// Removes every pending session older than the configured TTL,
+    /// returning how many were reclaimed. A no-op when the TTL is 0. The
+    /// sweep is journaled as a single [`RiEvent::SessionsSwept`] naming the
+    /// swept session ids, so replay removes exactly what the live sweep
+    /// removed — no more, no less, regardless of how racing hellos
+    /// interleaved with the sweep in the log.
+    pub fn sweep_sessions(&self, now: Timestamp) -> usize {
+        let ttl = self.session_ttl();
+        if ttl == 0 {
+            return 0;
+        }
+        let removed = self
+            .sessions
+            .retain(|_, session| !session_expired(ttl, session.opened_at, now));
+        let mut session_ids = Vec::with_capacity(removed.len());
+        for (session_id, session) in &removed {
+            self.pending_by_device
+                .remove_if(&session.device_id, |pending| pending == session_id);
+            session_ids.push(*session_id);
+        }
+        if !session_ids.is_empty() {
+            session_ids.sort_unstable();
+            self.record(RiEvent::SessionsSwept { now, session_ids });
+        }
+        removed.len()
     }
 
     /// The Rights Issuer identifier.
@@ -213,7 +486,8 @@ impl RiService {
             },
             now,
         );
-        *self.ocsp.write().expect("ocsp lock") = fresh;
+        *self.ocsp.write().expect("ocsp lock") = fresh.clone();
+        self.record(RiEvent::OcspRefreshed { response: fresh });
     }
 
     /// Registers a piece of content: the content encryption key received
@@ -226,14 +500,21 @@ impl RiService {
         dcf: &Dcf,
         template: RightsTemplate,
     ) {
+        let dcf_hash = dcf.hash();
         self.content.insert(
             content_id.to_string(),
             ContentEntry {
                 cek,
-                dcf_hash: dcf.hash(),
-                template,
+                dcf_hash,
+                template: template.clone(),
             },
         );
+        self.record(RiEvent::ContentAdded {
+            content_id: content_id.to_string(),
+            cek,
+            dcf_hash,
+            template,
+        });
     }
 
     /// Whether the service offers rights for `content_id`.
@@ -269,8 +550,22 @@ impl RiService {
     /// At most one pending session exists per device id: a new hello
     /// supersedes (and frees) any earlier incomplete attempt, so
     /// unauthenticated hello traffic cannot grow the session table beyond
-    /// the number of distinct device ids seen.
+    /// the number of distinct device ids seen. (Even that bound still grows
+    /// with hostile hello-only traffic — the TTL sweep, see
+    /// [`RiService::set_session_ttl`], reclaims sessions that never
+    /// complete.)
+    ///
+    /// Sessions opened through this clockless entry point carry
+    /// `opened_at = 0`; a server that owns a clock should route hellos
+    /// through [`RiService::dispatch_at`] (or call
+    /// [`RiService::hello_at`]) so the TTL sweep measures real age.
     pub fn hello(&self, hello: &DeviceHello) -> RiHello {
+        self.hello_at(hello, Timestamp::new(0))
+    }
+
+    /// [`RiService::hello`] with the server clock threaded through: the
+    /// pending session is stamped `opened_at = now` for the TTL sweep.
+    pub fn hello_at(&self, hello: &DeviceHello, now: Timestamp) -> RiHello {
         let session_id = self.next_session.fetch_add(1, Ordering::Relaxed);
         let ri_nonce = self.engine.random_nonce(NONCE_LEN);
         self.sessions.insert(
@@ -278,6 +573,7 @@ impl RiService {
             PendingSession {
                 device_id: hello.device_id.clone(),
                 ri_nonce: ri_nonce.clone(),
+                opened_at: now,
             },
         );
         // Supersession is decided by session id, not by insert order: of two
@@ -301,6 +597,12 @@ impl RiService {
         if let Some(stale) = evicted {
             self.sessions.remove(&stale);
         }
+        self.record(RiEvent::SessionOpened {
+            session_id,
+            device_id: hello.device_id.clone(),
+            ri_nonce: ri_nonce.clone(),
+            opened_at: now,
+        });
         RiHello {
             ri_id: self.id.clone(),
             session_id,
@@ -387,6 +689,14 @@ impl RiService {
             .engine
             .pss_sign(self.keys.private(), &signed)
             .expect("RI key large enough for PSS");
+        // Journal after the response is fully built (all random draws done)
+        // and before it leaves the service: the registration is durable by
+        // the time the device can observe it.
+        self.record(RiEvent::DeviceRegistered {
+            session_id: request.session_id,
+            device_id: request.device_id.clone(),
+            certificate: request.certificate.clone(),
+        });
         Ok(RegistrationResponse {
             session_id: request.session_id,
             ri_id: self.id.clone(),
@@ -455,7 +765,8 @@ impl RiService {
             }
         };
 
-        let ro_id = self.next_ro_id(&format!("dev:{}", request.device_id));
+        let scope = format!("dev:{}", request.device_id);
+        let (ro_id, sequence) = self.next_ro_id(&scope);
         let rights_object = match &domain {
             None => self.build_device_ro(
                 ro_id,
@@ -477,6 +788,7 @@ impl RiService {
             .engine
             .pss_sign(self.keys.private(), &signed)
             .expect("RI key large enough for PSS");
+        self.record(RiEvent::RoIssued { scope, sequence });
         Ok(RoResponse {
             device_id: request.device_id.clone(),
             ri_id: self.id.clone(),
@@ -507,16 +819,19 @@ impl RiService {
             .domains
             .get_cloned(domain_id)
             .ok_or(RoapError::UnknownDomain)?;
-        let ro_id = self.next_ro_id(&format!("dom:{domain_id}"));
-        Ok(self.build_domain_ro(ro_id, content_id, &entry, &domain, now))
+        let scope = format!("dom:{domain_id}");
+        let (ro_id, sequence) = self.next_ro_id(&scope);
+        let ro = self.build_domain_ro(ro_id, content_id, &entry, &domain, now);
+        self.record(RiEvent::RoIssued { scope, sequence });
+        Ok(ro)
     }
 
     /// Allocates the next Rights Object id for `scope` (a registered device
-    /// or a domain). Each scope owns its own sequence in a sharded map, so
-    /// the id a device receives depends only on how many ROs *that device*
-    /// already obtained — never on how requests from different devices
-    /// interleave.
-    fn next_ro_id(&self, scope: &str) -> RightsObjectId {
+    /// or a domain), returning the id and the sequence number it consumed.
+    /// Each scope owns its own sequence in a sharded map, so the id a
+    /// device receives depends only on how many ROs *that device* already
+    /// obtained — never on how requests from different devices interleave.
+    fn next_ro_id(&self, scope: &str) -> (RightsObjectId, u64) {
         let seq = self.ro_sequences.update_or_insert_with(
             scope.to_string(),
             || 0,
@@ -527,7 +842,10 @@ impl RiService {
             },
         );
         self.issued_ros.fetch_add(1, Ordering::Relaxed);
-        RightsObjectId::new(&format!("ro:{}:{}:{}", self.id, scope, seq))
+        (
+            RightsObjectId::new(&format!("ro:{}:{}:{}", self.id, scope, seq)),
+            seq,
+        )
     }
 
     fn build_payload(
@@ -615,12 +933,30 @@ impl RiService {
 
     // ----- domains --------------------------------------------------------------
 
-    /// Creates a domain with a fresh shared key.
+    /// Creates a domain with a fresh shared key. Creation is first-wins: if
+    /// the domain already exists it is left untouched (members, key and
+    /// all) — wholesale re-creation would silently evict members and rotate
+    /// the key without a domain upgrade, and would make journal replay
+    /// ambiguous about whether an existing member set survives.
     pub fn create_domain(&self, domain_id: &str, max_members: usize) -> DomainId {
         let id = DomainId::new(domain_id);
         let key = self.engine.random_key();
-        self.domains
-            .insert(id.clone(), Domain::new(id.clone(), key, max_members));
+        let mut created = false;
+        self.domains.update_or_insert_with(
+            id.clone(),
+            || {
+                created = true;
+                Domain::new(id.clone(), key, max_members)
+            },
+            |_| {},
+        );
+        if created {
+            self.record(RiEvent::DomainCreated {
+                domain_id: id.clone(),
+                key,
+                max_members: max_members as u64,
+            });
+        }
         id
     }
 
@@ -668,12 +1004,12 @@ impl RiService {
         {
             return Err(RoapError::SignatureInvalid);
         }
-        let (key, generation) = self.domains.update(&request.domain_id, |domain| {
+        let (key, generation, max_members) = self.domains.update(&request.domain_id, |domain| {
             let domain = domain.ok_or(RoapError::UnknownDomain)?;
             if !domain.is_member(&request.device_id) && !domain.add_member(&request.device_id) {
                 return Err(RoapError::DomainFull);
             }
-            Ok((*domain.key(), domain.generation()))
+            Ok((*domain.key(), domain.generation(), domain.max_members()))
         })?;
         let encrypted_domain_key = self
             .engine
@@ -691,6 +1027,13 @@ impl RiService {
             .engine
             .pss_sign(self.keys.private(), &signed)
             .expect("RI key large enough for PSS");
+        self.record(RiEvent::DomainJoined {
+            domain_id: request.domain_id.clone(),
+            device_id: request.device_id.clone(),
+            key,
+            generation,
+            max_members: max_members as u64,
+        });
         Ok(JoinDomainResponse {
             device_id: request.device_id.clone(),
             ri_id: self.id.clone(),
@@ -721,7 +1064,12 @@ impl RiService {
             } else {
                 Err(DrmError::NotInDomain)
             }
-        })
+        })?;
+        self.record(RiEvent::DomainLeft {
+            domain_id: domain_id.clone(),
+            device_id: device_id.to_string(),
+        });
+        Ok(())
     }
 
     // ----- wire dispatch ---------------------------------------------------------
@@ -758,6 +1106,14 @@ impl RiService {
     }
 
     fn dispatch_with_clock(&self, frame: &[u8], now: Option<Timestamp>) -> Vec<u8> {
+        if let Some(now) = now {
+            // Amortised TTL sweep: a clock-owning server reclaims expired
+            // pending sessions as a side effect of serving traffic.
+            let tick = self.dispatch_count.fetch_add(1, Ordering::Relaxed);
+            if (tick + 1).is_multiple_of(SESSION_SWEEP_INTERVAL) {
+                self.sweep_sessions(now);
+            }
+        }
         let response = match RoapPdu::decode(frame) {
             Ok(pdu) => self.dispatch_pdu(pdu, now),
             Err(e) => RoapPdu::Status(RoapStatus::from(e)),
@@ -798,7 +1154,9 @@ impl RiService {
     /// PDUs arriving where a request belongs are rejected as malformed.
     fn dispatch_pdu(&self, pdu: RoapPdu, clock: Option<Timestamp>) -> RoapPdu {
         match pdu {
-            RoapPdu::DeviceHello(hello) => RoapPdu::RiHello(self.hello(&hello)),
+            RoapPdu::DeviceHello(hello) => {
+                RoapPdu::RiHello(self.hello_at(&hello, clock.unwrap_or(Timestamp::new(0))))
+            }
             RoapPdu::RegistrationRequest(request) => {
                 let now = clock.unwrap_or(request.request_time);
                 match self.process_registration(&request, now) {
@@ -883,12 +1241,13 @@ mod tests {
     #[test]
     fn ro_ids_are_scoped_per_device() {
         let (_ca, service, _rng) = service();
-        let a0 = service.next_ro_id("dev:a");
-        let b0 = service.next_ro_id("dev:b");
-        let a1 = service.next_ro_id("dev:a");
+        let (a0, s0) = service.next_ro_id("dev:a");
+        let (b0, _) = service.next_ro_id("dev:b");
+        let (a1, s1) = service.next_ro_id("dev:a");
         assert_eq!(a0.as_str(), "ro:ri:dev:a:0");
         assert_eq!(b0.as_str(), "ro:ri:dev:b:0");
         assert_eq!(a1.as_str(), "ro:ri:dev:a:1");
+        assert_eq!((s0, s1), (0, 1));
         assert_eq!(service.issued_ro_count(), 3);
     }
 
@@ -963,6 +1322,121 @@ mod tests {
             service.process_leave_domain("ghost", &id),
             Err(DrmError::NotInDomain)
         );
+    }
+
+    #[test]
+    fn ttl_sweep_reclaims_sessions_that_never_complete() {
+        let (_ca, service, _rng) = service();
+        service.set_session_ttl(60);
+        // 40 devices say hello and vanish without completing registration.
+        for i in 0..40 {
+            service.hello_at(
+                &DeviceHello::new(&format!("ghost-{i}")),
+                Timestamp::new(100),
+            );
+        }
+        // A late arrival is still inside its TTL at sweep time.
+        service.hello_at(&DeviceHello::new("alive"), Timestamp::new(150));
+        assert_eq!(service.pending_session_count(), 41);
+
+        assert_eq!(
+            service.sweep_sessions(Timestamp::new(155)),
+            0,
+            "none aged out yet"
+        );
+        let swept = service.sweep_sessions(Timestamp::new(161));
+        assert_eq!(swept, 40, "abandoned sessions reclaimed");
+        assert_eq!(service.pending_session_count(), 1);
+
+        // The surviving session still completes: its pending_by_device
+        // entry was not clobbered by the sweep.
+        let hello = service.hello_at(&DeviceHello::new("alive"), Timestamp::new(162));
+        assert_eq!(service.pending_session_count(), 1, "supersession intact");
+        assert!(hello.session_id > 41);
+    }
+
+    #[test]
+    fn clocked_dispatch_drives_the_sweep() {
+        let (_ca, service, _rng) = service();
+        service.set_session_ttl(10);
+        // Open sessions at t=0 through the wire path, then keep dispatching
+        // past the sweep interval with an advanced clock: the abandoned
+        // sessions must disappear without anyone calling sweep_sessions.
+        for i in 0..8 {
+            let frame = RoapPdu::DeviceHello(DeviceHello::new(&format!("dev-{i}"))).encode();
+            service.dispatch_at(&frame, Timestamp::new(0));
+        }
+        assert_eq!(service.pending_session_count(), 8);
+        let mut swept_at = None;
+        for tick in 0..2 * SESSION_SWEEP_INTERVAL {
+            let frame = RoapPdu::DeviceHello(DeviceHello::new("prober")).encode();
+            service.dispatch_at(&frame, Timestamp::new(1_000));
+            // The prober's own (fresh) session is always pending.
+            if service.pending_session_count() == 1 {
+                swept_at = Some(tick);
+                break;
+            }
+        }
+        assert!(
+            swept_at.is_some(),
+            "dispatch_at never triggered the TTL sweep"
+        );
+    }
+
+    #[test]
+    fn unclocked_hello_and_disabled_ttl_never_sweep() {
+        let (_ca, service, _rng) = service();
+        for i in 0..5 {
+            service.hello(&DeviceHello::new(&format!("dev-{i}")));
+        }
+        // TTL disabled: sweep is a no-op no matter the clock.
+        assert_eq!(service.sweep_sessions(Timestamp::new(u64::MAX)), 0);
+        assert_eq!(service.pending_session_count(), 5);
+    }
+
+    #[test]
+    fn state_image_roundtrip_restores_byte_identical_behaviour() {
+        use crate::rel::Permission;
+        use crate::ContentIssuer;
+        let (mut ca, service, mut rng) = service();
+        let ci = ContentIssuer::new("ci");
+        let (dcf, cek) = ci.package(b"track bytes", "cid:x", &mut rng);
+        service.add_content(
+            "cid:x",
+            cek,
+            &dcf,
+            RightsTemplate::unlimited(Permission::Play),
+        );
+        service.create_domain("family", 4);
+        let mut agent = crate::DrmAgent::new("dev-a", 384, &mut ca, &mut rng);
+        agent.register_with(&service, Timestamp::new(0)).unwrap();
+        agent
+            .acquire_rights_with(&service, "cid:x", Timestamp::new(0))
+            .unwrap();
+        // Leave a pending session dangling so the image carries one.
+        service.hello_at(&DeviceHello::new("dev-b"), Timestamp::new(5));
+
+        let image = service.state_image();
+        let restored = RiService::from_image(image.clone());
+        assert_eq!(restored.state_image(), image, "image roundtrip is exact");
+        assert_eq!(restored.id(), service.id());
+        assert!(restored.is_registered("dev-a"));
+        assert!(restored.has_content("cid:x"));
+        assert_eq!(restored.pending_session_count(), 1);
+
+        // The decisive property: both instances now produce byte-identical
+        // protocol output — same RO id, same key material, same signature.
+        let request = agent
+            .ro_request(service.id(), "cid:x", None, Timestamp::new(0))
+            .unwrap();
+        let a = service
+            .process_ro_request(&request, Timestamp::new(0))
+            .unwrap();
+        let b = restored
+            .process_ro_request(&request, Timestamp::new(0))
+            .unwrap();
+        assert_eq!(a, b, "continuation diverged after from_image");
+        assert_eq!(a.ro_id().as_str(), "ro:ri:dev:dev-a:1");
     }
 
     #[test]

@@ -125,6 +125,17 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         f(self.shard(key).write().expect("shard lock").get_mut(key))
     }
 
+    /// Runs `f` on every entry, shard by shard. Each shard's read lock is
+    /// held only while its own entries are visited. Iteration order is
+    /// unspecified; callers needing a canonical order sort afterwards.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for shard in &self.shards {
+            for (k, v) in shard.read().expect("shard lock").iter() {
+                f(k, v);
+            }
+        }
+    }
+
     /// Runs `f` on the entry for `key`, inserting `default()` first when the
     /// key is absent. The whole operation holds the shard write lock, so two
     /// concurrent callers for one key serialise.
@@ -137,6 +148,30 @@ impl<K: Hash + Eq, V> ShardedMap<K, V> {
         let shard = self.shard(&key);
         let mut guard = shard.write().expect("shard lock");
         f(guard.entry(key).or_insert_with(default))
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ShardedMap<K, V> {
+    /// Removes every entry for which `keep` returns `false`, returning the
+    /// removed pairs. Each shard is filtered under its own write lock, so
+    /// the check-and-remove cannot interleave with other writers of the
+    /// same keys.
+    pub fn retain(&self, mut keep: impl FnMut(&K, &V) -> bool) -> Vec<(K, V)> {
+        let mut removed = Vec::new();
+        for shard in &self.shards {
+            let mut guard = shard.write().expect("shard lock");
+            let dead: Vec<K> = guard
+                .iter()
+                .filter(|(k, v)| !keep(k, v))
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in dead {
+                if let Some(value) = guard.remove(&key) {
+                    removed.push((key, value));
+                }
+            }
+        }
+        removed
     }
 }
 
@@ -211,6 +246,32 @@ mod tests {
             map.update_or_insert_with(9, || 0, |v| *v += 1);
         }
         assert_eq!(map.get_cloned(&9), Some(3));
+    }
+
+    #[test]
+    fn retain_returns_the_removed_pairs() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        for i in 0..20 {
+            map.insert(i, i * 10);
+        }
+        let mut removed = map.retain(|k, _| k % 2 == 0);
+        removed.sort_unstable();
+        assert_eq!(removed.len(), 10);
+        assert!(removed.iter().all(|(k, v)| k % 2 == 1 && *v == k * 10));
+        assert_eq!(map.len(), 10);
+        assert!(map.contains(&2));
+        assert!(!map.contains(&3));
+    }
+
+    #[test]
+    fn for_each_visits_every_entry() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        for i in 0..50 {
+            map.insert(i, 1);
+        }
+        let mut count = 0u64;
+        map.for_each(|_, v| count += v);
+        assert_eq!(count, 50);
     }
 
     #[test]

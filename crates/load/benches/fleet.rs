@@ -5,7 +5,14 @@
 //! Run with: `cargo bench -p oma-load`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oma_load::{run_fleet, run_fleet_tcp, run_fleet_wire, FleetSpec};
+use oma_drm::roap::DeviceHello;
+use oma_drm::{RiJournal, RiService};
+use oma_load::{run_fleet, run_fleet_durable, run_fleet_tcp, run_fleet_wire, FleetSpec};
+use oma_pki::{CertificationAuthority, Timestamp};
+use oma_store::RiStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
 
 fn fleet_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
@@ -54,10 +61,57 @@ fn fleet_tcp_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The price of durability: the same wire fleet with and without a
+/// write-ahead journal under every service mutation. The delta per
+/// life-cycle is the journaling overhead a registration + acquisition pays
+/// (encode, CRC, append — `MemLog`, so the protocol cost, not the disk).
+fn store_journaling_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    let devices = 8;
+    group.throughput(Throughput::Elements(devices as u64));
+    let spec = FleetSpec::new(devices, 4);
+    group.bench_with_input(BenchmarkId::new("lifecycles", "plain"), &spec, |b, spec| {
+        b.iter(|| run_fleet_wire(spec).expect("wire fleet run"));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("lifecycles", "journaled"),
+        &spec,
+        |b, spec| {
+            b.iter(|| run_fleet_durable(spec, None).expect("durable fleet run"));
+        },
+    );
+    group.finish();
+}
+
+/// Recovery time as a function of the number of journal events replayed on
+/// top of the snapshot — the boot-time bill for running with a sparse
+/// snapshot cadence.
+fn store_recovery_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_recovery");
+    for events in [128u64, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(0xeca);
+        let mut ca = CertificationAuthority::new("cmla", 384, &mut rng);
+        let service = RiService::new("ri.bench", 384, &mut ca, &mut rng);
+        let store = Arc::new(RiStore::in_memory());
+        service.set_journal(Arc::clone(&store) as _);
+        store.snapshot(&|| service.state_image()).expect("genesis");
+        for i in 0..events {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i:06}")), Timestamp::new(0));
+        }
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("replay", events), &store, |b, store| {
+            b.iter(|| RiService::recover(&**store).expect("recover"));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fleet_throughput,
     fleet_wire_throughput,
-    fleet_tcp_throughput
+    fleet_tcp_throughput,
+    store_journaling_overhead,
+    store_recovery_time
 );
 criterion_main!(benches);

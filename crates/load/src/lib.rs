@@ -29,6 +29,22 @@
 //! the outcomes still `match` the in-process reference — transport is the
 //! only thing that changed.
 //!
+//! [`run_fleet_durable`] turns the harness into a crash lab: the same wire
+//! waves run against a **journaled** service (`oma_store::RiStore`), the
+//! service is killed after a chosen number of served frames — mid-wave —
+//! recovered from WAL + snapshot, and the remaining devices finish against
+//! the recovered instance. The run reports every raw `RoResponse` frame, so
+//! tests can assert byte-identity against an uninterrupted reference run:
+//! recovery restores not just the tables but the random stream, signatures
+//! and all.
+//!
+//! All drivers share two pieces of machinery: a worker-pool index fan-out
+//! for per-device life-cycles, and one wave engine
+//! (`hello_wave`/`registration_wave`/`acquisition_wave` over a pluggable
+//! batch-dispatch function) for the wire-shaped drivers — the durable
+//! variant is the wire driver with a different dispatch closure, not a
+//! fourth copy of the protocol.
+//!
 //! # Example
 //!
 //! ```
@@ -52,17 +68,19 @@ use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::sha1::{sha1, DIGEST_SIZE};
 use oma_drm::client::{RoapClient, RoapTransport};
+use oma_drm::journal::RiJournal;
 use oma_drm::roap::{
     DeviceHello, RegistrationRequest, RegistrationResponse, RiHello, RoRequest, RoResponse,
     RoapError,
 };
-use oma_drm::wire::{self, RoapPdu};
+use oma_drm::wire::RoapPdu;
 use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
 use oma_net::{RoapTcpServer, ServerConfig, TcpTransport};
 use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
 use oma_perf::runner::PhaseCycles;
 use oma_pki::{CertificationAuthority, EntityRole, Timestamp, ValidityPeriod};
+use oma_store::{RiStore, Wal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -247,14 +265,22 @@ fn build_world(spec: &FleetSpec) -> (Mutex<CertificationAuthority>, RiService, V
     let mut rng = StdRng::seed_from_u64(spec.base_seed);
     let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
     let service = RiService::new("ri.fleet", spec.rsa_modulus_bits, &mut ca, &mut rng);
+    let catalog = build_catalog(spec, &service, &mut rng);
+    (Mutex::new(ca), service, catalog)
+}
+
+/// Packages the content catalogue and registers it with the service. Split
+/// from [`build_world`] so the durable driver can attach the journal (and
+/// write the genesis snapshot) *before* the catalogue events flow.
+fn build_catalog(spec: &FleetSpec, service: &RiService, rng: &mut StdRng) -> Vec<CatalogItem> {
     let ci = ContentIssuer::new("ci.fleet");
-    let catalog = (0..spec.contents.max(1))
+    (0..spec.contents.max(1))
         .map(|c| {
             let mut content_rng = StdRng::seed_from_u64(spec.base_seed ^ (((c as u64) << 32) | 1));
             let mut content = vec![0u8; spec.content_len];
             rand::RngCore::fill_bytes(&mut content_rng, &mut content);
             let content_id = format!("cid:fleet-{c:03}");
-            let (dcf, cek) = ci.package(&content, &content_id, &mut rng);
+            let (dcf, cek) = ci.package(&content, &content_id, rng);
             service.add_content(
                 &content_id,
                 cek,
@@ -267,8 +293,41 @@ fn build_world(spec: &FleetSpec) -> (Mutex<CertificationAuthority>, RiService, V
                 digest: sha1(&content),
             }
         })
-        .collect();
-    (Mutex::new(ca), service, catalog)
+        .collect()
+}
+
+/// The shared fan-out primitive of every driver: `workers` threads pull
+/// device indices from one atomic counter and run `f` per index; results
+/// come back in index order. The first error any device hit is propagated
+/// after all workers finish.
+fn device_pool<T: Send>(
+    count: usize,
+    workers: usize,
+    f: impl Fn(usize) -> Result<T, DrmError> + Sync,
+) -> Result<Vec<T>, DrmError> {
+    let slots: Vec<Mutex<Option<Result<T, DrmError>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let outcome = f(index);
+                *slots[index].lock().expect("slot lock") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every device index was claimed")
+        })
+        .collect()
 }
 
 /// Provisions one device: key pair, certificate from the shared CA, and an
@@ -402,44 +461,24 @@ fn drive_device_via<T: RoapTransport>(
 pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
     let (ca, service, catalog) = build_world(spec);
     let workers = spec.workers.max(1);
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>> =
-        (0..spec.devices).map(|_| Mutex::new(None)).collect();
 
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= spec.devices {
-                    break;
-                }
-                let outcome = drive_device(spec, index, &service, &ca, &catalog);
-                *slots[index].lock().expect("slot lock") = Some(outcome);
-            });
-        }
-    });
+    let devices = device_pool(spec.devices, workers, |index| {
+        drive_device(spec, index, &service, &ca, &catalog)
+    })?;
     let elapsed = started.elapsed();
 
-    collect_report(slots, workers, elapsed, &service)
+    Ok(collect_report(devices, workers, elapsed, &service))
 }
 
-/// Collects the per-device outcome slots of a finished run into the sorted,
+/// Collects the per-device outcomes of a finished run into the sorted,
 /// fleet-aggregated report. Shared by every driver.
 fn collect_report(
-    slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>>,
+    mut devices: Vec<DeviceOutcome>,
     workers: usize,
     elapsed: Duration,
     service: &RiService,
-) -> Result<FleetReport, DrmError> {
-    let mut devices = Vec::with_capacity(slots.len());
-    for slot in slots {
-        devices.push(
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every device index was claimed")?,
-        );
-    }
+) -> FleetReport {
     devices.sort_by(|a, b| a.device_id.cmp(&b.device_id));
 
     let mut traces = PhaseTraces::new();
@@ -449,7 +488,7 @@ fn collect_report(
         cycles.merge(&device.cycles);
     }
 
-    Ok(FleetReport {
+    FleetReport {
         workers,
         elapsed,
         registrations: service.registered_count() as u64,
@@ -457,7 +496,7 @@ fn collect_report(
         devices,
         traces,
         cycles,
-    })
+    }
 }
 
 /// Runs the same fleet on a single thread — the reference run that
@@ -501,35 +540,38 @@ pub fn run_fleet_tcp(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
         },
     )?;
     let addr = server.local_addr();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<DeviceOutcome, DrmError>>>> =
-        (0..spec.devices).map(|_| Mutex::new(None)).collect();
 
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= spec.devices {
-                    break;
-                }
-                let outcome = TcpTransport::connect(addr).and_then(|transport| {
-                    let client = RoapClient::new(transport);
-                    drive_device_via(spec, index, service.id(), &client, &ca, &catalog)
-                });
-                *slots[index].lock().expect("slot lock") = Some(outcome);
-            });
-        }
-    });
+    let devices = device_pool(spec.devices, workers, |index| {
+        TcpTransport::connect(addr).and_then(|transport| {
+            let client = RoapClient::new(transport);
+            drive_device_via(spec, index, service.id(), &client, &ca, &catalog)
+        })
+    })?;
     let elapsed = started.elapsed();
     server.shutdown();
 
-    collect_report(slots, workers, elapsed, &service)
+    Ok(collect_report(devices, workers, elapsed, &service))
 }
 
-// ----- wire mode -------------------------------------------------------------
+// ----- wire-wave engine ------------------------------------------------------
+//
+// One protocol engine drives every wire-shaped fleet: requests are prepared
+// client-side in worker chunks, exchanged through a pluggable batch-dispatch
+// function, and completed client-side — with per-device progress flags, so a
+// wave can be re-entered after the dispatch function reports that the
+// service died mid-batch. `run_fleet_wire` plugs in `dispatch_batch`;
+// `run_fleet_durable` plugs in a frame-counting dispatcher that kills and
+// later recovers the service. Neither duplicates the protocol.
 
-/// Per-device state carried between the wire driver's waves.
+/// The server side of one wave, as the wave engine sees it: given the
+/// pending request frames (in device order), return one response frame per
+/// request — or `None` for requests the service never answered because it
+/// died mid-batch. Infrastructure failures (a socket error, a poisoned
+/// stream) are `Err`; a planned kill is data, not an error.
+type BatchDispatch<'a> = dyn FnMut(&[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>, DrmError> + 'a;
+
+/// Per-device state carried between waves.
 struct WireDevice {
     index: usize,
     device_id: String,
@@ -539,11 +581,89 @@ struct WireDevice {
     cycles: PhaseCycles,
     ro_ids: Vec<String>,
     content_digests: Vec<[u8; DIGEST_SIZE]>,
+    /// Raw `RoResponse` frames in acquisition order — the bytes the
+    /// crash-recovery suite compares against an uninterrupted reference.
+    ro_frames: Vec<Vec<u8>>,
+    /// Progress flags: a wave re-entered after a crash skips devices that
+    /// already hold this wave's result.
+    registered: bool,
+    acquired_rounds: usize,
     hello: Option<RiHello>,
     registration: Option<RegistrationRequest>,
     registration_response: Option<RegistrationResponse>,
     ro_request: Option<RoRequest>,
     ro_response: Option<RoResponse>,
+}
+
+/// Provisions the whole fleet: key generation (the expensive part) fans out
+/// through the shared device pool, but certificates are issued in device
+/// order afterwards — CA serial numbers end up pinned in *server* state at
+/// registration, so the crash-recovery suite's whole-state comparison needs
+/// them deterministic, not scheduler-ordered.
+fn provision_wire_devices(
+    spec: &FleetSpec,
+    ca: &Mutex<CertificationAuthority>,
+    workers: usize,
+) -> Result<Vec<WireDevice>, DrmError> {
+    let keys = device_pool(spec.devices, workers, |index| {
+        let mut rng = StdRng::seed_from_u64(spec.device_seed(index));
+        let keys = RsaKeyPair::generate(spec.rsa_modulus_bits, &mut rng);
+        Ok((keys, rng))
+    })?;
+    let mut ca = ca.lock().expect("ca lock");
+    let devices = keys
+        .into_iter()
+        .enumerate()
+        .map(|(index, (keys, mut rng))| {
+            let device_id = spec.device_id(index);
+            let certificate = ca.issue(
+                &device_id,
+                EntityRole::DrmAgent,
+                keys.public().clone(),
+                ValidityPeriod::starting_at(Timestamp::new(0), CERT_VALIDITY_SECONDS),
+            );
+            let backend = Arc::new(SoftwareBackend::new());
+            let agent = DrmAgent::with_credentials(
+                &device_id,
+                keys,
+                certificate,
+                ca.root_certificate().clone(),
+                Arc::<SoftwareBackend>::clone(&backend),
+                &mut rng,
+            );
+            agent.engine().reset_trace();
+            backend.take_charged_cycles();
+            wire_device(index, device_id, agent, backend)
+        })
+        .collect();
+    Ok(devices)
+}
+
+/// A freshly provisioned, not-yet-registered wire device.
+fn wire_device(
+    index: usize,
+    device_id: String,
+    agent: DrmAgent,
+    backend: Arc<SoftwareBackend>,
+) -> WireDevice {
+    WireDevice {
+        index,
+        device_id,
+        agent,
+        backend,
+        traces: PhaseTraces::new(),
+        cycles: PhaseCycles::default(),
+        ro_ids: Vec::new(),
+        content_digests: Vec::new(),
+        ro_frames: Vec::new(),
+        registered: false,
+        acquired_rounds: 0,
+        hello: None,
+        registration: None,
+        registration_response: None,
+        ro_request: None,
+        ro_response: None,
+    }
 }
 
 /// Runs `f` over every device, the slice split into one contiguous chunk per
@@ -582,31 +702,250 @@ where
     }
 }
 
-/// Decodes the concatenated response stream of one `dispatch_batch` call
-/// and hands each device its response PDU via `f`.
-fn distribute_responses<F>(
+/// One request/response exchange for every device `pending` selects:
+/// `build` encodes the request frame, the dispatch function produces
+/// response frames, `accept` consumes each answered device's PDU. Returns
+/// whether every pending device was answered — `false` means the service
+/// died mid-batch and the wave must be re-entered once it is back.
+fn exchange(
     devices: &mut [WireDevice],
-    responses: &[u8],
-    f: F,
-) -> Result<(), DrmError>
-where
-    F: Fn(&mut WireDevice, RoapPdu) -> Result<(), DrmError>,
-{
-    let pdus = wire::decode_stream(responses).map_err(DrmError::Roap)?;
-    if pdus.len() != devices.len() {
+    pending: impl Fn(&WireDevice) -> bool,
+    build: impl Fn(&WireDevice) -> Vec<u8>,
+    mut accept: impl FnMut(&mut WireDevice, &[u8], RoapPdu) -> Result<(), DrmError>,
+    dispatch: &mut BatchDispatch<'_>,
+) -> Result<bool, DrmError> {
+    let indices: Vec<usize> = devices
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| pending(d))
+        .map(|(i, _)| i)
+        .collect();
+    if indices.is_empty() {
+        return Ok(true);
+    }
+    let frames: Vec<Vec<u8>> = indices.iter().map(|&i| build(&devices[i])).collect();
+    let responses = dispatch(&frames)?;
+    if responses.len() != frames.len() {
         return Err(DrmError::Transport(format!(
             "batch answered {} of {} requests",
-            pdus.len(),
-            devices.len()
+            responses.len(),
+            frames.len()
         )));
     }
-    for (device, pdu) in devices.iter_mut().zip(pdus) {
-        if let RoapPdu::Status(status) = &pdu {
-            status.into_result()?;
+    let mut complete = true;
+    for (&index, response) in indices.iter().zip(&responses) {
+        match response {
+            None => complete = false,
+            Some(frame) => {
+                let pdu = RoapPdu::decode(frame).map_err(DrmError::Roap)?;
+                if let RoapPdu::Status(status) = &pdu {
+                    status.into_result()?;
+                }
+                accept(&mut devices[index], frame, pdu)?;
+            }
         }
-        f(device, pdu)?;
     }
-    Ok(())
+    Ok(complete)
+}
+
+/// Wave 1: `DeviceHello` for every device that has no session yet.
+fn hello_wave(
+    devices: &mut [WireDevice],
+    dispatch: &mut BatchDispatch<'_>,
+) -> Result<bool, DrmError> {
+    exchange(
+        devices,
+        |d| !d.registered && d.hello.is_none(),
+        |d| RoapPdu::DeviceHello(DeviceHello::new(&d.device_id)).encode(),
+        |device, _frame, pdu| match pdu {
+            RoapPdu::RiHello(hello) => {
+                device.hello = Some(hello);
+                Ok(())
+            }
+            _ => Err(DrmError::Roap(RoapError::Malformed)),
+        },
+        dispatch,
+    )
+}
+
+/// Wave 2: signed `RegistrationRequest`s, then verification of the
+/// responses. Requests are built exactly once per device (client-side
+/// nonces must not be redrawn when a wave is re-entered after a crash).
+fn registration_wave(
+    devices: &mut [WireDevice],
+    workers: usize,
+    now: Timestamp,
+    dispatch: &mut BatchDispatch<'_>,
+) -> Result<bool, DrmError> {
+    wire_wave(devices, workers, |device| {
+        if device.registered || device.registration.is_some() {
+            return Ok(());
+        }
+        let hello = device.hello.as_ref().expect("hello wave ran").clone();
+        let request = device.agent.registration_request(&hello, now)?;
+        device
+            .traces
+            .registration
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.registration += device.backend.take_charged_cycles();
+        device.registration = Some(request);
+        Ok(())
+    })?;
+    let complete = exchange(
+        devices,
+        |d| !d.registered && d.registration_response.is_none(),
+        |d| RoapPdu::RegistrationRequest(d.registration.clone().expect("request built")).encode(),
+        |device, _frame, pdu| match pdu {
+            RoapPdu::RegistrationResponse(response) => {
+                device.registration_response = Some(response);
+                Ok(())
+            }
+            _ => Err(DrmError::Roap(RoapError::Malformed)),
+        },
+        dispatch,
+    )?;
+    wire_wave(devices, workers, |device| {
+        let Some(response) = device.registration_response.take() else {
+            return Ok(());
+        };
+        let hello = device.hello.take().expect("hello wave ran");
+        let request = device.registration.take().expect("request built");
+        device
+            .agent
+            .complete_registration(&hello, &request, &response, now)?;
+        device
+            .traces
+            .registration
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.registration += device.backend.take_charged_cycles();
+        device.registered = true;
+        Ok(())
+    })?;
+    Ok(complete)
+}
+
+/// One acquisition round: `RORequest` exchange, then verify + install +
+/// consume for every answered device.
+fn acquisition_wave(
+    devices: &mut [WireDevice],
+    workers: usize,
+    round: usize,
+    ri_id: &str,
+    catalog: &[CatalogItem],
+    now: Timestamp,
+    dispatch: &mut BatchDispatch<'_>,
+) -> Result<bool, DrmError> {
+    wire_wave(devices, workers, |device| {
+        if device.acquired_rounds != round || device.ro_request.is_some() {
+            return Ok(());
+        }
+        let item = &catalog[(device.index + round) % catalog.len()];
+        let request = device
+            .agent
+            .ro_request(ri_id, &item.content_id, None, now)?;
+        device
+            .traces
+            .acquisition
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.acquisition += device.backend.take_charged_cycles();
+        device.ro_request = Some(request);
+        Ok(())
+    })?;
+    let complete = exchange(
+        devices,
+        |d| d.acquired_rounds == round && d.ro_response.is_none(),
+        |d| RoapPdu::RoRequest(d.ro_request.clone().expect("request built")).encode(),
+        |device, frame, pdu| match pdu {
+            RoapPdu::RoResponse(response) => {
+                device.ro_response = Some(response);
+                device.ro_frames.push(frame.to_vec());
+                Ok(())
+            }
+            _ => Err(DrmError::Roap(RoapError::Malformed)),
+        },
+        dispatch,
+    )?;
+    wire_wave(devices, workers, |device| {
+        let Some(response) = device.ro_response.take() else {
+            return Ok(());
+        };
+        let item = &catalog[(device.index + round) % catalog.len()];
+        let request = device.ro_request.take().expect("request built");
+        device.agent.verify_ro_response(&request, &response)?;
+        device
+            .traces
+            .acquisition
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.acquisition += device.backend.take_charged_cycles();
+
+        let ro_id = device.agent.install_rights(&response, now)?;
+        device
+            .traces
+            .installation
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.installation += device.backend.take_charged_cycles();
+
+        let plaintext = device
+            .agent
+            .consume(&ro_id, &item.dcf, Permission::Play, now)?;
+        device
+            .traces
+            .consumption_per_access
+            .merge(&device.agent.engine().take_trace());
+        device.cycles.consumption_per_access += device.backend.take_charged_cycles();
+
+        let digest = sha1(&plaintext);
+        assert_eq!(
+            digest, item.digest,
+            "{} recovered corrupted content for {}",
+            device.device_id, item.content_id
+        );
+        device.content_digests.push(digest);
+        device.ro_ids.push(ro_id.as_str().to_string());
+        device.acquired_rounds = round + 1;
+        Ok(())
+    })?;
+    Ok(complete)
+}
+
+/// Splits a concatenated response stream into raw per-frame byte strings
+/// (no decoding — the wave engine decodes).
+fn split_frames(stream: &[u8]) -> Result<Vec<Vec<u8>>, DrmError> {
+    let mut frames = Vec::new();
+    let mut rest = stream;
+    while !rest.is_empty() {
+        let len = RoapPdu::frame_len(rest)
+            .map_err(DrmError::Roap)?
+            .filter(|len| rest.len() >= *len)
+            .ok_or_else(|| DrmError::Transport("truncated response stream".into()))?;
+        frames.push(rest[..len].to_vec());
+        rest = &rest[len..];
+    }
+    Ok(frames)
+}
+
+/// Per-device raw `RoResponse` frames (device id → frames in acquisition
+/// order), sorted by device id.
+pub type RoResponseFrames = Vec<(String, Vec<Vec<u8>>)>;
+
+/// Drains every wire device into its immutable outcome (plus the captured
+/// raw `RoResponse` frames), sorted by device id.
+fn finish_wire_devices(devices: Vec<WireDevice>) -> (Vec<DeviceOutcome>, RoResponseFrames) {
+    let mut outcomes = Vec::with_capacity(devices.len());
+    let mut frames = Vec::with_capacity(devices.len());
+    for device in devices {
+        frames.push((device.device_id.clone(), device.ro_frames));
+        outcomes.push(DeviceOutcome {
+            device_id: device.device_id,
+            ro_ids: device.ro_ids,
+            content_digests: device.content_digests,
+            traces: device.traces,
+            cycles: device.cycles,
+        });
+    }
+    outcomes.sort_by(|a, b| a.device_id.cmp(&b.device_id));
+    frames.sort_by(|a, b| a.0.cmp(&b.0));
+    (outcomes, frames)
 }
 
 /// Runs the fleet in wire mode: every ROAP exchange is encoded into
@@ -628,202 +967,184 @@ pub fn run_fleet_wire(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
     let workers = spec.workers.max(1);
 
     let started = Instant::now();
-
-    // Provision every device (parallel, CA lock covers only certification).
-    let mut devices: Vec<WireDevice> = Vec::with_capacity(spec.devices);
-    {
-        let slots: Vec<Mutex<Option<WireDevice>>> =
-            (0..spec.devices).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= spec.devices {
-                        break;
-                    }
-                    let (agent, backend) = provision_device(spec, index, &ca);
-                    agent.engine().reset_trace();
-                    backend.take_charged_cycles();
-                    *slots[index].lock().expect("slot lock") = Some(WireDevice {
-                        index,
-                        device_id: spec.device_id(index),
-                        agent,
-                        backend,
-                        traces: PhaseTraces::new(),
-                        cycles: PhaseCycles::default(),
-                        ro_ids: Vec::new(),
-                        content_digests: Vec::new(),
-                        hello: None,
-                        registration: None,
-                        registration_response: None,
-                        ro_request: None,
-                        ro_response: None,
-                    });
-                });
-            }
-        });
-        for slot in slots {
-            devices.push(
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every device index was claimed"),
-            );
-        }
-    }
-
-    // Wave 1: DeviceHello for every device, one batch.
-    let stream: Vec<u8> = devices
-        .iter()
-        .flat_map(|d| RoapPdu::DeviceHello(DeviceHello::new(&d.device_id)).encode())
-        .collect();
-    let responses = service.dispatch_batch(&stream);
-    distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
-        RoapPdu::RiHello(hello) => {
-            device.hello = Some(hello);
-            Ok(())
-        }
-        _ => Err(DrmError::Roap(RoapError::Malformed)),
-    })?;
-
-    // Wave 2: signed RegistrationRequests, one batch, then verification.
-    wire_wave(&mut devices, workers, |device| {
-        let hello = device.hello.as_ref().expect("hello wave ran").clone();
-        let request = device.agent.registration_request(&hello, now())?;
-        device
-            .traces
-            .registration
-            .merge(&device.agent.engine().take_trace());
-        device.cycles.registration += device.backend.take_charged_cycles();
-        device.registration = Some(request);
-        Ok(())
-    })?;
-    let stream: Vec<u8> = devices
-        .iter()
-        .flat_map(|d| {
-            RoapPdu::RegistrationRequest(d.registration.clone().expect("request built")).encode()
-        })
-        .collect();
-    let responses = service.dispatch_batch(&stream);
-    distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
-        RoapPdu::RegistrationResponse(response) => {
-            device.registration_response = Some(response);
-            Ok(())
-        }
-        _ => Err(DrmError::Roap(RoapError::Malformed)),
-    })?;
-    wire_wave(&mut devices, workers, |device| {
-        let hello = device.hello.take().expect("hello wave ran");
-        let request = device.registration.take().expect("request built");
-        let response = device
-            .registration_response
-            .take()
-            .expect("response stored");
-        device
-            .agent
-            .complete_registration(&hello, &request, &response, now())?;
-        device
-            .traces
-            .registration
-            .merge(&device.agent.engine().take_trace());
-        device.cycles.registration += device.backend.take_charged_cycles();
-        Ok(())
-    })?;
-
-    // Acquisition rounds: RORequest batch, then verify + install + consume.
-    for round in 0..spec.acquisitions_per_device {
-        wire_wave(&mut devices, workers, |device| {
-            let item = &catalog[(device.index + round) % catalog.len()];
-            let request = device
-                .agent
-                .ro_request(service.id(), &item.content_id, None, now())?;
-            device
-                .traces
-                .acquisition
-                .merge(&device.agent.engine().take_trace());
-            device.cycles.acquisition += device.backend.take_charged_cycles();
-            device.ro_request = Some(request);
-            Ok(())
-        })?;
-        let stream: Vec<u8> = devices
-            .iter()
-            .flat_map(|d| RoapPdu::RoRequest(d.ro_request.clone().expect("request built")).encode())
-            .collect();
+    let mut devices = provision_wire_devices(spec, &ca, workers)?;
+    let mut dispatch = |frames: &[Vec<u8>]| -> Result<Vec<Option<Vec<u8>>>, DrmError> {
+        let stream: Vec<u8> = frames.concat();
         let responses = service.dispatch_batch(&stream);
-        distribute_responses(&mut devices, &responses, |device, pdu| match pdu {
-            RoapPdu::RoResponse(response) => {
-                device.ro_response = Some(response);
-                Ok(())
-            }
-            _ => Err(DrmError::Roap(RoapError::Malformed)),
-        })?;
-        wire_wave(&mut devices, workers, |device| {
-            let item = &catalog[(device.index + round) % catalog.len()];
-            let request = device.ro_request.take().expect("request built");
-            let response = device.ro_response.take().expect("response stored");
-            device.agent.verify_ro_response(&request, &response)?;
-            device
-                .traces
-                .acquisition
-                .merge(&device.agent.engine().take_trace());
-            device.cycles.acquisition += device.backend.take_charged_cycles();
+        Ok(split_frames(&responses)?.into_iter().map(Some).collect())
+    };
 
-            let ro_id = device.agent.install_rights(&response, now())?;
-            device
-                .traces
-                .installation
-                .merge(&device.agent.engine().take_trace());
-            device.cycles.installation += device.backend.take_charged_cycles();
-
-            let plaintext = device
-                .agent
-                .consume(&ro_id, &item.dcf, Permission::Play, now())?;
-            device
-                .traces
-                .consumption_per_access
-                .merge(&device.agent.engine().take_trace());
-            device.cycles.consumption_per_access += device.backend.take_charged_cycles();
-
-            let digest = sha1(&plaintext);
-            assert_eq!(
-                digest, item.digest,
-                "{} recovered corrupted content for {}",
-                device.device_id, item.content_id
-            );
-            device.content_digests.push(digest);
-            device.ro_ids.push(ro_id.as_str().to_string());
-            Ok(())
-        })?;
+    let mut complete = hello_wave(&mut devices, &mut dispatch)?;
+    complete &= registration_wave(&mut devices, workers, now(), &mut dispatch)?;
+    for round in 0..spec.acquisitions_per_device {
+        complete &= acquisition_wave(
+            &mut devices,
+            workers,
+            round,
+            service.id(),
+            &catalog,
+            now(),
+            &mut dispatch,
+        )?;
+    }
+    if !complete {
+        return Err(DrmError::Transport(
+            "dispatch_batch left requests unanswered".into(),
+        ));
     }
     let elapsed = started.elapsed();
 
-    let mut outcomes: Vec<DeviceOutcome> = devices
-        .into_iter()
-        .map(|d| DeviceOutcome {
-            device_id: d.device_id,
-            ro_ids: d.ro_ids,
-            content_digests: d.content_digests,
-            traces: d.traces,
-            cycles: d.cycles,
-        })
-        .collect();
-    outcomes.sort_by(|a, b| a.device_id.cmp(&b.device_id));
+    let (outcomes, _frames) = finish_wire_devices(devices);
+    Ok(collect_report(outcomes, workers, elapsed, &service))
+}
 
-    let mut traces = PhaseTraces::new();
-    let mut cycles = PhaseCycles::default();
-    for device in &outcomes {
-        traces.merge(&device.traces);
-        cycles.merge(&device.cycles);
+// ----- durable mode ----------------------------------------------------------
+
+/// The crash plan and report of a [`run_fleet_durable`] run.
+///
+/// Beyond the usual [`FleetReport`], the durable driver reports the raw
+/// `RoResponse` frames every device received — the bytes whose equality
+/// with an uninterrupted reference run *is* the crash-recovery invariant —
+/// plus how often the service was killed and how many journal events each
+/// recovery replayed.
+#[derive(Debug, Clone)]
+pub struct DurableReport {
+    /// The regular fleet report (outcomes, traces, cycles, counts).
+    pub fleet: FleetReport,
+    /// How many times the service was killed and recovered.
+    pub recoveries: u64,
+    /// Journal events replayed across all recoveries.
+    pub events_replayed: u64,
+    /// Raw `RoResponse` frames per device (sorted by device id, frames in
+    /// acquisition order) — byte-identical across killed and uninterrupted
+    /// runs of the same spec.
+    pub ro_response_frames: RoResponseFrames,
+    /// The final state image of the (possibly recovered) service, for
+    /// whole-state equality checks against a reference run.
+    pub final_state: oma_drm::RiStateImage,
+}
+
+/// Runs the fleet against a journaled service backed by an in-memory store
+/// and — when `kill_after_frames` is `Some(k)` — kills the service after it
+/// has served `k` frames, recovers it from WAL + snapshot, and finishes the
+/// remaining devices against the recovered instance.
+///
+/// `kill_after_frames = None` is the uninterrupted reference: same
+/// journaling, same dispatch path, no crash. The crash-recovery invariant
+/// the suite asserts is that killed and uninterrupted runs of one spec are
+/// indistinguishable in every deterministic observable, raw response bytes
+/// included.
+///
+/// # Errors
+///
+/// See [`run_fleet`]; additionally [`DrmError::Store`] when the store
+/// cannot persist or recover state.
+pub fn run_fleet_durable(
+    spec: &FleetSpec,
+    kill_after_frames: Option<u64>,
+) -> Result<DurableReport, DrmError> {
+    run_fleet_durable_with(spec, Arc::new(RiStore::in_memory()), kill_after_frames)
+}
+
+/// [`run_fleet_durable`] over a caller-supplied (fresh, empty) store —
+/// e.g. a `FileLog`-backed one, so the crash actually spans bytes on disk.
+pub fn run_fleet_durable_with<L: Wal + 'static>(
+    spec: &FleetSpec,
+    store: Arc<RiStore<L>>,
+    kill_after_frames: Option<u64>,
+) -> Result<DurableReport, DrmError> {
+    let workers = spec.workers.max(1);
+    let started = Instant::now();
+
+    // World setup: journal first, then genesis snapshot, then the catalogue
+    // (whose entries flow into the log as events).
+    let mut rng = StdRng::seed_from_u64(spec.base_seed);
+    let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+    let mut service = RiService::new("ri.fleet", spec.rsa_modulus_bits, &mut ca, &mut rng);
+    let ri_id = service.id().to_string();
+    service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+    store.snapshot(&|| service.state_image())?;
+    let catalog = build_catalog(spec, &service, &mut rng);
+    let ca = Mutex::new(ca);
+    let mut devices = provision_wire_devices(spec, &ca, workers)?;
+
+    // The service "crashes" once its frame budget is exhausted: requests
+    // from then on go unanswered, exactly like a power loss between two
+    // acknowledged exchanges. (Torn mid-record writes are the store
+    // corpus's department — see `tests/store_recovery.rs`.)
+    let mut budget = kill_after_frames.unwrap_or(u64::MAX);
+    let mut recoveries = 0u64;
+    let mut events_replayed = 0u64;
+
+    enum Wave {
+        Hello,
+        Register,
+        Acquire(usize),
     }
+    let mut waves = vec![Wave::Hello, Wave::Register];
+    waves.extend((0..spec.acquisitions_per_device).map(Wave::Acquire));
 
-    Ok(FleetReport {
-        workers,
-        elapsed,
-        registrations: service.registered_count() as u64,
-        rights_objects: service.issued_ro_count(),
-        devices: outcomes,
-        traces,
-        cycles,
+    for wave in waves {
+        loop {
+            let complete = {
+                let service = &service;
+                let budget = &mut budget;
+                let mut dispatch =
+                    move |frames: &[Vec<u8>]| -> Result<Vec<Option<Vec<u8>>>, DrmError> {
+                        let mut out = Vec::with_capacity(frames.len());
+                        for frame in frames {
+                            if *budget == 0 {
+                                out.push(None);
+                                continue;
+                            }
+                            *budget -= 1;
+                            out.push(Some(service.dispatch_at(frame, now())));
+                        }
+                        Ok(out)
+                    };
+                match wave {
+                    Wave::Hello => hello_wave(&mut devices, &mut dispatch)?,
+                    Wave::Register => {
+                        registration_wave(&mut devices, workers, now(), &mut dispatch)?
+                    }
+                    Wave::Acquire(round) => acquisition_wave(
+                        &mut devices,
+                        workers,
+                        round,
+                        &ri_id,
+                        &catalog,
+                        now(),
+                        &mut dispatch,
+                    )?,
+                }
+            };
+            if complete {
+                break;
+            }
+            // Power loss: the dead instance is dropped wholesale; nothing
+            // survives but the store. Recover and re-enter the wave — the
+            // progress flags make devices that were answered pre-crash
+            // skip it.
+            let (image, report) = store.load_with_report().map_err(DrmError::from)?;
+            events_replayed += report.events_applied;
+            service = RiService::from_image(image);
+            service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+            recoveries += 1;
+            budget = u64::MAX;
+        }
+    }
+    let elapsed = started.elapsed();
+
+    store.flush()?;
+    store.snapshot(&|| service.state_image())?;
+    let final_state = service.state_image();
+    let (outcomes, ro_response_frames) = finish_wire_devices(devices);
+    Ok(DurableReport {
+        fleet: collect_report(outcomes, workers, elapsed, &service),
+        recoveries,
+        events_replayed,
+        ro_response_frames,
+        final_state,
     })
 }
 
@@ -918,6 +1239,38 @@ mod tests {
         let concurrent = run_fleet_tcp(&spec).unwrap();
         let single = run_fleet_tcp(&spec.clone().with_workers(1)).unwrap();
         assert!(concurrent.matches(&single));
+    }
+
+    #[test]
+    fn durable_uninterrupted_matches_plain_reference() {
+        let spec = FleetSpec::smoke();
+        let durable = run_fleet_durable(&spec, None).unwrap();
+        let reference = run_sequential(&spec).unwrap();
+        assert_eq!(durable.recoveries, 0);
+        assert!(
+            durable.fleet.matches(&reference),
+            "journaling must not change any deterministic observable"
+        );
+    }
+
+    #[test]
+    fn durable_kill_and_recover_is_indistinguishable() {
+        let spec = FleetSpec::new(4, 2).with_acquisitions(2);
+        let reference = run_fleet_durable(&spec, None).unwrap();
+        // Kill mid-registration-wave: 4 hellos + 2 of 4 registrations.
+        let killed = run_fleet_durable(&spec, Some(6)).unwrap();
+        assert_eq!(killed.recoveries, 1);
+        assert!(killed.events_replayed > 0);
+        assert!(killed.fleet.matches(&reference.fleet));
+        assert!(killed.fleet.duplicate_ro_ids().is_empty());
+        assert_eq!(
+            killed.ro_response_frames, reference.ro_response_frames,
+            "RoResponse bytes must survive the crash byte-identically"
+        );
+        assert_eq!(
+            killed.final_state, reference.final_state,
+            "recovered run must converge to the identical service state"
+        );
     }
 
     #[test]

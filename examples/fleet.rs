@@ -9,7 +9,9 @@
 //!
 //! Run with: `cargo run --release --example fleet`
 
-use oma_drm2::load::{run_fleet, run_fleet_tcp, run_fleet_wire, run_sequential, FleetSpec};
+use oma_drm2::load::{
+    run_fleet, run_fleet_durable, run_fleet_tcp, run_fleet_wire, run_sequential, FleetSpec,
+};
 
 fn main() {
     let spec = FleetSpec {
@@ -76,4 +78,16 @@ fn main() {
         "TCP outcomes byte-identical to in-process runs: {}",
         tcp.matches(&sequential)
     );
+
+    println!(
+        "\nre-running the same fleet against a journaled service (WAL on every mutation)...\n"
+    );
+    let durable = run_fleet_durable(&spec, None).expect("durable fleet run");
+    println!("{}", durable.fleet.summary("Durable (journaled) fleet"));
+    assert!(
+        durable.fleet.matches(&sequential),
+        "journaling must not change any deterministic observable"
+    );
+    let journaled = durable.fleet.elapsed.as_secs_f64() / wire.elapsed.as_secs_f64();
+    println!("journaling overhead vs wire mode: {journaled:.2}x wall-clock");
 }

@@ -19,6 +19,9 @@
 //! * [`net`] — ROAP over TCP: the [`RoapTcpServer`](net::RoapTcpServer)
 //!   bounded-pool server and the [`TcpTransport`](net::TcpTransport) client
 //!   transport, std-only,
+//! * [`store`] — durable Rights Issuer storage: the CRC-framed write-ahead
+//!   log, full-state snapshots and crash recovery behind
+//!   [`RiService::recover`](drm::RiService::recover),
 //! * [`perf`] — the Table 1 cost model, architecture variants (each mapping
 //!   1:1 onto an executable backend), use cases, the analytic and measured
 //!   models and figure generators,
@@ -66,3 +69,4 @@ pub use oma_load as load;
 pub use oma_net as net;
 pub use oma_perf as perf;
 pub use oma_pki as pki;
+pub use oma_store as store;
