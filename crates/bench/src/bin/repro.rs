@@ -10,8 +10,17 @@
 //! repro fig7          # Figure 7 only
 //! repro energy        # §3 energy estimate
 //! repro measured      # measured (protocol-run) cross-check of the model
+//!
+//! repro --emit-bench [--smoke] [PATH]      # write a BENCH_*.json snapshot
+//! repro --check-bench BASELINE FRESH       # fail on throughput regression
 //! ```
+//!
+//! `--emit-bench` writes a performance snapshot (default path
+//! `BENCH_pr6.json`); `--smoke` limits it to the small CI-sized section.
+//! `--check-bench` compares two snapshots and exits non-zero when the fresh
+//! one's smoke fleet throughput regressed beyond the tolerated drop.
 
+use oma_bench::snapshot::{check_regression, BenchSnapshot};
 use oma_bench::{Experiment, FIGURE6_PAPER_MS, FIGURE7_PAPER_MS};
 use oma_perf::energy::EnergyModel;
 use oma_perf::report;
@@ -121,9 +130,71 @@ fn print_measured(experiment: &Experiment) {
     }
 }
 
+/// `repro --emit-bench [--smoke] [PATH]`: measure and write a snapshot.
+fn emit_bench(args: &[String]) -> Result<(), String> {
+    let smoke_only = args.iter().any(|a| a == "--smoke");
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("BENCH_pr6.json");
+    // "BENCH_pr6.json" -> trajectory label "pr6".
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .map(|s| s.strip_prefix("BENCH_").unwrap_or(s))
+        .unwrap_or("bench");
+    eprintln!(
+        "measuring {} bench snapshot '{label}'...",
+        if smoke_only { "smoke" } else { "smoke + full" }
+    );
+    let snapshot = BenchSnapshot::capture(label, smoke_only)?;
+    std::fs::write(path, snapshot.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    let section = snapshot.full.as_ref().unwrap_or(&snapshot.smoke);
+    println!(
+        "wrote {path}: rsa private {:.0} us ({}x vs per-call contexts), fleet {:.1} reg/s, journaling x{:.2}, replay {:.0} us",
+        section.rsa.private_op_micros,
+        (section.rsa.private_speedup * 10.0).round() / 10.0,
+        section.fleet.registrations_per_sec,
+        section.durability.journaling_overhead_ratio,
+        section.durability.wal_replay_micros,
+    );
+    Ok(())
+}
+
+/// `repro --check-bench BASELINE FRESH`: compare two snapshot files.
+fn check_bench(args: &[String]) -> Result<(), String> {
+    let [baseline_path, fresh_path] = args else {
+        return Err("usage: repro --check-bench <baseline.json> <fresh.json>".to_string());
+    };
+    let load = |path: &String| {
+        std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|doc| BenchSnapshot::from_json(&doc).map_err(|e| format!("{path}: {e}")))
+    };
+    let verdict = check_regression(&load(baseline_path)?, &load(fresh_path)?)?;
+    println!("{verdict}");
+    Ok(())
+}
+
 fn main() {
-    let experiment = Experiment::new();
     let selection: Vec<String> = std::env::args().skip(1).collect();
+    if selection.first().map(String::as_str) == Some("--emit-bench") {
+        if let Err(e) = emit_bench(&selection[1..]) {
+            eprintln!("emit-bench failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if selection.first().map(String::as_str) == Some("--check-bench") {
+        if let Err(e) = check_bench(&selection[1..]) {
+            eprintln!("check-bench failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let experiment = Experiment::new();
     let want = |name: &str| selection.is_empty() || selection.iter().any(|s| s == name);
 
     if want("table1") {

@@ -14,6 +14,8 @@
 //! The `repro` binary prints the same rows/series as text so the numbers can
 //! be compared against the paper without running Criterion.
 
+pub mod snapshot;
+
 use oma_drm::DrmError;
 use oma_perf::arch::Architecture;
 use oma_perf::cost::CostTable;

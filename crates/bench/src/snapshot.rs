@@ -1,0 +1,615 @@
+//! `BENCH_*.json` performance snapshots: the repo's perf trajectory.
+//!
+//! Every PR that touches the hot path lands one `BENCH_prN.json` at the repo
+//! root, emitted by `repro --emit-bench`. The file carries two sections:
+//!
+//! * `smoke` — a tiny fleet ([`FleetSpec::smoke`]) plus a short RSA latency
+//!   probe. Always present; CI re-measures this section and compares
+//!   throughput against the committed baseline.
+//! * `full` — a larger fleet and a longer RSA probe. Present in committed
+//!   snapshots (emitted without `--smoke`), absent from CI smoke runs.
+//!
+//! Each section is a flat JSON object (see [`BenchSection::to_json`]):
+//! RSA op latencies with a seed-equivalent baseline and the resulting
+//! speedup, wire-fleet throughput with per-phase cycle totals, and the
+//! durability costs (journaling overhead ratio, WAL replay time).
+//!
+//! The emit/bless flow and the regression gate are documented in the
+//! repository README under "Performance trajectory".
+
+use oma_bignum::{BigUint, Montgomery};
+use oma_crypto::rsa::RsaKeyPair;
+use oma_drm::{DrmAgent, RiJournal, RiService};
+use oma_load::{run_fleet_durable_with, run_fleet_wire, FleetSpec};
+use oma_pki::{CertificationAuthority, Timestamp};
+use oma_store::RiStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Version of the `BENCH_*.json` schema this module reads and writes.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Modulus size of the RSA latency probe. The paper's Table 1 charges RSA
+/// per 1024-bit operation, so the trajectory tracks the op the cost model
+/// actually bills (the fleet sections keep their own test-sized keys).
+pub const BENCH_RSA_BITS: usize = 1024;
+
+/// Largest tolerated relative drop in smoke fleet throughput before
+/// [`check_regression`] fails (the CI gate).
+pub const MAX_THROUGHPUT_DROP: f64 = 0.10;
+
+/// Measured RSA primitive latencies, against a seed-equivalent baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RsaLatencies {
+    /// Modulus size the probe ran at.
+    pub modulus_bits: u64,
+    /// Mean `rsadp` latency with cached contexts + fixed-window modpow.
+    pub private_op_micros: f64,
+    /// Mean `rsadp` latency the way the seed computed it: both CRT
+    /// Montgomery contexts rebuilt per call, bit-at-a-time ladder.
+    pub private_baseline_micros: f64,
+    /// `private_baseline_micros / private_op_micros`.
+    pub private_speedup: f64,
+    /// Mean `rsaep` latency with the cached modulus context.
+    pub public_op_micros: f64,
+}
+
+impl RsaLatencies {
+    /// Times `iters` private-key operations on a fresh `bits`-bit key pair,
+    /// then a quarter as many seed-equivalent baseline operations (the
+    /// baseline is slow — that is the point).
+    pub fn measure(bits: usize, iters: u32) -> Self {
+        let mut rng = StdRng::seed_from_u64(0xbe7c);
+        let pair = RsaKeyPair::generate(bits, &mut rng);
+        let m = BigUint::from_bytes_be(&[0x42u8; 16]);
+        let c = pair.public().rsaep(&m).expect("message below modulus");
+        pair.private().precompute();
+        pair.public().precompute();
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(pair.private().rsadp(&c).expect("ciphertext below modulus"));
+        }
+        let private_op_micros = started.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+
+        // Seed-equivalent baseline: rebuild both CRT contexts (one full
+        // division each for R²) and run the pre-optimization bit-at-a-time
+        // ladder, exactly what `rsadp` cost before contexts were cached.
+        let (p, q) = pair.private().primes();
+        let d = pair.private().d();
+        let one = BigUint::one();
+        let dp = d.rem_of(&(p - &one));
+        let dq = d.rem_of(&(q - &one));
+        let qinv = q.mod_inverse(p).expect("p and q are distinct primes");
+        let baseline_iters = (iters / 4).max(1);
+        let mut check = BigUint::zero();
+        let started = Instant::now();
+        for _ in 0..baseline_iters {
+            let mp = Montgomery::new(p.clone()).expect("odd prime");
+            let mq = Montgomery::new(q.clone()).expect("odd prime");
+            let m1 = mp.modpow_bitwise(&c, &dp);
+            let m2 = mq.modpow_bitwise(&c, &dq);
+            let h = m1.sub_mod(&m2.rem_of(p), p).mul_mod(&qinv, p);
+            check = &m2 + &(&h * q);
+        }
+        let private_baseline_micros =
+            started.elapsed().as_secs_f64() * 1e6 / f64::from(baseline_iters);
+        assert_eq!(check, m, "baseline CRT disagrees with the optimized path");
+
+        let started = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(pair.public().rsaep(&m).expect("message below modulus"));
+        }
+        let public_op_micros = started.elapsed().as_secs_f64() * 1e6 / f64::from(iters);
+
+        RsaLatencies {
+            modulus_bits: bits as u64,
+            private_op_micros,
+            private_baseline_micros,
+            private_speedup: private_baseline_micros / private_op_micros.max(f64::EPSILON),
+            public_op_micros,
+        }
+    }
+}
+
+/// Wire-fleet throughput and per-phase cycle totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBench {
+    /// Devices in the fleet.
+    pub devices: u64,
+    /// Worker threads driving them.
+    pub workers: u64,
+    /// Devices registered when the run finished.
+    pub registrations: u64,
+    /// Rights Objects issued.
+    pub rights_objects: u64,
+    /// Wall-clock seconds of the device-driving portion.
+    pub elapsed_secs: f64,
+    /// Registrations per wall-clock second — the CI regression metric.
+    pub registrations_per_sec: f64,
+    /// Fleet-wide registration-phase cycles (device cost model).
+    pub cycles_registration: u64,
+    /// Fleet-wide acquisition-phase cycles.
+    pub cycles_acquisition: u64,
+    /// Fleet-wide installation-phase cycles.
+    pub cycles_installation: u64,
+    /// Fleet-wide summed consumption cycles (see `PhaseCycles::sum`).
+    pub cycles_consumption: u64,
+}
+
+impl FleetBench {
+    /// Runs `spec` over the wire-batch fleet driver and summarizes it.
+    ///
+    /// # Errors
+    ///
+    /// Stringified `DrmError` from the fleet run.
+    pub fn measure(spec: &FleetSpec) -> Result<Self, String> {
+        let report = run_fleet_wire(spec).map_err(|e| format!("fleet run failed: {e}"))?;
+        let elapsed_secs = report.elapsed.as_secs_f64();
+        Ok(FleetBench {
+            devices: spec.devices as u64,
+            workers: spec.workers as u64,
+            registrations: report.registrations,
+            rights_objects: report.rights_objects,
+            elapsed_secs,
+            registrations_per_sec: report.registrations as f64 / elapsed_secs.max(f64::EPSILON),
+            cycles_registration: report.cycles.registration,
+            cycles_acquisition: report.cycles.acquisition,
+            cycles_installation: report.cycles.installation,
+            cycles_consumption: report.cycles.consumption_per_access,
+        })
+    }
+}
+
+/// Durability costs: journaling overhead and WAL replay latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityBench {
+    /// Durable-run elapsed over plain-run elapsed (1.0 = free journaling).
+    pub journaling_overhead_ratio: f64,
+    /// Journal events replayed when recovering the final state.
+    pub wal_events_replayed: u64,
+    /// Wall-clock microseconds for snapshot + WAL replay into a state image.
+    pub wal_replay_micros: f64,
+}
+
+impl DurabilityBench {
+    /// Runs `spec` against a journaled in-memory store (no crash) for the
+    /// journaling-overhead ratio, then journals a registration wave into a
+    /// second store and times recovery from it — the durable fleet driver
+    /// snapshots on exit, so its own store replays zero events and cannot
+    /// serve as the replay probe. `plain_elapsed_secs` is the un-journaled
+    /// reference duration.
+    ///
+    /// # Errors
+    ///
+    /// Stringified `DrmError`/`StoreError` from the runs or the recovery.
+    pub fn measure(spec: &FleetSpec, plain_elapsed_secs: f64) -> Result<Self, String> {
+        let durable = run_fleet_durable_with(spec, Arc::new(RiStore::in_memory()), None)
+            .map_err(|e| format!("durable fleet run failed: {e}"))?;
+
+        let store = Arc::new(RiStore::in_memory());
+        let mut rng = StdRng::seed_from_u64(spec.base_seed ^ 0xd00d);
+        let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+        let service = RiService::new("ri.bench", spec.rsa_modulus_bits, &mut ca, &mut rng);
+        service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+        store
+            .snapshot(&|| service.state_image())
+            .map_err(|e| format!("genesis snapshot failed: {e}"))?;
+        for i in 0..spec.devices {
+            let mut agent = DrmAgent::new(
+                &format!("bench-dev-{i}"),
+                spec.rsa_modulus_bits,
+                &mut ca,
+                &mut rng,
+            );
+            agent
+                .register_with(&service, Timestamp::new(0))
+                .map_err(|e| format!("probe registration failed: {e}"))?;
+        }
+        store
+            .flush()
+            .map_err(|e| format!("probe flush failed: {e}"))?;
+        let started = Instant::now();
+        let (image, recovery) = store
+            .load_with_report()
+            .map_err(|e| format!("recovery failed: {e}"))?;
+        let wal_replay_micros = started.elapsed().as_secs_f64() * 1e6;
+        drop(image);
+        Ok(DurabilityBench {
+            journaling_overhead_ratio: durable.fleet.elapsed.as_secs_f64()
+                / plain_elapsed_secs.max(f64::EPSILON),
+            wal_events_replayed: recovery.events_applied,
+            wal_replay_micros,
+        })
+    }
+}
+
+/// One measured section (`smoke` or `full`) of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSection {
+    /// RSA primitive latencies.
+    pub rsa: RsaLatencies,
+    /// Fleet throughput and cycles.
+    pub fleet: FleetBench,
+    /// Journaling/recovery costs.
+    pub durability: DurabilityBench,
+}
+
+impl BenchSection {
+    /// Measures one section: RSA probe, plain wire fleet, durable fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing measurement as a message.
+    pub fn capture(spec: &FleetSpec, rsa_iters: u32) -> Result<Self, String> {
+        let rsa = RsaLatencies::measure(BENCH_RSA_BITS, rsa_iters);
+        let fleet = FleetBench::measure(spec)?;
+        let durability = DurabilityBench::measure(spec, fleet.elapsed_secs)?;
+        Ok(BenchSection {
+            rsa,
+            fleet,
+            durability,
+        })
+    }
+
+    /// Serializes the section as a flat JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "    \"rsa_modulus_bits\": {},\n",
+                "    \"rsa_private_op_micros\": {:.3},\n",
+                "    \"rsa_private_baseline_micros\": {:.3},\n",
+                "    \"rsa_private_speedup\": {:.3},\n",
+                "    \"rsa_public_op_micros\": {:.3},\n",
+                "    \"fleet_devices\": {},\n",
+                "    \"fleet_workers\": {},\n",
+                "    \"fleet_registrations\": {},\n",
+                "    \"fleet_rights_objects\": {},\n",
+                "    \"fleet_elapsed_secs\": {:.6},\n",
+                "    \"fleet_registrations_per_sec\": {:.3},\n",
+                "    \"cycles_registration\": {},\n",
+                "    \"cycles_acquisition\": {},\n",
+                "    \"cycles_installation\": {},\n",
+                "    \"cycles_consumption\": {},\n",
+                "    \"journaling_overhead_ratio\": {:.4},\n",
+                "    \"wal_events_replayed\": {},\n",
+                "    \"wal_replay_micros\": {:.3}\n",
+                "  }}"
+            ),
+            self.rsa.modulus_bits,
+            self.rsa.private_op_micros,
+            self.rsa.private_baseline_micros,
+            self.rsa.private_speedup,
+            self.rsa.public_op_micros,
+            self.fleet.devices,
+            self.fleet.workers,
+            self.fleet.registrations,
+            self.fleet.rights_objects,
+            self.fleet.elapsed_secs,
+            self.fleet.registrations_per_sec,
+            self.fleet.cycles_registration,
+            self.fleet.cycles_acquisition,
+            self.fleet.cycles_installation,
+            self.fleet.cycles_consumption,
+            self.durability.journaling_overhead_ratio,
+            self.durability.wal_events_replayed,
+            self.durability.wal_replay_micros,
+        )
+    }
+
+    /// Parses a section from the object slice produced by
+    /// [`BenchSection::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_json(obj: &str) -> Result<Self, String> {
+        Ok(BenchSection {
+            rsa: RsaLatencies {
+                modulus_bits: u64_field(obj, "rsa_modulus_bits")?,
+                private_op_micros: f64_field(obj, "rsa_private_op_micros")?,
+                private_baseline_micros: f64_field(obj, "rsa_private_baseline_micros")?,
+                private_speedup: f64_field(obj, "rsa_private_speedup")?,
+                public_op_micros: f64_field(obj, "rsa_public_op_micros")?,
+            },
+            fleet: FleetBench {
+                devices: u64_field(obj, "fleet_devices")?,
+                workers: u64_field(obj, "fleet_workers")?,
+                registrations: u64_field(obj, "fleet_registrations")?,
+                rights_objects: u64_field(obj, "fleet_rights_objects")?,
+                elapsed_secs: f64_field(obj, "fleet_elapsed_secs")?,
+                registrations_per_sec: f64_field(obj, "fleet_registrations_per_sec")?,
+                cycles_registration: u64_field(obj, "cycles_registration")?,
+                cycles_acquisition: u64_field(obj, "cycles_acquisition")?,
+                cycles_installation: u64_field(obj, "cycles_installation")?,
+                cycles_consumption: u64_field(obj, "cycles_consumption")?,
+            },
+            durability: DurabilityBench {
+                journaling_overhead_ratio: f64_field(obj, "journaling_overhead_ratio")?,
+                wal_events_replayed: u64_field(obj, "wal_events_replayed")?,
+                wal_replay_micros: f64_field(obj, "wal_replay_micros")?,
+            },
+        })
+    }
+}
+
+/// A full `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Trajectory label, e.g. `"pr6"` — derived from the file name on emit.
+    pub label: String,
+    /// The smoke section (always present, what CI compares).
+    pub smoke: BenchSection,
+    /// The full-size section (absent from CI smoke runs).
+    pub full: Option<BenchSection>,
+}
+
+impl BenchSnapshot {
+    /// Captures a snapshot: the smoke section always, the full section
+    /// unless `smoke_only`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing measurement as a message.
+    pub fn capture(label: &str, smoke_only: bool) -> Result<Self, String> {
+        let smoke = BenchSection::capture(&FleetSpec::smoke(), 16)?;
+        let full = if smoke_only {
+            None
+        } else {
+            Some(BenchSection::capture(
+                &FleetSpec::new(24, 4).with_acquisitions(2),
+                64,
+            )?)
+        };
+        Ok(BenchSnapshot {
+            label: label.to_string(),
+            smoke,
+            full,
+        })
+    }
+
+    /// Serializes the snapshot as the `BENCH_*.json` document.
+    pub fn to_json(&self) -> String {
+        let full = match &self.full {
+            Some(section) => section.to_json(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"schema\": {BENCH_SCHEMA},\n  \"label\": \"{}\",\n  \"smoke\": {},\n  \"full\": {}\n}}\n",
+            self.label,
+            self.smoke.to_json(),
+            full
+        )
+    }
+
+    /// Parses a `BENCH_*.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Reports schema mismatches and the first missing/malformed field.
+    pub fn from_json(doc: &str) -> Result<Self, String> {
+        let schema = u64_field(doc, "schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported bench schema {schema} (this build reads {BENCH_SCHEMA})"
+            ));
+        }
+        let smoke = object_slice(doc, "smoke")?
+            .ok_or_else(|| "missing \"smoke\" section".to_string())
+            .and_then(BenchSection::from_json)?;
+        let full = match object_slice(doc, "full")? {
+            Some(obj) => Some(BenchSection::from_json(obj)?),
+            None => None,
+        };
+        Ok(BenchSnapshot {
+            label: string_field(doc, "label")?,
+            smoke,
+            full,
+        })
+    }
+}
+
+/// Compares a freshly measured snapshot against the committed baseline:
+/// fails when smoke fleet throughput dropped by more than
+/// [`MAX_THROUGHPUT_DROP`]. Returns the human-readable verdict on success.
+///
+/// # Errors
+///
+/// The regression message, suitable for failing a CI step.
+pub fn check_regression(baseline: &BenchSnapshot, fresh: &BenchSnapshot) -> Result<String, String> {
+    let base = baseline.smoke.fleet.registrations_per_sec;
+    let now = fresh.smoke.fleet.registrations_per_sec;
+    if base <= 0.0 {
+        return Ok(format!(
+            "baseline '{}' has no usable throughput figure; skipping comparison",
+            baseline.label
+        ));
+    }
+    let change = now / base - 1.0;
+    if change < -MAX_THROUGHPUT_DROP {
+        return Err(format!(
+            "smoke fleet throughput regressed {:.1}% (baseline '{}' {:.1} reg/s, fresh '{}' {:.1} reg/s, limit -{:.0}%)",
+            -change * 100.0,
+            baseline.label,
+            base,
+            fresh.label,
+            now,
+            MAX_THROUGHPUT_DROP * 100.0
+        ));
+    }
+    Ok(format!(
+        "smoke fleet throughput {:+.1}% vs baseline '{}' ({:.1} -> {:.1} reg/s)",
+        change * 100.0,
+        baseline.label,
+        base,
+        now
+    ))
+}
+
+// ----- minimal JSON field extraction -----------------------------------------
+//
+// The documents this module reads are exactly the ones it writes: flat
+// sections, string values without escapes or braces. That makes honest
+// parsing a matter of locating `"key":` and slicing the value — no general
+// JSON parser needed (the tree deliberately has no serde).
+
+fn value_start<'a>(doc: &'a str, key: &str) -> Result<&'a str, String> {
+    let needle = format!("\"{key}\":");
+    let at = doc
+        .find(&needle)
+        .ok_or_else(|| format!("missing field \"{key}\""))?;
+    Ok(doc[at + needle.len()..].trim_start())
+}
+
+fn f64_field(doc: &str, key: &str) -> Result<f64, String> {
+    let rest = value_start(doc, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e}"))
+}
+
+fn u64_field(doc: &str, key: &str) -> Result<u64, String> {
+    let rest = value_start(doc, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e}"))
+}
+
+fn string_field(doc: &str, key: &str) -> Result<String, String> {
+    let rest = value_start(doc, key)?;
+    let inner = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("field \"{key}\" is not a string"))?;
+    let end = inner
+        .find('"')
+        .ok_or_else(|| format!("field \"{key}\" is unterminated"))?;
+    Ok(inner[..end].to_string())
+}
+
+/// Slices the `{...}` object bound to `key`, or `Ok(None)` when the value is
+/// `null` or the key is absent.
+fn object_slice<'a>(doc: &'a str, key: &str) -> Result<Option<&'a str>, String> {
+    let rest = match value_start(doc, key) {
+        Ok(rest) => rest,
+        Err(_) => return Ok(None),
+    };
+    if rest.starts_with("null") {
+        return Ok(None);
+    }
+    if !rest.starts_with('{') {
+        return Err(format!("field \"{key}\" is not an object"));
+    }
+    let mut depth = 0usize;
+    for (i, b) in rest.bytes().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(Some(&rest[..=i]));
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(format!("field \"{key}\": unbalanced object"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_section(throughput: f64) -> BenchSection {
+        BenchSection {
+            rsa: RsaLatencies {
+                modulus_bits: 512,
+                private_op_micros: 100.0,
+                private_baseline_micros: 400.0,
+                private_speedup: 4.0,
+                public_op_micros: 10.0,
+            },
+            fleet: FleetBench {
+                devices: 3,
+                workers: 2,
+                registrations: 3,
+                rights_objects: 3,
+                elapsed_secs: 0.5,
+                registrations_per_sec: throughput,
+                cycles_registration: 1000,
+                cycles_acquisition: 2000,
+                cycles_installation: 3000,
+                cycles_consumption: 4000,
+            },
+            durability: DurabilityBench {
+                journaling_overhead_ratio: 1.05,
+                wal_events_replayed: 9,
+                wal_replay_micros: 250.0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let snapshot = BenchSnapshot {
+            label: "pr6".into(),
+            smoke: synthetic_section(6.0),
+            full: Some(synthetic_section(48.0)),
+        };
+        let parsed = BenchSnapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(parsed, snapshot);
+
+        let smoke_only = BenchSnapshot {
+            full: None,
+            ..snapshot
+        };
+        let parsed = BenchSnapshot::from_json(&smoke_only.to_json()).unwrap();
+        assert_eq!(parsed, smoke_only);
+    }
+
+    #[test]
+    fn regression_gate_enforces_the_drop_limit() {
+        let baseline = BenchSnapshot {
+            label: "pr6".into(),
+            smoke: synthetic_section(100.0),
+            full: None,
+        };
+        let fine = BenchSnapshot {
+            label: "ci".into(),
+            smoke: synthetic_section(95.0),
+            full: None,
+        };
+        assert!(check_regression(&baseline, &fine).is_ok());
+        let regressed = BenchSnapshot {
+            label: "ci".into(),
+            smoke: synthetic_section(80.0),
+            full: None,
+        };
+        let err = check_regression(&baseline, &regressed).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let doc = "{\n  \"schema\": 99,\n  \"label\": \"x\"\n}";
+        assert!(BenchSnapshot::from_json(doc)
+            .unwrap_err()
+            .contains("schema"));
+    }
+
+    #[test]
+    fn smoke_capture_measures_a_real_speedup() {
+        let section = BenchSection::capture(&FleetSpec::smoke(), 4).expect("smoke capture");
+        assert!(section.rsa.private_speedup > 1.0, "{:?}", section.rsa);
+        assert!(section.fleet.registrations_per_sec > 0.0);
+        assert!(section.durability.wal_events_replayed > 0);
+    }
+}

@@ -2,11 +2,30 @@
 //! Rights Object integrity protection.
 
 use crate::sha1::{Sha1, BLOCK_SIZE, DIGEST_SIZE};
+use std::cell::RefCell;
+
+thread_local! {
+    /// One-entry keyed-template cache for the one-shot [`hmac_sha1`] helper.
+    ///
+    /// Call sites that loop over records with the *same* key (KDF2 iterations,
+    /// per-wrap-block MACs, RO verification sweeps) would otherwise re-derive
+    /// the inner/outer pad states — two extra SHA-1 compressions plus the key
+    /// normalization — on every record. Caching the keyed [`HmacSha1`]
+    /// template and cloning it per message makes the repeated-key case pay
+    /// key setup exactly once. The cache key comparison is a plain
+    /// (length-then-bytes) equality check, not constant-time: whether two
+    /// consecutive calls used the same key is already visible to a timing
+    /// observer through the cache hit itself, and the key bytes never
+    /// influence timing beyond that one bit.
+    static KEYED_TEMPLATE: RefCell<Option<(Vec<u8>, HmacSha1)>> = const { RefCell::new(None) };
+}
 
 /// Computes `HMAC-SHA1(key, message)`.
 ///
 /// Keys longer than the SHA-1 block size are hashed first, exactly as RFC
-/// 2104 prescribes.
+/// 2104 prescribes. Consecutive calls with the same key reuse a cached keyed
+/// template (precomputed inner/outer pad states), so tight loops over
+/// same-key records skip the per-call key schedule.
 ///
 /// # Example
 ///
@@ -16,7 +35,18 @@ use crate::sha1::{Sha1, BLOCK_SIZE, DIGEST_SIZE};
 /// assert_eq!(tag[0], 0xef);
 /// ```
 pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; DIGEST_SIZE] {
-    HmacSha1::new(key).chain(message).finalize()
+    KEYED_TEMPLATE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_ref() {
+            Some((cached_key, template)) if cached_key.as_slice() == key => template.mac(message),
+            _ => {
+                let template = HmacSha1::new(key);
+                let tag = template.mac(message);
+                *slot = Some((key.to_vec(), template));
+                tag
+            }
+        }
+    })
 }
 
 /// Incremental HMAC-SHA1 computation.
@@ -83,6 +113,22 @@ impl HmacSha1 {
     /// Verifies `expected` against the computed tag in constant time.
     pub fn verify(self, expected: &[u8]) -> bool {
         verify_tag(&self.finalize(), expected)
+    }
+
+    /// One-shot MAC of `message` that leaves the keyed template intact.
+    ///
+    /// A keyed `HmacSha1` doubles as a reusable template: the inner/outer pad
+    /// states are derived once in [`HmacSha1::new`], and `mac` clones them per
+    /// message. Loops over many records under one key should build the
+    /// context once and call `mac` per record.
+    pub fn mac(&self, message: &[u8]) -> [u8; DIGEST_SIZE] {
+        self.clone().chain(message).finalize()
+    }
+
+    /// Like [`HmacSha1::verify`], but non-consuming: MACs `message` from the
+    /// keyed template and compares against `expected` in constant time.
+    pub fn verify_tag_for(&self, message: &[u8], expected: &[u8]) -> bool {
+        verify_tag(&self.mac(message), expected)
     }
 }
 
@@ -162,5 +208,48 @@ mod tests {
     fn different_keys_give_different_tags() {
         let msg = b"same message";
         assert_ne!(hmac_sha1(b"key-a", msg), hmac_sha1(b"key-b", msg));
+    }
+
+    #[test]
+    fn keyed_template_mac_matches_oneshot() {
+        let template = HmacSha1::new(b"record-mac-key");
+        for i in 0u8..16 {
+            let record = vec![i; 1 + i as usize * 7];
+            assert_eq!(template.mac(&record), hmac_sha1(b"record-mac-key", &record));
+            assert!(template.verify_tag_for(&record, &hmac_sha1(b"record-mac-key", &record)));
+            assert!(!template.verify_tag_for(&record, &[0u8; DIGEST_SIZE]));
+        }
+    }
+
+    #[test]
+    fn oneshot_cache_survives_interleaved_keys() {
+        // Alternate two keys so every call misses the one-entry template
+        // cache, then repeat one key so every call hits it; both sequences
+        // must agree with fresh contexts.
+        let keys: [&[u8]; 2] = [b"alpha", b"beta"];
+        for round in 0..3 {
+            for (k, key) in keys.iter().enumerate() {
+                let msg = [round as u8, k as u8, 0x5a];
+                assert_eq!(
+                    hmac_sha1(key, &msg),
+                    HmacSha1::new(key).chain(&msg).finalize()
+                );
+            }
+        }
+        for i in 0u8..4 {
+            assert_eq!(
+                hmac_sha1(b"alpha", &[i]),
+                HmacSha1::new(b"alpha").chain(&[i]).finalize()
+            );
+        }
+    }
+
+    #[test]
+    fn long_keys_roundtrip_through_the_template_cache() {
+        let long_key = [0x77u8; 100];
+        let msg = b"dcf segment";
+        let expected = HmacSha1::new(&long_key).chain(msg).finalize();
+        assert_eq!(hmac_sha1(&long_key, msg), expected);
+        assert_eq!(hmac_sha1(&long_key, msg), expected);
     }
 }

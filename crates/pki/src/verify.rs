@@ -30,12 +30,7 @@ pub fn verify_certificate(
     trust_anchor: &Certificate,
     now: Timestamp,
 ) -> Result<(), PkiError> {
-    if trust_anchor.role() != EntityRole::CertificationAuthority {
-        return Err(PkiError::NotACertificationAuthority);
-    }
-    if certificate.issuer() != trust_anchor.subject() {
-        return Err(PkiError::UnknownIssuer);
-    }
+    check_anchor_and_issuer(certificate, trust_anchor)?;
     if !engine.pss_verify(
         trust_anchor.public_key(),
         &certificate.tbs().to_bytes(),
@@ -43,6 +38,38 @@ pub fn verify_certificate(
     ) {
         return Err(PkiError::BadCertificateSignature);
     }
+    check_validity(certificate, now)
+}
+
+/// The anchor/issuer policy half of [`verify_certificate`] (checks 1 and 2):
+/// the trust anchor must be a CA and must be the certificate's named issuer.
+///
+/// Split out so callers that memoize the (expensive, time-independent)
+/// signature check can still run the cheap policy checks on every call.
+///
+/// # Errors
+///
+/// Returns the [`PkiError`] corresponding to the first failing check.
+pub fn check_anchor_and_issuer(
+    certificate: &Certificate,
+    trust_anchor: &Certificate,
+) -> Result<(), PkiError> {
+    if trust_anchor.role() != EntityRole::CertificationAuthority {
+        return Err(PkiError::NotACertificationAuthority);
+    }
+    if certificate.issuer() != trust_anchor.subject() {
+        return Err(PkiError::UnknownIssuer);
+    }
+    Ok(())
+}
+
+/// The validity-window half of [`verify_certificate`] (check 4). Depends on
+/// `now`, so it must never be cached alongside the signature verdict.
+///
+/// # Errors
+///
+/// Returns [`PkiError::CertificateExpired`] when `now` is outside the window.
+pub fn check_validity(certificate: &Certificate, now: Timestamp) -> Result<(), PkiError> {
     if !certificate.is_valid_at(now) {
         return Err(PkiError::CertificateExpired);
     }
