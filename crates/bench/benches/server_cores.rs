@@ -1,0 +1,31 @@
+//! Threads vs event loop — the two TCP server cores serving the same
+//! loopback fleet.
+//!
+//! Both backends answer byte-identical frames behind one `ServerConfig`,
+//! so the only thing this group can measure is the serving architecture
+//! itself: a bounded pool of blocking worker threads against a single
+//! readiness event loop. The `BENCH_*.json` trajectory records the same
+//! comparison as the `net` group (see `oma_bench::snapshot::NetBench`);
+//! this bench is the interactive, criterion-shaped view of it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oma_load::{run_fleet_tcp_with, FleetSpec, TcpBackend};
+use std::hint::black_box;
+
+fn server_cores(c: &mut Criterion) {
+    let spec = FleetSpec::smoke();
+    let mut group = c.benchmark_group("net/server_cores");
+    group.throughput(Throughput::Elements(spec.devices as u64));
+    for (name, backend) in [
+        ("threads", TcpBackend::ThreadPool),
+        ("event_loop", TcpBackend::EventLoop),
+    ] {
+        group.bench_with_input(BenchmarkId::new("fleet", name), &backend, |b, backend| {
+            b.iter(|| run_fleet_tcp_with(black_box(&spec), *backend).expect("fleet run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, server_cores);
+criterion_main!(benches);

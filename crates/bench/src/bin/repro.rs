@@ -16,7 +16,7 @@
 //! ```
 //!
 //! `--emit-bench` writes a performance snapshot (default path
-//! `BENCH_pr6.json`); `--smoke` limits it to the small CI-sized section.
+//! `BENCH_pr7.json`); `--smoke` limits it to the small CI-sized section.
 //! `--check-bench` compares two snapshots and exits non-zero when the fresh
 //! one's smoke fleet throughput regressed beyond the tolerated drop.
 
@@ -137,8 +137,8 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
-        .unwrap_or("BENCH_pr6.json");
-    // "BENCH_pr6.json" -> trajectory label "pr6".
+        .unwrap_or("BENCH_pr7.json");
+    // "BENCH_pr7.json" -> trajectory label "pr7".
     let label = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())

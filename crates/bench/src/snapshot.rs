@@ -20,7 +20,7 @@
 use oma_bignum::{BigUint, Montgomery};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_drm::{DrmAgent, RiJournal, RiService};
-use oma_load::{run_fleet_durable_with, run_fleet_wire, FleetSpec};
+use oma_load::{run_fleet_durable_with, run_fleet_tcp_with, run_fleet_wire, FleetSpec, TcpBackend};
 use oma_pki::{CertificationAuthority, Timestamp};
 use oma_store::RiStore;
 use rand::rngs::StdRng;
@@ -28,8 +28,10 @@ use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Version of the `BENCH_*.json` schema this module reads and writes.
-pub const BENCH_SCHEMA: u64 = 1;
+/// Version of the `BENCH_*.json` schema this module writes. Readers accept
+/// any schema up to this one: schema 1 documents simply predate the `net`
+/// (threads-vs-event-loop) group and parse with it absent.
+pub const BENCH_SCHEMA: u64 = 2;
 
 /// Modulus size of the RSA latency probe. The paper's Table 1 charges RSA
 /// per 1024-bit operation, so the trajectory tracks the op the cost model
@@ -163,6 +165,102 @@ impl FleetBench {
     }
 }
 
+/// Threads-vs-event-loop serving comparison: one fleet spec, the same
+/// device-driving bytes, run against both TCP server cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetBench {
+    /// Devices in the fleet (each one accept/serve/hang-up over loopback).
+    pub devices: u64,
+    /// Worker threads — the thread pool's concurrency limit; the event
+    /// loop ignores it.
+    pub workers: u64,
+    /// Wall-clock seconds against the thread-pool `RoapTcpServer`.
+    pub threads_elapsed_secs: f64,
+    /// Registrations per second against the thread pool.
+    pub threads_registrations_per_sec: f64,
+    /// Wall-clock seconds against the `RoapEventServer` readiness loop.
+    pub event_elapsed_secs: f64,
+    /// Registrations per second against the event loop.
+    pub event_registrations_per_sec: f64,
+    /// Event-loop throughput over thread-pool throughput: 1.0 is parity;
+    /// the event loop serves this churn workload on a single thread.
+    pub event_over_threads: f64,
+}
+
+impl NetBench {
+    /// Runs `spec` over loopback TCP against both server cores and
+    /// verifies the two runs produced byte-identical per-device outcomes
+    /// before summarizing their throughput.
+    ///
+    /// # Errors
+    ///
+    /// Stringified `DrmError` from either run, or a divergence between
+    /// the backends (which would make the comparison meaningless).
+    pub fn measure(spec: &FleetSpec) -> Result<Self, String> {
+        let threads = run_fleet_tcp_with(spec, TcpBackend::ThreadPool)
+            .map_err(|e| format!("thread-pool TCP fleet failed: {e}"))?;
+        let event = run_fleet_tcp_with(spec, TcpBackend::EventLoop)
+            .map_err(|e| format!("event-loop TCP fleet failed: {e}"))?;
+        if !event.matches(&threads) {
+            return Err("event-loop fleet diverged from the thread-pool fleet".into());
+        }
+        let threads_elapsed_secs = threads.elapsed.as_secs_f64();
+        let event_elapsed_secs = event.elapsed.as_secs_f64();
+        let threads_rps = threads.registrations as f64 / threads_elapsed_secs.max(f64::EPSILON);
+        let event_rps = event.registrations as f64 / event_elapsed_secs.max(f64::EPSILON);
+        Ok(NetBench {
+            devices: spec.devices as u64,
+            workers: spec.workers as u64,
+            threads_elapsed_secs,
+            threads_registrations_per_sec: threads_rps,
+            event_elapsed_secs,
+            event_registrations_per_sec: event_rps,
+            event_over_threads: event_rps / threads_rps.max(f64::EPSILON),
+        })
+    }
+
+    /// Serializes the group as a nested JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"devices\": {},\n",
+                "      \"workers\": {},\n",
+                "      \"threads_elapsed_secs\": {:.6},\n",
+                "      \"threads_registrations_per_sec\": {:.3},\n",
+                "      \"event_elapsed_secs\": {:.6},\n",
+                "      \"event_registrations_per_sec\": {:.3},\n",
+                "      \"event_over_threads\": {:.4}\n",
+                "    }}"
+            ),
+            self.devices,
+            self.workers,
+            self.threads_elapsed_secs,
+            self.threads_registrations_per_sec,
+            self.event_elapsed_secs,
+            self.event_registrations_per_sec,
+            self.event_over_threads,
+        )
+    }
+
+    /// Parses the group from its object slice.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_json(obj: &str) -> Result<Self, String> {
+        Ok(NetBench {
+            devices: u64_field(obj, "devices")?,
+            workers: u64_field(obj, "workers")?,
+            threads_elapsed_secs: f64_field(obj, "threads_elapsed_secs")?,
+            threads_registrations_per_sec: f64_field(obj, "threads_registrations_per_sec")?,
+            event_elapsed_secs: f64_field(obj, "event_elapsed_secs")?,
+            event_registrations_per_sec: f64_field(obj, "event_registrations_per_sec")?,
+            event_over_threads: f64_field(obj, "event_over_threads")?,
+        })
+    }
+}
+
 /// Durability costs: journaling overhead and WAL replay latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurabilityBench {
@@ -235,10 +333,14 @@ pub struct BenchSection {
     pub fleet: FleetBench,
     /// Journaling/recovery costs.
     pub durability: DurabilityBench,
+    /// Threads-vs-event-loop serving comparison. `None` only when parsed
+    /// from a schema-1 document that predates the group.
+    pub net: Option<NetBench>,
 }
 
 impl BenchSection {
-    /// Measures one section: RSA probe, plain wire fleet, durable fleet.
+    /// Measures one section: RSA probe, plain wire fleet, durable fleet,
+    /// and the TCP serving comparison.
     ///
     /// # Errors
     ///
@@ -247,15 +349,22 @@ impl BenchSection {
         let rsa = RsaLatencies::measure(BENCH_RSA_BITS, rsa_iters);
         let fleet = FleetBench::measure(spec)?;
         let durability = DurabilityBench::measure(spec, fleet.elapsed_secs)?;
+        let net = NetBench::measure(spec)?;
         Ok(BenchSection {
             rsa,
             fleet,
             durability,
+            net: Some(net),
         })
     }
 
-    /// Serializes the section as a flat JSON object.
+    /// Serializes the section as a flat JSON object (plus the nested
+    /// `net` group).
     pub fn to_json(&self) -> String {
+        let net = match &self.net {
+            Some(group) => group.to_json(),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -276,7 +385,8 @@ impl BenchSection {
                 "    \"cycles_consumption\": {},\n",
                 "    \"journaling_overhead_ratio\": {:.4},\n",
                 "    \"wal_events_replayed\": {},\n",
-                "    \"wal_replay_micros\": {:.3}\n",
+                "    \"wal_replay_micros\": {:.3},\n",
+                "    \"net\": {}\n",
                 "  }}"
             ),
             self.rsa.modulus_bits,
@@ -297,6 +407,7 @@ impl BenchSection {
             self.durability.journaling_overhead_ratio,
             self.durability.wal_events_replayed,
             self.durability.wal_replay_micros,
+            net,
         )
     }
 
@@ -331,6 +442,10 @@ impl BenchSection {
                 journaling_overhead_ratio: f64_field(obj, "journaling_overhead_ratio")?,
                 wal_events_replayed: u64_field(obj, "wal_events_replayed")?,
                 wal_replay_micros: f64_field(obj, "wal_replay_micros")?,
+            },
+            net: match object_slice(obj, "net")? {
+                Some(group) => Some(NetBench::from_json(group)?),
+                None => None,
             },
         })
     }
@@ -392,9 +507,9 @@ impl BenchSnapshot {
     /// Reports schema mismatches and the first missing/malformed field.
     pub fn from_json(doc: &str) -> Result<Self, String> {
         let schema = u64_field(doc, "schema")?;
-        if schema != BENCH_SCHEMA {
+        if schema == 0 || schema > BENCH_SCHEMA {
             return Err(format!(
-                "unsupported bench schema {schema} (this build reads {BENCH_SCHEMA})"
+                "unsupported bench schema {schema} (this build reads up to {BENCH_SCHEMA})"
             ));
         }
         let smoke = object_slice(doc, "smoke")?
@@ -554,6 +669,15 @@ mod tests {
                 wal_events_replayed: 9,
                 wal_replay_micros: 250.0,
             },
+            net: Some(NetBench {
+                devices: 3,
+                workers: 2,
+                threads_elapsed_secs: 0.5,
+                threads_registrations_per_sec: throughput,
+                event_elapsed_secs: 0.5,
+                event_registrations_per_sec: throughput,
+                event_over_threads: 1.0,
+            }),
         }
     }
 
@@ -606,10 +730,40 @@ mod tests {
     }
 
     #[test]
+    fn schema_one_documents_parse_with_the_net_group_absent() {
+        // A committed schema-1 snapshot (e.g. BENCH_pr6.json) has no "net"
+        // object; the reader must keep accepting it as the CI baseline.
+        let mut section = synthetic_section(6.0);
+        section.net = None;
+        let v2 = BenchSnapshot {
+            label: "pr6".into(),
+            smoke: section,
+            full: None,
+        };
+        let doc = v2.to_json().replace("\"schema\": 2", "\"schema\": 1");
+        let parsed = BenchSnapshot::from_json(&doc).expect("schema-1 doc parses");
+        assert_eq!(parsed.smoke.net, None);
+        assert_eq!(parsed, v2);
+    }
+
+    #[test]
     fn smoke_capture_measures_a_real_speedup() {
         let section = BenchSection::capture(&FleetSpec::smoke(), 4).expect("smoke capture");
         assert!(section.rsa.private_speedup > 1.0, "{:?}", section.rsa);
         assert!(section.fleet.registrations_per_sec > 0.0);
         assert!(section.durability.wal_events_replayed > 0);
+        let net = section.net.expect("net group is always measured");
+        assert!(net.threads_registrations_per_sec > 0.0);
+        assert!(net.event_registrations_per_sec > 0.0);
+        assert!(net.event_over_threads > 0.0);
+    }
+
+    #[test]
+    fn committed_schema_one_baseline_still_parses() {
+        let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json"));
+        let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr6.json parses");
+        assert_eq!(baseline.label, "pr6");
+        assert_eq!(baseline.smoke.net, None, "schema-1 file has no net group");
+        assert!(baseline.full.is_some());
     }
 }

@@ -35,6 +35,11 @@ pub enum DrmError {
     /// up, the channel closed, ...). Protocol-level rejections arrive as
     /// [`DrmError::Roap`] instead.
     Transport(String),
+    /// The server shed the connection because it is at capacity (wire code
+    /// [`RoapStatus::Busy`](crate::wire::RoapStatus::Busy)). Unlike
+    /// [`DrmError::Transport`], the request itself was fine — back off and
+    /// retry.
+    Busy,
     /// A durable-store failure (write-ahead log or snapshot could not be
     /// read or made durable).
     Store(String),
@@ -61,6 +66,7 @@ impl fmt::Display for DrmError {
             DrmError::NotInDomain => write!(f, "device is not a member of the domain"),
             DrmError::Roap(e) => write!(f, "roap failure: {e}"),
             DrmError::Transport(reason) => write!(f, "roap transport failure: {reason}"),
+            DrmError::Busy => write!(f, "server busy: connection shed, retry later"),
             DrmError::Store(reason) => write!(f, "durable store failure: {reason}"),
             DrmError::Pki(e) => write!(f, "pki failure: {e}"),
             DrmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),

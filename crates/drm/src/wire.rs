@@ -101,6 +101,11 @@ pub enum RoapStatus {
     Roap(RoapError),
     /// The device is not a member of the referenced domain.
     NotInDomain,
+    /// The server is overloaded and shed the connection before reading a
+    /// request. Nothing about the request was wrong — the peer should back
+    /// off and retry. This is the reply an over-capacity server writes
+    /// instead of silently accumulating sockets it cannot serve.
+    Busy,
 }
 
 impl RoapStatus {
@@ -119,6 +124,7 @@ impl RoapStatus {
             RoapStatus::Roap(RoapError::UnsupportedVersion) => 9,
             RoapStatus::Roap(RoapError::UnknownPdu) => 10,
             RoapStatus::NotInDomain => 11,
+            RoapStatus::Busy => 12,
         }
     }
 
@@ -137,6 +143,7 @@ impl RoapStatus {
             9 => RoapStatus::Roap(RoapError::UnsupportedVersion),
             10 => RoapStatus::Roap(RoapError::UnknownPdu),
             11 => RoapStatus::NotInDomain,
+            12 => RoapStatus::Busy,
             _ => return Err(RoapError::Malformed),
         })
     }
@@ -146,12 +153,14 @@ impl RoapStatus {
     ///
     /// # Errors
     ///
-    /// [`DrmError::Roap`] or [`DrmError::NotInDomain`] for error statuses.
+    /// [`DrmError::Roap`], [`DrmError::NotInDomain`] or [`DrmError::Busy`]
+    /// for error statuses.
     pub fn into_result(self) -> Result<(), DrmError> {
         match self {
             RoapStatus::Ok => Ok(()),
             RoapStatus::Roap(e) => Err(DrmError::Roap(e)),
             RoapStatus::NotInDomain => Err(DrmError::NotInDomain),
+            RoapStatus::Busy => Err(DrmError::Busy),
         }
     }
 }
@@ -164,6 +173,7 @@ impl From<&DrmError> for RoapStatus {
         match e {
             DrmError::Roap(e) => RoapStatus::Roap(*e),
             DrmError::NotInDomain => RoapStatus::NotInDomain,
+            DrmError::Busy => RoapStatus::Busy,
             _ => RoapStatus::Roap(RoapError::Malformed),
         }
     }
@@ -961,6 +971,7 @@ mod tests {
         let statuses = [
             RoapStatus::Ok,
             RoapStatus::NotInDomain,
+            RoapStatus::Busy,
             RoapStatus::Roap(RoapError::UnknownSession),
             RoapStatus::Roap(RoapError::SignatureInvalid),
             RoapStatus::Roap(RoapError::CertificateInvalid),
@@ -978,7 +989,7 @@ mod tests {
         }
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 12, "status codes are distinct");
+        assert_eq!(codes.len(), 13, "status codes are distinct");
         assert_eq!(RoapStatus::from_code(200), Err(RoapError::Malformed));
     }
 
@@ -993,6 +1004,8 @@ mod tests {
             RoapStatus::Roap(RoapError::DomainFull).into_result(),
             Err(DrmError::Roap(RoapError::DomainFull))
         );
+        assert_eq!(RoapStatus::Busy.into_result(), Err(DrmError::Busy));
+        assert_eq!(RoapStatus::from(&DrmError::Busy), RoapStatus::Busy);
     }
 
     #[test]

@@ -64,6 +64,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod idle;
+
+pub use idle::{
+    bind_idle_server, drive_idle_clients, drive_idle_clients_with, run_idle_fleet,
+    IdleClientReport, IdleFleetReport, IdleFleetSpec,
+};
+
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::sha1::{sha1, DIGEST_SIZE};
@@ -75,7 +82,7 @@ use oma_drm::roap::{
 };
 use oma_drm::wire::RoapPdu;
 use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
-use oma_net::{RoapTcpServer, ServerConfig, TcpTransport};
+use oma_net::{RoapEventServer, RoapTcpServer, ServerConfig, TcpTransport};
 use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
 use oma_perf::runner::PhaseCycles;
@@ -528,10 +535,74 @@ pub fn run_sequential(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
 /// See [`run_fleet`]; additionally [`DrmError::Transport`] when the server
 /// cannot bind or a connection fails mid-protocol.
 pub fn run_fleet_tcp(spec: &FleetSpec) -> Result<FleetReport, DrmError> {
+    run_fleet_tcp_with(spec, TcpBackend::ThreadPool)
+}
+
+/// Which server core a TCP fleet run binds. Both backends speak the same
+/// wire protocol behind the same [`ServerConfig`], so a fleet driven
+/// against either produces byte-identical per-device observables — that
+/// equivalence is what lets the event loop replace the thread pool without
+/// touching any client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpBackend {
+    /// The accept-thread + bounded-worker-pool [`RoapTcpServer`]: one
+    /// blocking OS thread per in-flight connection, up to `workers`.
+    ThreadPool,
+    /// The readiness event loop [`RoapEventServer`]: every connection
+    /// multiplexed onto one thread, concurrency independent of `workers`.
+    EventLoop,
+}
+
+/// Either server core behind one bind/addr/metrics/shutdown surface, so
+/// the fleet drivers are written once.
+enum AnyServer {
+    Thread(RoapTcpServer),
+    Event(RoapEventServer),
+}
+
+impl AnyServer {
+    fn bind(
+        backend: TcpBackend,
+        service: Arc<RiService>,
+        config: ServerConfig,
+    ) -> Result<AnyServer, DrmError> {
+        match backend {
+            TcpBackend::ThreadPool => RoapTcpServer::bind(service, config).map(AnyServer::Thread),
+            TcpBackend::EventLoop => RoapEventServer::bind(service, config).map(AnyServer::Event),
+        }
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            AnyServer::Thread(s) => s.local_addr(),
+            AnyServer::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyServer::Thread(s) => s.shutdown(),
+            AnyServer::Event(s) => s.shutdown(),
+        }
+    }
+}
+
+/// [`run_fleet_tcp`] with an explicit choice of server core.
+///
+/// The report (and every per-device observable inside it) is independent
+/// of the backend: `run_fleet_tcp_with(spec, TcpBackend::EventLoop)`
+/// matches the sequential in-process reference exactly, just as the
+/// thread-pool run does.
+///
+/// # Errors
+///
+/// See [`run_fleet_tcp`].
+pub fn run_fleet_tcp_with(spec: &FleetSpec, backend: TcpBackend) -> Result<FleetReport, DrmError> {
     let (ca, service, catalog) = build_world(spec);
     let service = Arc::new(service);
     let workers = spec.workers.max(1);
-    let server = RoapTcpServer::bind(
+    let server = AnyServer::bind(
+        backend,
         Arc::clone(&service),
         ServerConfig {
             workers,

@@ -23,18 +23,36 @@
 //!   delivering bytes for [`ServerConfig::idle_timeout`].
 //!
 //! The crate is std-only by design (the vendored-deps rule): no async
-//! runtime, no socket abstraction — `std::net` blocking sockets and plain
-//! threads, which is also the honest model of the 2005-era license servers
-//! the paper's Rights Issuer would have talked to.
+//! runtime, no socket abstraction — `std::net` sockets and plain threads,
+//! which is also the honest model of the 2005-era license servers the
+//! paper's Rights Issuer would have talked to. Two server cores share the
+//! same [`ServerConfig`]/serve surface:
 //!
-//! Shutdown is graceful: [`RoapTcpServer::shutdown`] stops accepting,
-//! lets every in-flight conversation answer the frames it has already
-//! received, then joins the pool. Peer disconnects surface as clean
+//! * [`RoapTcpServer`] — thread-per-connection: an accept thread plus a
+//!   bounded worker pool; concurrency is worker-count-bound.
+//! * [`RoapEventServer`] — the readiness [`event_loop`]: one thread, an
+//!   epoll-backed [`poll::Poller`] driving non-blocking sockets through
+//!   per-connection [`conn::FrameMachine`]s, so tens of thousands of
+//!   mostly-idle handsets park on one core.
+//!
+//! Both expose the same [`ServerMetrics`] connection counters
+//! (accepted/active/reaped/shed/queue depth) and both shut down
+//! gracefully: stop accepting, answer every frame already received on
+//! in-flight connections, then join. Peer disconnects surface as clean
 //! [`DrmError::Transport`] returns from the connection loop — a dead
 //! connection never wedges a worker.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the epoll poller's FFI shim in [`poll`] carries the
+// crate's only `#[allow(unsafe_code)]`, and `forbid` cannot be overridden
+// even there.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod conn;
+pub mod event_loop;
+pub mod poll;
+
+pub use event_loop::RoapEventServer;
 
 use oma_drm::client::RoapTransport;
 use oma_drm::journal::RiJournal;
@@ -60,6 +78,151 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 /// (even full-size RSA signing is milliseconds), small enough that an
 /// abandoned connection frees its worker quickly.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default [`ServerConfig::frame_timeout`]: how long a peer may take to
+/// finish delivering a frame it has started. Any honest client writes a
+/// whole frame in one burst, so seconds of slack is generous — while a
+/// slowloris peer trickling one byte per `idle_timeout - ε` is reaped here
+/// instead of holding a worker (or an event-loop connection slot) forever.
+pub const DEFAULT_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default [`ServerConfig::queue_depth`] of the accept→worker hand-off
+/// queue: deep enough that a benign burst rides it out, shallow enough
+/// that a connect flood is shed with [`RoapStatus::Busy`] instead of
+/// accumulating unserved sockets without bound.
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Default [`ServerConfig::max_connections`] for the event-loop backend.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 16_384;
+
+/// Default client-side [`TcpTransport`] deadline: every
+/// [`roundtrip`](RoapTransport::roundtrip) must connect/send/receive within
+/// this budget or fail with [`DrmError::Transport`], so a wedged server can
+/// never hang a client (or the fleet harness) forever.
+pub const DEFAULT_CLIENT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Connection-level counters shared by both server backends, readable at
+/// any time via [`ServerMetrics::snapshot`]. Gauges (`active`,
+/// `queue_depth`) track the current value and remember their peak;
+/// everything else is a monotonic counter.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    active: AtomicU64,
+    peak_active: AtomicU64,
+    reaped_idle: AtomicU64,
+    reaped_frame: AtomicU64,
+    shed: AtomicU64,
+    queue_depth: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn bump_peak(peak: &AtomicU64, value: u64) {
+        peak.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_accept(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        Self::bump_peak(&self.peak_active, active);
+    }
+
+    pub(crate) fn on_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reaped_idle(&self) {
+        self.reaped_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_reaped_frame(&self) {
+        self.reaped_frame.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_queued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        Self::bump_peak(&self.peak_queue_depth, depth);
+    }
+
+    pub(crate) fn on_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Number of conversations that have finished (served to disconnect,
+    /// protocol failure, reaped, or drained at shutdown).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            peak_active: self.peak_active.load(Ordering::Relaxed),
+            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
+            reaped_frame: self.reaped_frame.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a server's [`ServerMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Connections accepted off the listener (including ones later shed).
+    pub accepted: u64,
+    /// Conversations finished, for any reason.
+    pub served: u64,
+    /// Connections currently open on the server.
+    pub active: u64,
+    /// Highest simultaneous `active` observed.
+    pub peak_active: u64,
+    /// Connections reaped for byte-level idleness
+    /// ([`ServerConfig::idle_timeout`]).
+    pub reaped_idle: u64,
+    /// Connections reaped for stalling mid-frame
+    /// ([`ServerConfig::frame_timeout`]).
+    pub reaped_frame: u64,
+    /// Connections shed with [`RoapStatus::Busy`] because the hand-off
+    /// queue (thread backend) or connection table (event backend) was full.
+    pub shed: u64,
+    /// Connections currently parked in the accept→worker hand-off queue
+    /// (always 0 on the event-loop backend, which has no queue).
+    pub queue_depth: u64,
+    /// Highest simultaneous `queue_depth` observed.
+    pub peak_queue_depth: u64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "accepted={} served={} active={} (peak {}) reaped_idle={} \
+             reaped_frame={} shed={} queue_depth={} (peak {})",
+            self.accepted,
+            self.served,
+            self.active,
+            self.peak_active,
+            self.reaped_idle,
+            self.reaped_frame,
+            self.shed,
+            self.queue_depth,
+            self.peak_queue_depth,
+        )
+    }
+}
 
 /// Maps an I/O failure in `context` onto the transport error peers report.
 fn transport_err(context: &str, e: io::Error) -> DrmError {
@@ -133,6 +296,7 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<Vec<u8>, DrmError> {
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    deadline: Option<Duration>,
 }
 
 impl TcpTransport {
@@ -140,21 +304,73 @@ impl TcpTransport {
     /// [`RoapTcpServer::local_addr`]. Nagle's algorithm is disabled: frames
     /// are small and latency-bound, the workload TCP_NODELAY exists for.
     ///
+    /// The transport carries [`DEFAULT_CLIENT_DEADLINE`]: the connect and
+    /// every later roundtrip must complete within that budget. Use
+    /// [`TcpTransport::connect_with_deadline`] to tune or disable it.
+    ///
     /// # Errors
     ///
-    /// [`DrmError::Transport`] when the connection cannot be established.
+    /// [`DrmError::Transport`] when the connection cannot be established
+    /// within the deadline.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, DrmError> {
-        let stream = TcpStream::connect(addr).map_err(|e| transport_err("connect", e))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|e| transport_err("set_nodelay", e))?;
-        Ok(TcpTransport { stream })
+        Self::connect_with_deadline(addr, Some(DEFAULT_CLIENT_DEADLINE))
+    }
+
+    /// [`TcpTransport::connect`] with an explicit per-roundtrip deadline.
+    /// `None` restores the pre-deadline behaviour — block indefinitely —
+    /// which is only safe against a cooperating in-process server.
+    ///
+    /// # Errors
+    ///
+    /// [`DrmError::Transport`] when no resolved address accepts the
+    /// connection within the deadline.
+    pub fn connect_with_deadline<A: ToSocketAddrs>(
+        addr: A,
+        deadline: Option<Duration>,
+    ) -> Result<Self, DrmError> {
+        let addrs = addr
+            .to_socket_addrs()
+            .map_err(|e| transport_err("resolve", e))?;
+        let mut last_err = DrmError::Transport("connect: no addresses resolved".into());
+        for candidate in addrs {
+            let attempt = match deadline {
+                // `connect_timeout` rejects a zero duration; clamp rather
+                // than error so a `Duration::ZERO` deadline reads as
+                // "already expired", not a usage bug.
+                Some(d) => TcpStream::connect_timeout(&candidate, d.max(Duration::from_millis(1))),
+                None => TcpStream::connect(candidate),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream
+                        .set_nodelay(true)
+                        .map_err(|e| transport_err("set_nodelay", e))?;
+                    return Ok(TcpTransport { stream, deadline });
+                }
+                Err(e) => last_err = transport_err("connect", e),
+            }
+        }
+        Err(last_err)
     }
 
     /// Wraps an already-established connection (e.g. accepted by a custom
-    /// listener) without touching its socket options.
+    /// listener) without touching its socket options. No deadline is
+    /// applied; add one with [`TcpTransport::set_deadline`].
     pub fn from_stream(stream: TcpStream) -> Self {
-        TcpTransport { stream }
+        TcpTransport {
+            stream,
+            deadline: None,
+        }
+    }
+
+    /// The per-roundtrip deadline currently in force, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Changes the per-roundtrip deadline. `None` blocks indefinitely.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
     }
 
     /// The local address of the underlying connection.
@@ -169,16 +385,85 @@ impl TcpTransport {
     }
 }
 
+/// Reads exactly `buf.len()` bytes from `&stream`, giving up with a
+/// [`DrmError::Transport`] once `due` passes — the piece `read_frame`
+/// cannot provide, because a stalled server otherwise blocks `read_exact`
+/// forever.
+fn read_exact_deadline(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    due: Option<Instant>,
+    context: &str,
+) -> Result<(), DrmError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if let Some(due) = due {
+            let remaining = due.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(DrmError::Transport(format!(
+                    "{context}: deadline exceeded waiting for the server"
+                )));
+            }
+            // A zero read timeout is rejected by std; 1ms under-sleeps the
+            // deadline by at most that much.
+            stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(|e| transport_err("set_read_timeout", e))?;
+        }
+        match (&mut &*stream).read(&mut buf[filled..]) {
+            Ok(0) => return Err(DrmError::Transport(format!("{context}: peer disconnected"))),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Loop re-checks the deadline; without one this was a bare
+                // interrupt and the read simply retries.
+            }
+            Err(e) => return Err(transport_err(context, e)),
+        }
+    }
+    Ok(())
+}
+
+/// [`read_frame`] against a deadline: reassembles exactly one frame from
+/// `&stream` or fails with [`DrmError::Transport`] once `due` passes.
+fn read_frame_deadline(stream: &TcpStream, due: Option<Instant>) -> Result<Vec<u8>, DrmError> {
+    let mut frame = vec![0u8; oma_drm::wire::HEADER_LEN];
+    read_exact_deadline(stream, &mut frame, due, "read frame header")?;
+    let total = RoapPdu::frame_len(&frame)
+        .map_err(DrmError::Roap)?
+        .expect("a complete header always yields a frame length");
+    frame.resize(total, 0);
+    read_exact_deadline(
+        stream,
+        &mut frame[oma_drm::wire::HEADER_LEN..],
+        due,
+        "read frame body",
+    )?;
+    Ok(frame)
+}
+
 impl RoapTransport for TcpTransport {
     fn roundtrip(&self, frame: &[u8]) -> Result<Vec<u8>, DrmError> {
         // `Read`/`Write` are implemented on `&TcpStream`, so a shared
         // transport reference suffices — the protocol is strictly
         // request/response on one connection, never pipelined.
-        let mut stream = &self.stream;
-        stream
+        let due = self.deadline.map(|d| Instant::now() + d);
+        self.stream
+            .set_write_timeout(self.deadline.map(|d| d.max(Duration::from_millis(1))))
+            .map_err(|e| transport_err("set_write_timeout", e))?;
+        (&self.stream)
             .write_all(frame)
             .map_err(|e| transport_err("send frame", e))?;
-        read_frame(&mut stream)
+        read_frame_deadline(&self.stream, due)
+    }
+}
+
+impl RoapTransport for &TcpTransport {
+    fn roundtrip(&self, frame: &[u8]) -> Result<Vec<u8>, DrmError> {
+        (**self).roundtrip(frame)
     }
 }
 
@@ -201,6 +486,21 @@ pub struct ServerConfig {
     /// peer (vanished without a FIN) or a connect-and-say-nothing client
     /// from occupying a bounded-pool worker forever.
     pub idle_timeout: Duration,
+    /// How long a peer may take to complete a frame it has started
+    /// delivering. Byte-level idleness alone is not enough: a slowloris
+    /// peer trickling one byte per `idle_timeout - ε` never goes idle yet
+    /// never completes a frame — this deadline reaps it.
+    pub frame_timeout: Duration,
+    /// Bound of the accept→worker hand-off queue
+    /// ([`RoapTcpServer`] only). When the queue is full, further accepted
+    /// connections are shed with a [`RoapStatus::Busy`] reply instead of
+    /// accumulating without backpressure.
+    pub queue_depth: usize,
+    /// Most connections an [`event_loop::RoapEventServer`] keeps open at
+    /// once; beyond it, fresh connections are shed with
+    /// [`RoapStatus::Busy`]. The thread backend's concurrency is already
+    /// bounded by `workers + queue_depth`, so it ignores this knob.
+    pub max_connections: usize,
     /// Optional durable store. When set, [`RoapTcpServer::bind`] attaches
     /// it as the service's journal (every mutation is logged before its
     /// response leaves) and writes a boot snapshot — so even a fresh store
@@ -217,6 +517,9 @@ impl std::fmt::Debug for ServerConfig {
             .field("workers", &self.workers)
             .field("clock", &self.clock)
             .field("idle_timeout", &self.idle_timeout)
+            .field("frame_timeout", &self.frame_timeout)
+            .field("queue_depth", &self.queue_depth)
+            .field("max_connections", &self.max_connections)
             .field("durable", &self.store.is_some())
             .finish()
     }
@@ -228,6 +531,9 @@ impl Default for ServerConfig {
             workers: 4,
             clock: None,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            frame_timeout: DEFAULT_FRAME_TIMEOUT,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
             store: None,
         }
     }
@@ -269,7 +575,7 @@ pub struct RoapTcpServer {
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    connections_served: Arc<AtomicU64>,
+    metrics: Arc<ServerMetrics>,
     service: Arc<RiService>,
     store: Option<Arc<dyn RiJournal>>,
 }
@@ -330,18 +636,22 @@ impl RoapTcpServer {
         }
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let connections_served = Arc::new(AtomicU64::new(0));
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let metrics = Arc::new(ServerMetrics::default());
+        // A *bounded* hand-off queue: a connect flood fills it and is then
+        // shed at the accept loop instead of accumulating sockets (and FDs)
+        // without limit behind a saturated pool.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
         let clock = config.clock;
         let idle_timeout = config.idle_timeout;
+        let frame_timeout = config.frame_timeout;
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let service = Arc::clone(&service);
                 let conn_rx = Arc::clone(&conn_rx);
                 let shutdown = Arc::clone(&shutdown);
-                let served = Arc::clone(&connections_served);
+                let metrics = Arc::clone(&metrics);
                 let store = config.store.clone();
                 thread::Builder::new()
                     .name(format!("roap-tcp-worker-{i}"))
@@ -350,6 +660,7 @@ impl RoapTcpServer {
                         let conn = conn_rx.lock().expect("connection queue lock").recv();
                         match conn {
                             Ok(stream) => {
+                                metrics.on_dequeued();
                                 // A disconnect (or a peer that lost framing)
                                 // ends one conversation, never the worker.
                                 let _ = serve_connection_inner(
@@ -357,10 +668,12 @@ impl RoapTcpServer {
                                     stream,
                                     clock,
                                     idle_timeout,
+                                    frame_timeout,
                                     &shutdown,
                                     store.as_deref(),
+                                    Some(&metrics),
                                 );
-                                served.fetch_add(1, Ordering::Relaxed);
+                                metrics.on_served();
                             }
                             // The accept loop dropped the sender and the
                             // queue is drained: shutdown complete.
@@ -372,6 +685,7 @@ impl RoapTcpServer {
             .collect();
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_metrics = Arc::clone(&metrics);
         let accept_thread = thread::Builder::new()
             .name("roap-tcp-accept".into())
             .spawn(move || {
@@ -380,8 +694,21 @@ impl RoapTcpServer {
                 while !accept_shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _peer)) => {
-                            if conn_tx.send(stream).is_err() {
-                                break;
+                            accept_metrics.on_accept();
+                            accept_metrics.on_queued();
+                            match conn_tx.try_send(stream) {
+                                Ok(()) => {}
+                                Err(mpsc::TrySendError::Full(stream)) => {
+                                    // Backpressure: tell the peer why before
+                                    // hanging up, best-effort — it may already
+                                    // be gone, which sheds just the same.
+                                    accept_metrics.on_dequeued();
+                                    accept_metrics.on_shed();
+                                    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+                                    let _ = (&stream)
+                                        .write_all(&RoapPdu::Status(RoapStatus::Busy).encode());
+                                }
+                                Err(mpsc::TrySendError::Disconnected(_)) => break,
                             }
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -401,7 +728,7 @@ impl RoapTcpServer {
             shutdown,
             accept_thread: Some(accept_thread),
             workers,
-            connections_served,
+            metrics,
             service,
             store: config.store,
         })
@@ -415,7 +742,12 @@ impl RoapTcpServer {
     /// Number of connections whose conversation has finished (served to
     /// disconnect, protocol failure, or drained at shutdown).
     pub fn connections_served(&self) -> u64 {
-        self.connections_served.load(Ordering::Relaxed)
+        self.metrics.served()
+    }
+
+    /// The server's connection-level counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// Graceful shutdown: stop accepting new connections, answer every
@@ -472,7 +804,9 @@ impl Drop for RoapTcpServer {
 /// * [`DrmError::Transport`] — the peer disconnected (the *normal* end of a
 ///   conversation, surfaced explicitly so callers never spin on a dead
 ///   connection), delivered no byte for `idle_timeout` (a half-open or
-///   abandoned connection), or a socket operation failed,
+///   abandoned connection), took longer than [`DEFAULT_FRAME_TIMEOUT`] to
+///   complete a frame it had started (a slowloris peer), or a socket
+///   operation failed,
 /// * [`DrmError::Roap`] — the peer sent bytes that are not a ROAP envelope;
 ///   a `Status` PDU naming the reason is written back before the
 ///   connection closes, mirroring [`RiService::dispatch_batch`]'s
@@ -488,7 +822,9 @@ pub fn serve_connection(
         stream,
         clock,
         idle_timeout,
+        DEFAULT_FRAME_TIMEOUT,
         &AtomicBool::new(false),
+        None,
         None,
     )
 }
@@ -498,13 +834,16 @@ pub fn serve_connection(
 /// already buffered and then returns `Ok(())` instead of waiting for more —
 /// unconditionally, so a peer parked mid-frame can never hold up
 /// [`RoapTcpServer::shutdown`].
+#[allow(clippy::too_many_arguments)]
 fn serve_connection_inner(
     service: &RiService,
     mut stream: TcpStream,
     clock: Option<Timestamp>,
     idle_timeout: Duration,
+    frame_timeout: Duration,
     shutdown: &AtomicBool,
     store: Option<&dyn RiJournal>,
+    metrics: Option<&ServerMetrics>,
 ) -> Result<(), DrmError> {
     // The read timeout doubles as the shutdown/idle poll interval.
     stream
@@ -517,6 +856,11 @@ fn serve_connection_inner(
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     let mut last_byte_at = Instant::now();
+    // When the first byte of a frame arrives, the whole frame must follow
+    // within `frame_timeout`. Tracking this separately from `last_byte_at`
+    // is the slowloris fix: a peer trickling one byte per `idle_timeout - ε`
+    // resets the idle clock forever but can never reset this one.
+    let mut frame_started_at: Option<Instant> = None;
     loop {
         // Answer every complete frame currently buffered.
         loop {
@@ -552,6 +896,24 @@ fn serve_connection_inner(
             }
         }
 
+        // Whatever is left in `buf` after the frame loop is a partial frame;
+        // its completion deadline started when its first byte arrived.
+        if buf.is_empty() {
+            frame_started_at = None;
+        } else if frame_started_at.is_none() {
+            frame_started_at = Some(Instant::now());
+        }
+        if let Some(started) = frame_started_at {
+            if started.elapsed() >= frame_timeout {
+                if let Some(m) = metrics {
+                    m.on_reaped_frame();
+                }
+                return Err(DrmError::Transport(format!(
+                    "partial frame not completed within {frame_timeout:?}, closing connection"
+                )));
+            }
+        }
+
         if shutdown.load(Ordering::Relaxed) {
             // Drained: every complete frame received has been answered. A
             // partial trailing frame can never complete once we stop
@@ -583,6 +945,9 @@ fn serve_connection_inner(
                 if last_byte_at.elapsed() >= idle_timeout {
                     // Half-open peer or connect-and-say-nothing client: free
                     // the worker instead of letting it sit occupied forever.
+                    if let Some(m) = metrics {
+                        m.on_reaped_idle();
+                    }
                     return Err(DrmError::Transport(format!(
                         "idle for {:?}, closing connection",
                         idle_timeout
@@ -872,6 +1237,113 @@ mod tests {
             thread::sleep(POLL_INTERVAL);
         }
         assert!(refused, "a faulted durable server must stop serving");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_deadline_fires_against_a_hung_server() {
+        // A listener that accepts and then never replies: without the
+        // roundtrip deadline this hangs the client forever.
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let transport =
+            TcpTransport::connect_with_deadline(addr, Some(Duration::from_millis(300))).unwrap();
+        let (_held, _) = listener.accept().unwrap();
+        let client = RoapClient::new(transport);
+        let started = Instant::now();
+        let err = client.hello(&DeviceHello::new("dev")).unwrap_err();
+        assert!(matches!(err, DrmError::Transport(_)), "got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "deadline must fire, not block forever"
+        );
+    }
+
+    #[test]
+    fn connect_flood_is_shed_with_busy_when_the_queue_fills() {
+        let service = service();
+        let server = RoapTcpServer::bind(
+            Arc::clone(&service),
+            ServerConfig {
+                workers: 1,
+                queue_depth: 1,
+                clock: Some(Timestamp::new(1_000)),
+                idle_timeout: Duration::from_secs(30),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // Occupy the only worker with a connection that says nothing...
+        let _occupier = TcpStream::connect(server.local_addr()).unwrap();
+        thread::sleep(POLL_INTERVAL * 4);
+        // ...then flood: with one queue slot, most arrivals must be shed
+        // with a Busy status instead of piling up unserved.
+        let mut busy = 0;
+        for i in 0..8 {
+            // Short client deadline: the one connection that *does* win the
+            // queue slot is never served (the worker is occupied), and must
+            // not stall the flood for the default 30s.
+            let transport = TcpTransport::connect_with_deadline(
+                server.local_addr(),
+                Some(Duration::from_millis(500)),
+            )
+            .unwrap();
+            let client = RoapClient::new(transport);
+            if let Err(DrmError::Busy) = client.hello(&DeviceHello::new(&format!("flood-{i}"))) {
+                busy += 1;
+            }
+        }
+        assert!(busy >= 1, "a bounded queue must shed under flood");
+        let snapshot = server.metrics().snapshot();
+        assert!(snapshot.shed >= 1, "metrics: {snapshot}");
+        assert!(
+            snapshot.peak_queue_depth <= 2,
+            "queue must stay bounded: {snapshot}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn slowloris_peer_is_reaped_by_the_frame_deadline() {
+        let service = service();
+        let server = RoapTcpServer::bind(
+            Arc::clone(&service),
+            ServerConfig {
+                workers: 1,
+                clock: Some(Timestamp::new(1_000)),
+                // Generous idle timeout: each trickled byte resets the idle
+                // clock, so only the frame deadline can save the worker.
+                idle_timeout: Duration::from_secs(600),
+                frame_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let frame = RoapPdu::DeviceHello(DeviceHello::new("slow")).encode();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let started = Instant::now();
+        // Trickle one byte per 100ms — never idle, never a complete frame.
+        let mut cut_off = false;
+        for byte in &frame {
+            if stream.write_all(&[*byte]).is_err() {
+                cut_off = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(100));
+            if server.connections_served() >= 1 {
+                cut_off = true;
+                break;
+            }
+        }
+        assert!(
+            cut_off && started.elapsed() < Duration::from_secs(5),
+            "the frame deadline must reap the slowloris"
+        );
+        let snapshot = server.metrics().snapshot();
+        assert_eq!(snapshot.reaped_frame, 1, "metrics: {snapshot}");
+        // The freed worker serves the next honest client.
+        let client = RoapClient::new(TcpTransport::connect(server.local_addr()).unwrap());
+        assert_eq!(client.hello(&DeviceHello::new("dev")).unwrap().ri_id, "ri");
         server.shutdown();
     }
 

@@ -17,8 +17,9 @@
 //! * [`drm`] — DCF, Rights Objects, ROAP, DRM Agent, Rights Issuer, Content
 //!   Issuer and domains (every actor accepts a crypto backend),
 //! * [`net`] — ROAP over TCP: the [`RoapTcpServer`](net::RoapTcpServer)
-//!   bounded-pool server and the [`TcpTransport`](net::TcpTransport) client
-//!   transport, std-only,
+//!   bounded-pool server, the [`RoapEventServer`](net::RoapEventServer)
+//!   readiness event loop (10k+ idle connections on one thread) and the
+//!   [`TcpTransport`](net::TcpTransport) client transport, std-only,
 //! * [`store`] — durable Rights Issuer storage: the CRC-framed write-ahead
 //!   log, full-state snapshots and crash recovery behind
 //!   [`RiService::recover`](drm::RiService::recover),
