@@ -16,7 +16,7 @@
 //! ```
 //!
 //! `--emit-bench` writes a performance snapshot (default path
-//! `BENCH_pr7.json`); `--smoke` limits it to the small CI-sized section.
+//! `BENCH_pr8.json`); `--smoke` limits it to the small CI-sized section.
 //! `--check-bench` compares two snapshots and exits non-zero when the fresh
 //! one's smoke fleet throughput regressed beyond the tolerated drop.
 
@@ -137,8 +137,8 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
-        .unwrap_or("BENCH_pr7.json");
-    // "BENCH_pr7.json" -> trajectory label "pr7".
+        .unwrap_or("BENCH_pr8.json");
+    // "BENCH_pr8.json" -> trajectory label "pr8".
     let label = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -159,6 +159,15 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
         section.durability.journaling_overhead_ratio,
         section.durability.wal_replay_micros,
     );
+    if let Some(cluster) = &section.cluster {
+        println!(
+            "  cluster: {} shards, replication {:.0} rec/s, failover {:.0} us, failed-over fleet {:.1} reg/s",
+            cluster.shards,
+            cluster.replication_records_per_sec,
+            cluster.failover_micros,
+            cluster.fleet_registrations_per_sec,
+        );
+    }
     Ok(())
 }
 

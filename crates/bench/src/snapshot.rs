@@ -11,16 +11,23 @@
 //!
 //! Each section is a flat JSON object (see [`BenchSection::to_json`]):
 //! RSA op latencies with a seed-equivalent baseline and the resulting
-//! speedup, wire-fleet throughput with per-phase cycle totals, and the
-//! durability costs (journaling overhead ratio, WAL replay time).
+//! speedup, wire-fleet throughput with per-phase cycle totals, the
+//! durability costs (journaling overhead ratio, WAL replay time), the
+//! nested `net` group (threads-vs-event-loop serving comparison) and the
+//! nested `cluster` group (WAL replication throughput, failover latency
+//! and sharded-fleet throughput with one mid-wave primary kill).
 //!
 //! The emit/bless flow and the regression gate are documented in the
 //! repository README under "Performance trajectory".
 
 use oma_bignum::{BigUint, Montgomery};
+use oma_cluster::{replicate, AckPolicy, Follower, Primary};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_drm::{DrmAgent, RiJournal, RiService};
-use oma_load::{run_fleet_durable_with, run_fleet_tcp_with, run_fleet_wire, FleetSpec, TcpBackend};
+use oma_load::{
+    run_fleet_cluster, run_fleet_durable_with, run_fleet_tcp_with, run_fleet_wire, FleetSpec,
+    TcpBackend,
+};
 use oma_pki::{CertificationAuthority, Timestamp};
 use oma_store::RiStore;
 use rand::rngs::StdRng;
@@ -29,9 +36,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Version of the `BENCH_*.json` schema this module writes. Readers accept
-/// any schema up to this one: schema 1 documents simply predate the `net`
-/// (threads-vs-event-loop) group and parse with it absent.
-pub const BENCH_SCHEMA: u64 = 2;
+/// any schema up to this one: schema 1 documents predate the `net`
+/// (threads-vs-event-loop) group, schema 2 documents predate the `cluster`
+/// (replication/failover) group — both parse with the missing groups
+/// absent.
+pub const BENCH_SCHEMA: u64 = 3;
 
 /// Modulus size of the RSA latency probe. The paper's Table 1 charges RSA
 /// per 1024-bit operation, so the trajectory tracks the op the cost model
@@ -261,6 +270,136 @@ impl NetBench {
     }
 }
 
+/// Replication, failover and sharded-fleet costs of the cluster layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBench {
+    /// Shards the cluster fleet run was spread over.
+    pub shards: u64,
+    /// WAL records the replication probe shipped to a fresh follower.
+    pub replication_records: u64,
+    /// Records per second the follower bootstrapped and applied
+    /// (in-process pump, ack-on-fsync durability).
+    pub replication_records_per_sec: f64,
+    /// Wall-clock microseconds to promote the caught-up follower — WAL
+    /// recovery from its own log plus the byte-identity cross-check
+    /// against the replayed image.
+    pub failover_micros: f64,
+    /// Wall-clock seconds of the sharded cluster fleet run, one mid-wave
+    /// primary kill included.
+    pub fleet_elapsed_secs: f64,
+    /// Registrations per second across the sharded, failed-over fleet.
+    pub fleet_registrations_per_sec: f64,
+    /// Primaries killed and failed over during the fleet run.
+    pub failovers: u64,
+}
+
+impl ClusterBench {
+    /// Journals a registration wave into a primary, times a fresh
+    /// follower's catch-up and the subsequent promotion, then runs `spec`
+    /// over a two-shard cluster with the primary serving the fourth frame
+    /// killed mid-wave.
+    ///
+    /// # Errors
+    ///
+    /// Stringified cluster/store/fleet failures, or a promoted image that
+    /// diverged from the primary's state (which would invalidate every
+    /// number this group reports).
+    pub fn measure(spec: &FleetSpec) -> Result<Self, String> {
+        let store = Arc::new(RiStore::in_memory());
+        let mut rng = StdRng::seed_from_u64(spec.base_seed ^ 0xc10c);
+        let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+        let service = RiService::new("ri.bench", spec.rsa_modulus_bits, &mut ca, &mut rng);
+        service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+        store
+            .snapshot(&|| service.state_image())
+            .map_err(|e| format!("genesis snapshot failed: {e}"))?;
+        for i in 0..spec.devices {
+            let mut agent = DrmAgent::new(
+                &format!("cluster-dev-{i}"),
+                spec.rsa_modulus_bits,
+                &mut ca,
+                &mut rng,
+            );
+            agent
+                .register_with(&service, Timestamp::new(0))
+                .map_err(|e| format!("probe registration failed: {e}"))?;
+        }
+
+        let primary = Primary::new("bench.a", 1, store);
+        let mut follower = Follower::in_memory("bench.b", AckPolicy::OnFsync);
+        let started = Instant::now();
+        let replication_records =
+            replicate(&primary, &mut follower).map_err(|e| format!("replication failed: {e}"))?;
+        let replication_secs = started.elapsed().as_secs_f64();
+
+        primary.fence();
+        let started = Instant::now();
+        let promoted = follower
+            .promote(2)
+            .map_err(|e| format!("promotion failed: {e}"))?;
+        let failover_micros = started.elapsed().as_secs_f64() * 1e6;
+        if promoted.image != service.state_image() {
+            return Err("promoted follower diverged from the primary's state".into());
+        }
+
+        let report = run_fleet_cluster(spec, 2, Some(3))
+            .map_err(|e| format!("cluster fleet run failed: {e}"))?;
+        let fleet_elapsed_secs = report.fleet.elapsed.as_secs_f64();
+        Ok(ClusterBench {
+            shards: u64::from(report.shards),
+            replication_records,
+            replication_records_per_sec: replication_records as f64
+                / replication_secs.max(f64::EPSILON),
+            failover_micros,
+            fleet_elapsed_secs,
+            fleet_registrations_per_sec: report.fleet.registrations as f64
+                / fleet_elapsed_secs.max(f64::EPSILON),
+            failovers: report.failovers,
+        })
+    }
+
+    /// Serializes the group as a nested JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"shards\": {},\n",
+                "      \"replication_records\": {},\n",
+                "      \"replication_records_per_sec\": {:.3},\n",
+                "      \"failover_micros\": {:.3},\n",
+                "      \"fleet_elapsed_secs\": {:.6},\n",
+                "      \"fleet_registrations_per_sec\": {:.3},\n",
+                "      \"failovers\": {}\n",
+                "    }}"
+            ),
+            self.shards,
+            self.replication_records,
+            self.replication_records_per_sec,
+            self.failover_micros,
+            self.fleet_elapsed_secs,
+            self.fleet_registrations_per_sec,
+            self.failovers,
+        )
+    }
+
+    /// Parses the group from its object slice.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_json(obj: &str) -> Result<Self, String> {
+        Ok(ClusterBench {
+            shards: u64_field(obj, "shards")?,
+            replication_records: u64_field(obj, "replication_records")?,
+            replication_records_per_sec: f64_field(obj, "replication_records_per_sec")?,
+            failover_micros: f64_field(obj, "failover_micros")?,
+            fleet_elapsed_secs: f64_field(obj, "fleet_elapsed_secs")?,
+            fleet_registrations_per_sec: f64_field(obj, "fleet_registrations_per_sec")?,
+            failovers: u64_field(obj, "failovers")?,
+        })
+    }
+}
+
 /// Durability costs: journaling overhead and WAL replay latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurabilityBench {
@@ -336,11 +475,15 @@ pub struct BenchSection {
     /// Threads-vs-event-loop serving comparison. `None` only when parsed
     /// from a schema-1 document that predates the group.
     pub net: Option<NetBench>,
+    /// Replication/failover/sharding costs. `None` only when parsed from
+    /// a schema-1 or schema-2 document that predates the group.
+    pub cluster: Option<ClusterBench>,
 }
 
 impl BenchSection {
     /// Measures one section: RSA probe, plain wire fleet, durable fleet,
-    /// and the TCP serving comparison.
+    /// the TCP serving comparison and the cluster replication/failover
+    /// probe.
     ///
     /// # Errors
     ///
@@ -350,18 +493,24 @@ impl BenchSection {
         let fleet = FleetBench::measure(spec)?;
         let durability = DurabilityBench::measure(spec, fleet.elapsed_secs)?;
         let net = NetBench::measure(spec)?;
+        let cluster = ClusterBench::measure(spec)?;
         Ok(BenchSection {
             rsa,
             fleet,
             durability,
             net: Some(net),
+            cluster: Some(cluster),
         })
     }
 
     /// Serializes the section as a flat JSON object (plus the nested
-    /// `net` group).
+    /// `net` and `cluster` groups).
     pub fn to_json(&self) -> String {
         let net = match &self.net {
+            Some(group) => group.to_json(),
+            None => "null".to_string(),
+        };
+        let cluster = match &self.cluster {
             Some(group) => group.to_json(),
             None => "null".to_string(),
         };
@@ -386,7 +535,8 @@ impl BenchSection {
                 "    \"journaling_overhead_ratio\": {:.4},\n",
                 "    \"wal_events_replayed\": {},\n",
                 "    \"wal_replay_micros\": {:.3},\n",
-                "    \"net\": {}\n",
+                "    \"net\": {},\n",
+                "    \"cluster\": {}\n",
                 "  }}"
             ),
             self.rsa.modulus_bits,
@@ -408,6 +558,7 @@ impl BenchSection {
             self.durability.wal_events_replayed,
             self.durability.wal_replay_micros,
             net,
+            cluster,
         )
     }
 
@@ -445,6 +596,10 @@ impl BenchSection {
             },
             net: match object_slice(obj, "net")? {
                 Some(group) => Some(NetBench::from_json(group)?),
+                None => None,
+            },
+            cluster: match object_slice(obj, "cluster")? {
+                Some(group) => Some(ClusterBench::from_json(group)?),
                 None => None,
             },
         })
@@ -678,6 +833,15 @@ mod tests {
                 event_registrations_per_sec: throughput,
                 event_over_threads: 1.0,
             }),
+            cluster: Some(ClusterBench {
+                shards: 2,
+                replication_records: 12,
+                replication_records_per_sec: 24000.0,
+                failover_micros: 750.0,
+                fleet_elapsed_secs: 0.5,
+                fleet_registrations_per_sec: throughput,
+                failovers: 1,
+            }),
         }
     }
 
@@ -732,17 +896,38 @@ mod tests {
     #[test]
     fn schema_one_documents_parse_with_the_net_group_absent() {
         // A committed schema-1 snapshot (e.g. BENCH_pr6.json) has no "net"
-        // object; the reader must keep accepting it as the CI baseline.
+        // object (and no "cluster" either); the reader must keep accepting
+        // it as a CI baseline.
         let mut section = synthetic_section(6.0);
         section.net = None;
-        let v2 = BenchSnapshot {
+        section.cluster = None;
+        let v1 = BenchSnapshot {
             label: "pr6".into(),
             smoke: section,
             full: None,
         };
-        let doc = v2.to_json().replace("\"schema\": 2", "\"schema\": 1");
+        let doc = v1.to_json().replace("\"schema\": 3", "\"schema\": 1");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-1 doc parses");
         assert_eq!(parsed.smoke.net, None);
+        assert_eq!(parsed.smoke.cluster, None);
+        assert_eq!(parsed, v1);
+    }
+
+    #[test]
+    fn schema_two_documents_parse_with_the_cluster_group_absent() {
+        // A committed schema-2 snapshot (e.g. BENCH_pr7.json) carries the
+        // "net" group but predates "cluster"; it stays readable.
+        let mut section = synthetic_section(6.0);
+        section.cluster = None;
+        let v2 = BenchSnapshot {
+            label: "pr7".into(),
+            smoke: section,
+            full: None,
+        };
+        let doc = v2.to_json().replace("\"schema\": 3", "\"schema\": 2");
+        let parsed = BenchSnapshot::from_json(&doc).expect("schema-2 doc parses");
+        assert!(parsed.smoke.net.is_some());
+        assert_eq!(parsed.smoke.cluster, None);
         assert_eq!(parsed, v2);
     }
 
@@ -756,6 +941,12 @@ mod tests {
         assert!(net.threads_registrations_per_sec > 0.0);
         assert!(net.event_registrations_per_sec > 0.0);
         assert!(net.event_over_threads > 0.0);
+        let cluster = section.cluster.expect("cluster group is always measured");
+        assert!(cluster.replication_records > 0);
+        assert!(cluster.replication_records_per_sec > 0.0);
+        assert!(cluster.failover_micros > 0.0);
+        assert!(cluster.fleet_registrations_per_sec > 0.0);
+        assert_eq!(cluster.failovers, 1, "the probe kills exactly one primary");
     }
 
     #[test]
@@ -764,6 +955,22 @@ mod tests {
         let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr6.json parses");
         assert_eq!(baseline.label, "pr6");
         assert_eq!(baseline.smoke.net, None, "schema-1 file has no net group");
+        assert!(baseline.full.is_some());
+    }
+
+    #[test]
+    fn committed_schema_two_baseline_still_parses() {
+        let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json"));
+        let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr7.json parses");
+        assert_eq!(baseline.label, "pr7");
+        assert!(
+            baseline.smoke.net.is_some(),
+            "schema-2 file has a net group"
+        );
+        assert_eq!(
+            baseline.smoke.cluster, None,
+            "schema-2 file predates the cluster group"
+        );
         assert!(baseline.full.is_some());
     }
 }

@@ -40,6 +40,14 @@ pub enum DrmError {
     /// [`DrmError::Transport`], the request itself was fine — back off and
     /// retry.
     Busy,
+    /// The node addressed is not the current primary of the shard that owns
+    /// the device (wire code
+    /// [`RoapStatus::NotPrimary`](crate::wire::RoapStatus::NotPrimary)).
+    /// Like [`DrmError::Busy`] the request itself was fine — the payload is
+    /// the redirect hint (the shard index whose current primary should be
+    /// re-resolved), so the client retargets and retries instead of giving
+    /// up.
+    NotPrimary(u32),
     /// A durable-store failure (write-ahead log or snapshot could not be
     /// read or made durable).
     Store(String),
@@ -67,6 +75,9 @@ impl fmt::Display for DrmError {
             DrmError::Roap(e) => write!(f, "roap failure: {e}"),
             DrmError::Transport(reason) => write!(f, "roap transport failure: {reason}"),
             DrmError::Busy => write!(f, "server busy: connection shed, retry later"),
+            DrmError::NotPrimary(shard) => {
+                write!(f, "not the primary of shard {shard}: re-resolve and retry")
+            }
             DrmError::Store(reason) => write!(f, "durable store failure: {reason}"),
             DrmError::Pki(e) => write!(f, "pki failure: {e}"),
             DrmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),

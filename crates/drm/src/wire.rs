@@ -106,6 +106,13 @@ pub enum RoapStatus {
     /// off and retry. This is the reply an over-capacity server writes
     /// instead of silently accumulating sockets it cannot serve.
     Busy,
+    /// The node addressed is not the current primary for the device's
+    /// shard — it was demoted (fenced by a newer epoch) or never owned the
+    /// shard. The payload is a redirect hint: the shard index whose current
+    /// primary the client should re-resolve before retrying. Like
+    /// [`RoapStatus::Busy`] this is retryable — nothing about the request
+    /// itself was wrong.
+    NotPrimary(u32),
 }
 
 impl RoapStatus {
@@ -125,10 +132,13 @@ impl RoapStatus {
             RoapStatus::Roap(RoapError::UnknownPdu) => 10,
             RoapStatus::NotInDomain => 11,
             RoapStatus::Busy => 12,
+            RoapStatus::NotPrimary(_) => 13,
         }
     }
 
-    /// Decodes a wire code.
+    /// Decodes a wire code. [`RoapStatus::NotPrimary`] decodes with a zero
+    /// redirect hint — the hint travels in extra `Status` body bytes that
+    /// only [`RoapPdu::decode`] sees (see [`RoapPdu::encode`]).
     pub fn from_code(code: u8) -> Result<Self, RoapError> {
         Ok(match code {
             0 => RoapStatus::Ok,
@@ -144,6 +154,7 @@ impl RoapStatus {
             10 => RoapStatus::Roap(RoapError::UnknownPdu),
             11 => RoapStatus::NotInDomain,
             12 => RoapStatus::Busy,
+            13 => RoapStatus::NotPrimary(0),
             _ => return Err(RoapError::Malformed),
         })
     }
@@ -153,14 +164,15 @@ impl RoapStatus {
     ///
     /// # Errors
     ///
-    /// [`DrmError::Roap`], [`DrmError::NotInDomain`] or [`DrmError::Busy`]
-    /// for error statuses.
+    /// [`DrmError::Roap`], [`DrmError::NotInDomain`], [`DrmError::Busy`] or
+    /// [`DrmError::NotPrimary`] for error statuses.
     pub fn into_result(self) -> Result<(), DrmError> {
         match self {
             RoapStatus::Ok => Ok(()),
             RoapStatus::Roap(e) => Err(DrmError::Roap(e)),
             RoapStatus::NotInDomain => Err(DrmError::NotInDomain),
             RoapStatus::Busy => Err(DrmError::Busy),
+            RoapStatus::NotPrimary(shard) => Err(DrmError::NotPrimary(shard)),
         }
     }
 }
@@ -174,6 +186,7 @@ impl From<&DrmError> for RoapStatus {
             DrmError::Roap(e) => RoapStatus::Roap(*e),
             DrmError::NotInDomain => RoapStatus::NotInDomain,
             DrmError::Busy => RoapStatus::Busy,
+            DrmError::NotPrimary(shard) => RoapStatus::NotPrimary(*shard),
             _ => RoapStatus::Roap(RoapError::Malformed),
         }
     }
@@ -449,6 +462,11 @@ impl RoapPdu {
             }
             RoapPdu::Status(status) => {
                 out.push(status.code());
+                // NotPrimary carries its redirect hint after the code byte;
+                // every other status body is exactly the code.
+                if let RoapStatus::NotPrimary(redirect) = status {
+                    out.extend_from_slice(&redirect.to_be_bytes());
+                }
             }
         }
         out
@@ -525,7 +543,10 @@ impl RoapPdu {
                 device_id: r.str()?,
                 domain_id: DomainId::new(&r.str()?),
             },
-            TAG_STATUS => RoapPdu::Status(RoapStatus::from_code(r.u8()?)?),
+            TAG_STATUS => RoapPdu::Status(match RoapStatus::from_code(r.u8()?)? {
+                RoapStatus::NotPrimary(_) => RoapStatus::NotPrimary(r.u32()?),
+                status => status,
+            }),
             _ => return Err(RoapError::UnknownPdu),
         })
     }
@@ -982,6 +1003,7 @@ mod tests {
             RoapStatus::Roap(RoapError::Malformed),
             RoapStatus::Roap(RoapError::UnsupportedVersion),
             RoapStatus::Roap(RoapError::UnknownPdu),
+            RoapStatus::NotPrimary(0),
         ];
         let mut codes: Vec<u8> = statuses.iter().map(RoapStatus::code).collect();
         for status in statuses {
@@ -989,8 +1011,29 @@ mod tests {
         }
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 13, "status codes are distinct");
+        assert_eq!(codes.len(), 14, "status codes are distinct");
         assert_eq!(RoapStatus::from_code(200), Err(RoapError::Malformed));
+    }
+
+    #[test]
+    fn not_primary_redirect_hint_rides_the_status_body() {
+        let pdu = RoapPdu::Status(RoapStatus::NotPrimary(7));
+        let frame = pdu.encode();
+        assert_eq!(RoapPdu::decode(&frame).unwrap(), pdu);
+        // The hint is mandatory: a bare code-13 body is a truncated frame.
+        let bare = &frame[..frame.len() - 4];
+        let mut truncated = bare.to_vec();
+        let body_len = (truncated.len() - HEADER_LEN) as u32;
+        truncated[14..18].copy_from_slice(&body_len.to_be_bytes());
+        assert_eq!(RoapPdu::decode(&truncated), Err(RoapError::Malformed));
+        assert_eq!(
+            RoapStatus::NotPrimary(7).into_result(),
+            Err(DrmError::NotPrimary(7))
+        );
+        assert_eq!(
+            RoapStatus::from(&DrmError::NotPrimary(7)),
+            RoapStatus::NotPrimary(7)
+        );
     }
 
     #[test]

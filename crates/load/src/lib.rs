@@ -71,6 +71,7 @@ pub use idle::{
     IdleClientReport, IdleFleetReport, IdleFleetSpec,
 };
 
+use oma_cluster::{frame_device_id, AckPolicy, ClusterRouter, Follower, Primary};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_crypto::sha1::{sha1, DIGEST_SIZE};
@@ -87,7 +88,7 @@ use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
 use oma_perf::runner::PhaseCycles;
 use oma_pki::{CertificationAuthority, EntityRole, Timestamp, ValidityPeriod};
-use oma_store::{RiStore, Wal};
+use oma_store::{MemLog, RiStore, Wal};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -1219,6 +1220,327 @@ pub fn run_fleet_durable_with<L: Wal + 'static>(
     })
 }
 
+// ----- cluster mode ----------------------------------------------------------
+
+/// One shard of a replicated cluster: a serving primary (journaled service +
+/// log shipper) and its caught-up follower, plus the deposed node left
+/// behind after a failover so misrouted clients can observe the
+/// `NotPrimary` redirect.
+struct ShardNode {
+    service: Arc<RiService>,
+    primary: Primary<MemLog>,
+    follower: Option<Follower<MemLog>>,
+    old_primary: Option<Primary<MemLog>>,
+    epoch: u64,
+    killed: bool,
+}
+
+/// The result of a [`run_fleet_cluster`] run.
+///
+/// Beyond the usual [`FleetReport`] (summed across shards), the cluster
+/// driver reports the failover evidence the acceptance suite asserts on:
+/// the killed primary's state image at the instant it died, the image the
+/// promoted follower recovered, and the raw `RoResponse` frames — which
+/// must be byte-identical to an unkilled run of the same topology.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The regular fleet report (outcomes, traces, cycles, counts summed
+    /// over all shards).
+    pub fleet: FleetReport,
+    /// Number of shards the fleet was spread over.
+    pub shards: u32,
+    /// Devices routed to each shard (index order). Sums to the fleet size.
+    pub shard_devices: Vec<usize>,
+    /// How many primaries were killed and failed over.
+    pub failovers: u64,
+    /// How many `NotPrimary` redirects clients followed after failovers.
+    pub redirects: u64,
+    /// The serving epoch of each shard when the run finished.
+    pub final_epochs: Vec<u64>,
+    /// Raw `RoResponse` frames per device (sorted by device id, frames in
+    /// acquisition order) — byte-identical across killed and unkilled runs
+    /// of the same topology.
+    pub ro_response_frames: RoResponseFrames,
+    /// The killed primary's full state image at the instant of death
+    /// (after its last journaled event). `None` when nothing was killed.
+    pub pre_kill_image: Option<oma_drm::RiStateImage>,
+    /// The state image the promoted follower recovered from its own log —
+    /// the failover invariant is `promoted_image == pre_kill_image`,
+    /// byte for byte.
+    pub promoted_image: Option<oma_drm::RiStateImage>,
+}
+
+/// Maps a cluster-layer failure into the fleet driver's error type.
+fn cluster_err(e: oma_cluster::ClusterError) -> DrmError {
+    DrmError::Transport(format!("cluster replication failed: {e}"))
+}
+
+/// Builds one shard's world: a journaled service with a genesis snapshot
+/// and the content catalogue in its log, wrapped as an epoch-1 primary,
+/// plus a follower caught up through the catalogue events. Every shard is
+/// built from the same spec seed, so all shards hold identical key
+/// material and catalogues — only the device traffic they serve differs.
+fn build_shard(spec: &FleetSpec) -> Result<ShardNode, DrmError> {
+    let mut rng = StdRng::seed_from_u64(spec.base_seed);
+    let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+    let service = RiService::new("ri.fleet", spec.rsa_modulus_bits, &mut ca, &mut rng);
+    let store = Arc::new(RiStore::in_memory());
+    service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+    store.snapshot(&|| service.state_image())?;
+    build_catalog(spec, &service, &mut rng);
+    let primary = Primary::new("node.a", 1, store);
+    let mut follower = Follower::in_memory("node.b", AckPolicy::OnFsync);
+    oma_cluster::replicate(&primary, &mut follower).map_err(cluster_err)?;
+    Ok(ShardNode {
+        service: Arc::new(service),
+        primary,
+        follower: Some(follower),
+        old_primary: None,
+        epoch: 1,
+        killed: false,
+    })
+}
+
+/// Promotes the killed shard's follower into its new primary: the old
+/// primary is fenced and kept around (so clients that still address it see
+/// the `NotPrimary` redirect), the follower recovers through the ordinary
+/// snapshot+replay path, and a fresh follower is bootstrapped from the new
+/// primary via full snapshot catch-up.
+fn fail_over(shard: &mut ShardNode, index: u32) -> Result<oma_drm::RiStateImage, DrmError> {
+    let follower = shard
+        .follower
+        .take()
+        .expect("every serving shard has a follower");
+    let promoted = follower.promote(shard.epoch + 1).map_err(cluster_err)?;
+    shard.primary.fence();
+    let node_id = format!("node.{index}.promoted");
+    shard.old_primary = Some(std::mem::replace(
+        &mut shard.primary,
+        Primary::new(&node_id, promoted.epoch, Arc::clone(&promoted.store)),
+    ));
+    shard.service = promoted.service;
+    shard.epoch = promoted.epoch;
+    let mut fresh = Follower::in_memory(&format!("node.{index}.standby"), AckPolicy::OnFsync);
+    oma_cluster::replicate(&shard.primary, &mut fresh).map_err(cluster_err)?;
+    shard.follower = Some(fresh);
+    shard.killed = false;
+    Ok(promoted.image)
+}
+
+/// Runs the fleet against a **replicated, sharded cluster**: `shards`
+/// independent journaled [`RiService`] primaries, each shipping its WAL to
+/// a follower after every served frame, with devices spread across shards
+/// by the consistent-hash [`ClusterRouter`]. Frames are routed by the
+/// device id extracted from each raw frame
+/// ([`oma_cluster::frame_device_id`]) — the driver never peeks at client
+/// state.
+///
+/// When `kill_after_frames` is `Some(k)`, the primary that would serve
+/// frame `k+1` is killed mid-wave instead: its requests go unanswered, its
+/// caught-up follower is promoted under the next epoch (the deposed
+/// primary stays around, fenced), and the wave re-enters. The first frame
+/// subsequently routed to that shard hits the deposed node, observes the
+/// [`NotPrimary`](oma_drm::wire::RoapStatus::NotPrimary) redirect, and
+/// retries against the promoted primary — the full client failover story.
+///
+/// Every deterministic observable of the run — per-device outcomes, raw
+/// `RoResponse` bytes, final states — is identical whether or not a kill
+/// happened, and the whole cluster run `matches` the single-service
+/// sequential reference.
+///
+/// # Errors
+///
+/// See [`run_fleet`]; additionally [`DrmError::Transport`] when
+/// replication or promotion fails (a [`ClusterError`](oma_cluster::ClusterError)
+/// is reported in the message).
+pub fn run_fleet_cluster(
+    spec: &FleetSpec,
+    shards: u32,
+    kill_after_frames: Option<u64>,
+) -> Result<ClusterReport, DrmError> {
+    let shards = shards.max(1);
+    let workers = spec.workers.max(1);
+    let started = Instant::now();
+
+    let router = ClusterRouter::new(shards);
+    let mut nodes = Vec::with_capacity(shards as usize);
+    for _ in 0..shards {
+        nodes.push(build_shard(spec)?);
+    }
+    let ri_id = nodes[0].service.id().to_string();
+
+    // Devices are provisioned against shard 0's CA; all shard worlds are
+    // seed-identical, so its certificates verify everywhere.
+    let mut rng = StdRng::seed_from_u64(spec.base_seed);
+    let mut ca = CertificationAuthority::new("cmla", spec.rsa_modulus_bits, &mut rng);
+    let _ = RiService::new("ri.fleet", spec.rsa_modulus_bits, &mut ca, &mut rng);
+    let catalog = {
+        let scratch = RiService::from_image(nodes[0].service.state_image());
+        build_catalog(spec, &scratch, &mut rng)
+    };
+    let ca = Mutex::new(ca);
+    let mut devices = provision_wire_devices(spec, &ca, workers)?;
+
+    let mut shard_devices = vec![0usize; shards as usize];
+    for index in 0..spec.devices {
+        let shard = router
+            .route(&spec.device_id(index))
+            .expect("non-empty ring");
+        shard_devices[shard as usize] += 1;
+    }
+
+    let mut budget = kill_after_frames.unwrap_or(u64::MAX);
+    let mut failovers = 0u64;
+    let mut redirects = 0u64;
+    let mut pre_kill_image = None;
+    let mut promoted_image = None;
+
+    enum Wave {
+        Hello,
+        Register,
+        Acquire(usize),
+    }
+    let mut waves = vec![Wave::Hello, Wave::Register];
+    waves.extend((0..spec.acquisitions_per_device).map(Wave::Acquire));
+
+    for wave in waves {
+        loop {
+            let complete = {
+                let nodes = &mut nodes;
+                let router = &router;
+                let budget = &mut budget;
+                let pre_kill_image = &mut pre_kill_image;
+                let redirects = &mut redirects;
+                let mut dispatch =
+                    move |frames: &[Vec<u8>]| -> Result<Vec<Option<Vec<u8>>>, DrmError> {
+                        let mut out = Vec::with_capacity(frames.len());
+                        for frame in frames {
+                            let device = frame_device_id(frame).ok_or_else(|| {
+                                DrmError::Transport("request frame without a device id".into())
+                            })?;
+                            let index = router.route(&device).expect("non-empty ring") as usize;
+                            // A client that still addresses a deposed
+                            // primary gets the NotPrimary redirect and
+                            // retries against the shard's current primary.
+                            let deposed = nodes[index]
+                                .old_primary
+                                .as_ref()
+                                .is_some_and(|old| old.is_fenced());
+                            if deposed {
+                                let status = RoapPdu::Status(
+                                    oma_drm::wire::RoapStatus::NotPrimary(index as u32),
+                                )
+                                .encode();
+                                let RoapPdu::Status(status) =
+                                    RoapPdu::decode(&status).map_err(DrmError::Roap)?
+                                else {
+                                    unreachable!("status frames decode to Status");
+                                };
+                                match status.into_result() {
+                                    Err(DrmError::NotPrimary(shard)) => {
+                                        debug_assert_eq!(shard as usize, index);
+                                        *redirects += 1;
+                                        nodes[index].old_primary = None;
+                                    }
+                                    other => {
+                                        return Err(DrmError::Transport(format!(
+                                            "expected a NotPrimary redirect, got {other:?}"
+                                        )))
+                                    }
+                                }
+                            }
+                            let node = &mut nodes[index];
+                            if node.killed {
+                                out.push(None);
+                                continue;
+                            }
+                            if pre_kill_image.is_none() {
+                                if *budget == 0 {
+                                    // The kill: exactly one primary — the
+                                    // one serving this frame — dies with
+                                    // everything it has journaled so far.
+                                    // The rest of the cluster keeps going.
+                                    node.killed = true;
+                                    *pre_kill_image = Some(node.service.state_image());
+                                    out.push(None);
+                                    continue;
+                                }
+                                *budget -= 1;
+                            }
+                            let response = node.service.dispatch_at(frame, now());
+                            // Synchronous log shipping: the follower holds
+                            // every journaled event before the response is
+                            // released — an acked frame can never outrun
+                            // its replication.
+                            let follower = node.follower.as_mut().expect("serving shard");
+                            oma_cluster::replicate(&node.primary, follower).map_err(cluster_err)?;
+                            out.push(Some(response));
+                        }
+                        Ok(out)
+                    };
+                match wave {
+                    Wave::Hello => hello_wave(&mut devices, &mut dispatch)?,
+                    Wave::Register => {
+                        registration_wave(&mut devices, workers, now(), &mut dispatch)?
+                    }
+                    Wave::Acquire(round) => acquisition_wave(
+                        &mut devices,
+                        workers,
+                        round,
+                        &ri_id,
+                        &catalog,
+                        now(),
+                        &mut dispatch,
+                    )?,
+                }
+            };
+            if complete {
+                break;
+            }
+            // Failover: promote the caught-up follower of every killed
+            // shard and re-enter the wave; already-answered devices skip.
+            for (index, node) in nodes.iter_mut().enumerate() {
+                if node.killed {
+                    promoted_image = Some(fail_over(node, index as u32)?);
+                    failovers += 1;
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let (outcomes, ro_response_frames) = finish_wire_devices(devices);
+    let mut traces = PhaseTraces::new();
+    let mut cycles = PhaseCycles::default();
+    for outcome in &outcomes {
+        traces.merge(&outcome.traces);
+        cycles.merge(&outcome.cycles);
+    }
+    let fleet = FleetReport {
+        workers,
+        elapsed,
+        registrations: nodes
+            .iter()
+            .map(|n| n.service.registered_count() as u64)
+            .sum(),
+        rights_objects: nodes.iter().map(|n| n.service.issued_ro_count()).sum(),
+        devices: outcomes,
+        traces,
+        cycles,
+    };
+    Ok(ClusterReport {
+        fleet,
+        shards,
+        shard_devices,
+        failovers,
+        redirects,
+        final_epochs: nodes.iter().map(|n| n.epoch).collect(),
+        ro_response_frames,
+        pre_kill_image,
+        promoted_image,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1341,6 +1663,47 @@ mod tests {
         assert_eq!(
             killed.final_state, reference.final_state,
             "recovered run must converge to the identical service state"
+        );
+    }
+
+    #[test]
+    fn cluster_fleet_matches_sequential_reference() {
+        let spec = FleetSpec::new(6, 3);
+        let cluster = run_fleet_cluster(&spec, 3, None).unwrap();
+        let reference = run_sequential(&spec).unwrap();
+        assert_eq!(cluster.failovers, 0);
+        assert_eq!(cluster.redirects, 0);
+        assert_eq!(cluster.final_epochs, vec![1, 1, 1]);
+        assert_eq!(cluster.shard_devices.iter().sum::<usize>(), spec.devices);
+        assert!(
+            cluster.shard_devices.iter().filter(|&&n| n > 0).count() > 1,
+            "fleet must actually spread over shards: {:?}",
+            cluster.shard_devices
+        );
+        assert!(
+            cluster.fleet.matches(&reference),
+            "sharding must not change any deterministic observable"
+        );
+        assert!(cluster.fleet.duplicate_ro_ids().is_empty());
+    }
+
+    #[test]
+    fn cluster_kill_the_primary_is_indistinguishable() {
+        let spec = FleetSpec::new(4, 2);
+        let reference = run_fleet_cluster(&spec, 2, None).unwrap();
+        // Kill the primary serving the 6th frame — mid-registration-wave.
+        let killed = run_fleet_cluster(&spec, 2, Some(5)).unwrap();
+        assert_eq!(killed.failovers, 1);
+        assert!(killed.redirects >= 1, "the deposed node must redirect");
+        assert!(killed.final_epochs.contains(&2), "one shard failed over");
+        assert_eq!(
+            killed.pre_kill_image, killed.promoted_image,
+            "promoted follower must hold the dead primary's exact state"
+        );
+        assert!(killed.fleet.matches(&reference.fleet));
+        assert_eq!(
+            killed.ro_response_frames, reference.ro_response_frames,
+            "RoResponse bytes must survive the failover byte-identically"
         );
     }
 

@@ -116,6 +116,10 @@ pub struct ServerMetrics {
     shed: AtomicU64,
     queue_depth: AtomicU64,
     peak_queue_depth: AtomicU64,
+    records_shipped: AtomicU64,
+    records_acked: AtomicU64,
+    follower_lag: AtomicU64,
+    epoch: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -162,6 +166,30 @@ impl ServerMetrics {
         self.served.load(Ordering::Relaxed)
     }
 
+    /// Counts WAL records shipped to a replication follower. Public because
+    /// the replication machinery lives outside this crate (`oma-cluster`)
+    /// but reports through the same per-server metrics surface.
+    pub fn on_records_shipped(&self, records: u64) {
+        self.records_shipped.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Counts WAL records a replication follower acknowledged.
+    pub fn on_records_acked(&self, records: u64) {
+        self.records_acked.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Publishes the current replication lag gauge: how many durable
+    /// records the slowest follower has not acknowledged yet.
+    pub fn set_follower_lag(&self, records: u64) {
+        self.follower_lag.store(records, Ordering::Relaxed);
+    }
+
+    /// Publishes the replication epoch this node currently serves under
+    /// (bumped by every failover; see `oma-cluster`).
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -174,6 +202,10 @@ impl ServerMetrics {
             shed: self.shed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            records_shipped: self.records_shipped.load(Ordering::Relaxed),
+            records_acked: self.records_acked.load(Ordering::Relaxed),
+            follower_lag: self.follower_lag.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
         }
     }
 }
@@ -203,6 +235,18 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Highest simultaneous `queue_depth` observed.
     pub peak_queue_depth: u64,
+    /// WAL records shipped to replication followers
+    /// ([`ServerMetrics::on_records_shipped`]; 0 on an unreplicated node).
+    pub records_shipped: u64,
+    /// WAL records replication followers acknowledged
+    /// ([`ServerMetrics::on_records_acked`]).
+    pub records_acked: u64,
+    /// Durable records the slowest follower has not acknowledged yet
+    /// ([`ServerMetrics::set_follower_lag`]).
+    pub follower_lag: u64,
+    /// Replication epoch this node serves under; bumped by every failover
+    /// ([`ServerMetrics::set_epoch`]; 0 on an unreplicated node).
+    pub epoch: u64,
 }
 
 impl std::fmt::Display for MetricsSnapshot {
@@ -210,7 +254,8 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "accepted={} served={} active={} (peak {}) reaped_idle={} \
-             reaped_frame={} shed={} queue_depth={} (peak {})",
+             reaped_frame={} shed={} queue_depth={} (peak {}) \
+             repl_shipped={} repl_acked={} repl_lag={} epoch={}",
             self.accepted,
             self.served,
             self.active,
@@ -220,6 +265,10 @@ impl std::fmt::Display for MetricsSnapshot {
             self.shed,
             self.queue_depth,
             self.peak_queue_depth,
+            self.records_shipped,
+            self.records_acked,
+            self.follower_lag,
+            self.epoch,
         )
     }
 }

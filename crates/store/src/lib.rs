@@ -180,6 +180,22 @@ struct Appender {
     fault: Option<StoreError>,
 }
 
+/// The valid log tail after a watermark, as raw record frames — what a
+/// replication primary ships to a follower (see [`RiStore::records_after`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordTail {
+    /// One framed record per entry (CRC header included), in sequence
+    /// order — each is exactly the byte string [`codec::decode_record_prefix`]
+    /// accepts, so a follower can validate and append them verbatim.
+    pub frames: Vec<Vec<u8>>,
+    /// Sequence number of the last frame (the watermark when `frames` is
+    /// empty).
+    pub last_sequence: u64,
+    /// Why the scan stopped before the physical end of the log, if it did —
+    /// the same torn-tail / gap reporting as [`RecoveryReport`].
+    pub stopped_early: Option<String>,
+}
+
 /// The durable Rights Issuer store: a write-ahead log with snapshots over
 /// any [`Wal`] backend.
 ///
@@ -393,6 +409,92 @@ impl<L: Wal> RiStore<L> {
             }
         }
         Ok((image, report))
+    }
+
+    /// Reads every valid record with a sequence number beyond `watermark`,
+    /// as raw frames a peer can re-validate and append verbatim — the
+    /// read side replication is built on, so no caller ever parses segment
+    /// files itself.
+    ///
+    /// A torn tail, a CRC mismatch or a sequence gap ends the tail cleanly
+    /// (`stopped_early` says why), exactly like recovery: the frames before
+    /// the damage are still the authoritative durable history.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend cannot be read. Corruption is
+    /// *not* an error — the tail simply ends early.
+    pub fn records_after(&self, watermark: u64) -> Result<RecordTail, StoreError> {
+        let mut tail = RecordTail {
+            frames: Vec::new(),
+            last_sequence: watermark,
+            stopped_early: None,
+        };
+        'segments: for segment in self.log.segments()? {
+            let bytes = self.log.read_segment(segment)?;
+            let Some(mut rest) = bytes.strip_prefix(&log::SEGMENT_HEADER[..]) else {
+                tail.stopped_early = Some(format!("segment {segment}: bad segment header"));
+                break;
+            };
+            while !rest.is_empty() {
+                let (record, consumed) = match codec::decode_record_prefix(rest) {
+                    Ok(frame) => frame,
+                    Err(e) => {
+                        tail.stopped_early = Some(e.to_string());
+                        break 'segments;
+                    }
+                };
+                if record.sequence > tail.last_sequence {
+                    if record.sequence != tail.last_sequence + 1 {
+                        tail.stopped_early = Some(format!(
+                            "sequence gap: expected {}, found {}",
+                            tail.last_sequence + 1,
+                            record.sequence
+                        ));
+                        break 'segments;
+                    }
+                    tail.frames.push(rest[..consumed].to_vec());
+                    tail.last_sequence = record.sequence;
+                }
+                rest = &rest[consumed..];
+            }
+        }
+        Ok(tail)
+    }
+
+    /// Streams the valid prefix of one segment — header plus every record
+    /// that passes CRC, with any torn tail already cut off. `None` for a
+    /// segment index the log no longer holds (compacted away or never
+    /// written).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend cannot be read.
+    pub fn segment_bytes(&self, segment: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        if !self.log.segments()?.contains(&segment) {
+            return Ok(None);
+        }
+        let bytes = self.log.read_segment(segment)?;
+        let scan = scan_segment(&bytes, &mut |_| {});
+        Ok(Some(bytes[..scan.valid_len].to_vec()))
+    }
+
+    /// The raw snapshot blob and the sequence watermark it covers, for
+    /// bootstrapping a follower that is behind the compaction horizon. The
+    /// blob is exactly what [`codec::decode_snapshot`] accepts.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the backend cannot be read,
+    /// [`StoreError::Corrupt`] when the stored snapshot fails validation.
+    pub fn snapshot_blob(&self) -> Result<Option<(Vec<u8>, u64)>, StoreError> {
+        match self.log.read_snapshot()? {
+            None => Ok(None),
+            Some(blob) => {
+                let (_, watermark) = codec::decode_snapshot(&blob)?;
+                Ok(Some((blob, watermark)))
+            }
+        }
     }
 }
 
@@ -790,6 +892,87 @@ mod tests {
         );
         assert_eq!(recovered.session_ttl(), 60, "TTL config survives too");
         assert_eq!(recovered.state_image(), service.state_image());
+    }
+
+    #[test]
+    fn records_after_ships_exactly_the_tail_beyond_the_watermark() {
+        let (_ca, service, store, _rng) = durable_world();
+        for i in 0..5 {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i}")), Timestamp::new(0));
+        }
+        let tail = store.records_after(2).unwrap();
+        assert_eq!(tail.frames.len(), 3);
+        assert_eq!(tail.last_sequence, 5);
+        assert_eq!(tail.stopped_early, None);
+        // Frames are verbatim log bytes: they re-validate and re-decode.
+        for (offset, frame) in tail.frames.iter().enumerate() {
+            let (record, consumed) = codec::decode_record_prefix(frame).unwrap();
+            assert_eq!(consumed, frame.len());
+            assert_eq!(record.sequence, 3 + offset as u64);
+        }
+        // A watermark at (or past) the head yields an empty tail.
+        assert_eq!(store.records_after(5).unwrap().frames.len(), 0);
+        assert_eq!(store.records_after(99).unwrap().last_sequence, 99);
+    }
+
+    #[test]
+    fn records_after_stops_cleanly_at_a_torn_tail() {
+        let (_ca, service, store, _rng) = durable_world();
+        for i in 0..3 {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i}")), Timestamp::new(0));
+        }
+        store.log().truncate_tail(5);
+        let tail = store.records_after(0).unwrap();
+        assert_eq!(tail.frames.len(), 2, "the torn record never ships");
+        assert_eq!(tail.last_sequence, 2);
+        assert!(tail.stopped_early.is_some());
+        // A bit flip mid-record is caught by the CRC the same way.
+        let (_ca, service, store, _rng) = durable_world();
+        for i in 0..3 {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i}")), Timestamp::new(0));
+        }
+        let current = store.log().current_segment();
+        store.log().mutate_segment(current, |bytes| {
+            let last = bytes.len() - 10;
+            bytes[last] ^= 0xFF;
+        });
+        let tail = store.records_after(0).unwrap();
+        assert_eq!(tail.frames.len(), 2);
+        assert!(tail.stopped_early.is_some());
+    }
+
+    #[test]
+    fn segment_bytes_streams_the_valid_prefix_only() {
+        let (_ca, service, store, _rng) = durable_world();
+        for i in 0..3 {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i}")), Timestamp::new(0));
+        }
+        let segment = store.log().current_segment();
+        let clean = store.segment_bytes(segment).unwrap().unwrap();
+        assert_eq!(
+            clean,
+            store.log().read_segment(segment).unwrap(),
+            "a clean segment streams whole"
+        );
+        store.log().truncate_tail(5);
+        let torn = store.segment_bytes(segment).unwrap().unwrap();
+        assert!(torn.len() < clean.len(), "the torn tail is cut off");
+        assert!(clean.starts_with(&torn));
+        assert_eq!(store.segment_bytes(segment + 17).unwrap(), None);
+    }
+
+    #[test]
+    fn snapshot_blob_exposes_the_genesis_watermark() {
+        let (_ca, service, store, _rng) = durable_world();
+        let (blob, watermark) = store.snapshot_blob().unwrap().unwrap();
+        assert_eq!(watermark, 0, "genesis covers nothing");
+        let (image, _) = codec::decode_snapshot(&blob).unwrap();
+        assert_eq!(image, service.state_image());
+        service.hello_at(&DeviceHello::new("dev-0"), Timestamp::new(0));
+        store.snapshot(&|| service.state_image()).unwrap();
+        let (_, watermark) = store.snapshot_blob().unwrap().unwrap();
+        assert_eq!(watermark, 1);
+        assert_eq!(RiStore::in_memory().snapshot_blob().unwrap(), None);
     }
 
     #[test]

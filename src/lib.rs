@@ -23,6 +23,11 @@
 //! * [`store`] — durable Rights Issuer storage: the CRC-framed write-ahead
 //!   log, full-state snapshots and crash recovery behind
 //!   [`RiService::recover`](drm::RiService::recover),
+//! * [`cluster`] — multi-RI scale-out: WAL log-shipping replication
+//!   ([`Primary`](cluster::ship::Primary)/[`Follower`](cluster::ship::Follower)),
+//!   epoch-fenced primary failover that provably never re-issues an id,
+//!   and consistent-hash sharding via
+//!   [`ClusterRouter`](cluster::ClusterRouter),
 //! * [`perf`] — the Table 1 cost model, architecture variants (each mapping
 //!   1:1 onto an executable backend), use cases, the analytic and measured
 //!   models and figure generators,
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 pub use oma_bignum as bignum;
+pub use oma_cluster as cluster;
 pub use oma_crypto as crypto;
 pub use oma_drm as drm;
 pub use oma_load as load;

@@ -228,6 +228,10 @@ fn golden_pdus() -> Vec<(&'static str, RoapPdu)> {
             "status_not_in_domain",
             RoapPdu::Status(RoapStatus::NotInDomain),
         ),
+        (
+            "status_not_primary",
+            RoapPdu::Status(RoapStatus::NotPrimary(3)),
+        ),
     ]
 }
 
