@@ -16,7 +16,7 @@
 //! ```
 //!
 //! `--emit-bench` writes a performance snapshot (default path
-//! `BENCH_pr8.json`); `--smoke` limits it to the small CI-sized section.
+//! `BENCH_pr9.json`); `--smoke` limits it to the small CI-sized section.
 //! `--check-bench` compares two snapshots and exits non-zero when the fresh
 //! one's smoke fleet throughput regressed beyond the tolerated drop.
 
@@ -137,8 +137,8 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
-        .unwrap_or("BENCH_pr8.json");
-    // "BENCH_pr8.json" -> trajectory label "pr8".
+        .unwrap_or("BENCH_pr9.json");
+    // "BENCH_pr9.json" -> trajectory label "pr9".
     let label = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -166,6 +166,16 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
             cluster.replication_records_per_sec,
             cluster.failover_micros,
             cluster.fleet_registrations_per_sec,
+        );
+    }
+    if let Some(session) = &section.session {
+        println!(
+            "  session: {} concurrent machines, {} states ({} distinct) at {:.0} states/s, {} fuzz attacks rejected",
+            session.sessions,
+            session.states_explored,
+            session.distinct_states,
+            session.states_per_sec,
+            session.fuzz_attacks,
         );
     }
     Ok(())

@@ -24,6 +24,7 @@ use oma_bignum::{BigUint, Montgomery};
 use oma_cluster::{replicate, AckPolicy, Follower, Primary};
 use oma_crypto::rsa::RsaKeyPair;
 use oma_drm::{DrmAgent, RiJournal, RiService};
+use oma_explore::{explore, fuzz, ExploreConfig, Faults};
 use oma_load::{
     run_fleet_cluster, run_fleet_durable_with, run_fleet_tcp_with, run_fleet_wire, FleetSpec,
     TcpBackend,
@@ -38,9 +39,10 @@ use std::time::Instant;
 /// Version of the `BENCH_*.json` schema this module writes. Readers accept
 /// any schema up to this one: schema 1 documents predate the `net`
 /// (threads-vs-event-loop) group, schema 2 documents predate the `cluster`
-/// (replication/failover) group — both parse with the missing groups
+/// (replication/failover) group, schema 3 documents predate the `session`
+/// (interleaving-explorer) group — all parse with the missing groups
 /// absent.
-pub const BENCH_SCHEMA: u64 = 3;
+pub const BENCH_SCHEMA: u64 = 4;
 
 /// Modulus size of the RSA latency probe. The paper's Table 1 charges RSA
 /// per 1024-bit operation, so the trajectory tracks the op the cost model
@@ -400,6 +402,99 @@ impl ClusterBench {
     }
 }
 
+/// Session-machine exploration costs: how fast the interleaving explorer
+/// covers the reachable state space, plus the fuzz corpus size it gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionBench {
+    /// Concurrent device sessions the probe explored.
+    pub sessions: u64,
+    /// States the DFS visited within its budget.
+    pub states_explored: u64,
+    /// Distinct states by digest (the rest were hash-pruned revisits).
+    pub distinct_states: u64,
+    /// States visited per wall-clock second — the trajectory metric.
+    pub states_per_sec: f64,
+    /// Malicious-peer attacks in the fuzz corpus, all answered with their
+    /// documented status.
+    pub fuzz_attacks: u64,
+}
+
+impl SessionBench {
+    /// Runs a bounded all-faults exploration plus the fuzz corpus and
+    /// summarizes the throughput.
+    ///
+    /// # Errors
+    ///
+    /// An invariant violation or a wrong fuzz status — either makes the
+    /// snapshot meaningless (and the tree broken).
+    pub fn measure(max_states: u64) -> Result<Self, String> {
+        let config = ExploreConfig {
+            sessions: 2,
+            seed: 42,
+            faults: Faults::all(),
+            acquisitions: 1,
+            max_depth: 24,
+            max_states,
+            time_budget: std::time::Duration::from_secs(30),
+        };
+        let report = explore(&config);
+        if !report.violations.is_empty() {
+            return Err(format!(
+                "explorer found {} invariant violations:\n{}",
+                report.violations.len(),
+                report
+            ));
+        }
+        let failures = fuzz::run_corpus(config.seed);
+        if !failures.is_empty() {
+            return Err(format!("fuzz corpus failures: {failures:?}"));
+        }
+        let (_, attacks) = fuzz::build_corpus(config.seed);
+        Ok(SessionBench {
+            sessions: config.sessions as u64,
+            states_explored: report.states_explored,
+            distinct_states: report.distinct_states,
+            states_per_sec: report.states_per_sec(),
+            fuzz_attacks: attacks.len() as u64,
+        })
+    }
+
+    /// Serializes the group as a nested JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"sessions\": {},\n",
+                "      \"states_explored\": {},\n",
+                "      \"distinct_states\": {},\n",
+                "      \"states_per_sec\": {:.3},\n",
+                "      \"fuzz_attacks\": {}\n",
+                "    }}"
+            ),
+            self.sessions,
+            self.states_explored,
+            self.distinct_states,
+            self.states_per_sec,
+            self.fuzz_attacks,
+        )
+    }
+
+    /// Parses the group from its object slice.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_json(obj: &str) -> Result<Self, String> {
+        Ok(SessionBench {
+            sessions: u64_field(obj, "sessions")?,
+            states_explored: u64_field(obj, "states_explored")?,
+            distinct_states: u64_field(obj, "distinct_states")?,
+            states_per_sec: f64_field(obj, "states_per_sec")?,
+            fuzz_attacks: u64_field(obj, "fuzz_attacks")?,
+        })
+    }
+}
+
 /// Durability costs: journaling overhead and WAL replay latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurabilityBench {
@@ -478,12 +573,17 @@ pub struct BenchSection {
     /// Replication/failover/sharding costs. `None` only when parsed from
     /// a schema-1 or schema-2 document that predates the group.
     pub cluster: Option<ClusterBench>,
+    /// Session-machine exploration throughput. `None` only when parsed
+    /// from a schema-1/2/3 document that predates the group.
+    pub session: Option<SessionBench>,
 }
 
 impl BenchSection {
     /// Measures one section: RSA probe, plain wire fleet, durable fleet,
-    /// the TCP serving comparison and the cluster replication/failover
-    /// probe.
+    /// the TCP serving comparison, the cluster replication/failover probe
+    /// and the session-machine exploration probe. The explorer's state
+    /// budget scales with the fleet: the smoke spec gets a small sweep,
+    /// anything larger the full one.
     ///
     /// # Errors
     ///
@@ -494,23 +594,34 @@ impl BenchSection {
         let durability = DurabilityBench::measure(spec, fleet.elapsed_secs)?;
         let net = NetBench::measure(spec)?;
         let cluster = ClusterBench::measure(spec)?;
+        let explore_states = if spec.devices <= FleetSpec::smoke().devices {
+            2_000
+        } else {
+            10_000
+        };
+        let session = SessionBench::measure(explore_states)?;
         Ok(BenchSection {
             rsa,
             fleet,
             durability,
             net: Some(net),
             cluster: Some(cluster),
+            session: Some(session),
         })
     }
 
     /// Serializes the section as a flat JSON object (plus the nested
-    /// `net` and `cluster` groups).
+    /// `net`, `cluster` and `session` groups).
     pub fn to_json(&self) -> String {
         let net = match &self.net {
             Some(group) => group.to_json(),
             None => "null".to_string(),
         };
         let cluster = match &self.cluster {
+            Some(group) => group.to_json(),
+            None => "null".to_string(),
+        };
+        let session = match &self.session {
             Some(group) => group.to_json(),
             None => "null".to_string(),
         };
@@ -536,7 +647,8 @@ impl BenchSection {
                 "    \"wal_events_replayed\": {},\n",
                 "    \"wal_replay_micros\": {:.3},\n",
                 "    \"net\": {},\n",
-                "    \"cluster\": {}\n",
+                "    \"cluster\": {},\n",
+                "    \"session\": {}\n",
                 "  }}"
             ),
             self.rsa.modulus_bits,
@@ -559,6 +671,7 @@ impl BenchSection {
             self.durability.wal_replay_micros,
             net,
             cluster,
+            session,
         )
     }
 
@@ -600,6 +713,10 @@ impl BenchSection {
             },
             cluster: match object_slice(obj, "cluster")? {
                 Some(group) => Some(ClusterBench::from_json(group)?),
+                None => None,
+            },
+            session: match object_slice(obj, "session")? {
+                Some(group) => Some(SessionBench::from_json(group)?),
                 None => None,
             },
         })
@@ -842,6 +959,13 @@ mod tests {
                 fleet_registrations_per_sec: throughput,
                 failovers: 1,
             }),
+            session: Some(SessionBench {
+                sessions: 2,
+                states_explored: 2000,
+                distinct_states: 900,
+                states_per_sec: 15000.0,
+                fuzz_attacks: 15,
+            }),
         }
     }
 
@@ -901,12 +1025,13 @@ mod tests {
         let mut section = synthetic_section(6.0);
         section.net = None;
         section.cluster = None;
+        section.session = None;
         let v1 = BenchSnapshot {
             label: "pr6".into(),
             smoke: section,
             full: None,
         };
-        let doc = v1.to_json().replace("\"schema\": 3", "\"schema\": 1");
+        let doc = v1.to_json().replace("\"schema\": 4", "\"schema\": 1");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-1 doc parses");
         assert_eq!(parsed.smoke.net, None);
         assert_eq!(parsed.smoke.cluster, None);
@@ -919,16 +1044,37 @@ mod tests {
         // "net" group but predates "cluster"; it stays readable.
         let mut section = synthetic_section(6.0);
         section.cluster = None;
+        section.session = None;
         let v2 = BenchSnapshot {
             label: "pr7".into(),
             smoke: section,
             full: None,
         };
-        let doc = v2.to_json().replace("\"schema\": 3", "\"schema\": 2");
+        let doc = v2.to_json().replace("\"schema\": 4", "\"schema\": 2");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-2 doc parses");
         assert!(parsed.smoke.net.is_some());
         assert_eq!(parsed.smoke.cluster, None);
         assert_eq!(parsed, v2);
+    }
+
+    #[test]
+    fn schema_three_documents_parse_with_the_session_group_absent() {
+        // A committed schema-3 snapshot (e.g. BENCH_pr8.json) carries the
+        // "net" and "cluster" groups but predates "session"; it stays
+        // readable.
+        let mut section = synthetic_section(6.0);
+        section.session = None;
+        let v3 = BenchSnapshot {
+            label: "pr8".into(),
+            smoke: section,
+            full: None,
+        };
+        let doc = v3.to_json().replace("\"schema\": 4", "\"schema\": 3");
+        let parsed = BenchSnapshot::from_json(&doc).expect("schema-3 doc parses");
+        assert!(parsed.smoke.net.is_some());
+        assert!(parsed.smoke.cluster.is_some());
+        assert_eq!(parsed.smoke.session, None);
+        assert_eq!(parsed, v3);
     }
 
     #[test]
@@ -947,6 +1093,11 @@ mod tests {
         assert!(cluster.failover_micros > 0.0);
         assert!(cluster.fleet_registrations_per_sec > 0.0);
         assert_eq!(cluster.failovers, 1, "the probe kills exactly one primary");
+        let session = section.session.expect("session group is always measured");
+        assert!(session.states_explored > 0);
+        assert!(session.distinct_states > 0);
+        assert!(session.states_per_sec > 0.0);
+        assert_eq!(session.fuzz_attacks, 15, "the corpus ships 15 attacks");
     }
 
     #[test]
@@ -972,5 +1123,20 @@ mod tests {
             "schema-2 file predates the cluster group"
         );
         assert!(baseline.full.is_some());
+    }
+
+    #[test]
+    fn committed_schema_three_baseline_still_parses() {
+        let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr8.json"));
+        let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr8.json parses");
+        assert_eq!(baseline.label, "pr8");
+        assert!(
+            baseline.smoke.cluster.is_some(),
+            "schema-3 file has a cluster group"
+        );
+        assert_eq!(
+            baseline.smoke.session, None,
+            "schema-3 file predates the session group"
+        );
     }
 }

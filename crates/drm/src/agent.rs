@@ -11,13 +11,13 @@ use crate::dcf::Dcf;
 use crate::domain::DomainId;
 use crate::error::DrmError;
 use crate::rel::Permission;
-use crate::ri::RightsIssuer;
 use crate::ro::{KeyProtection, ProtectedRightsObject, RightsObjectId};
 use crate::roap::{
     DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
     RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN,
 };
 use crate::service::RiService;
+use crate::session::{AgentEvent, AgentSessionState};
 use crate::storage::{DeviceStorage, InstalledRightsObject};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
 use oma_crypto::rsa::RsaKeyPair;
@@ -153,6 +153,20 @@ impl DrmAgent {
         self.ri_contexts.contains_key(ri_id)
     }
 
+    /// The typed session-machine state of the relationship with `ri_id`:
+    /// [`AgentSessionState::Registered`] once an RI Context is pinned,
+    /// [`AgentSessionState::Idle`] otherwise. The in-flight exchange states
+    /// (`HelloSent`, `ChallengeReceived`, ...) are scoped to one driver run
+    /// — [`DrmAgent::register_via`] and friends step the machine through
+    /// them and only the `Registered` outcome persists, as the RI Context.
+    pub fn session_state(&self, ri_id: &str) -> AgentSessionState {
+        if self.ri_contexts.contains_key(ri_id) {
+            AgentSessionState::Registered
+        } else {
+            AgentSessionState::Idle
+        }
+    }
+
     /// The RI Context for `ri_id`, if registered.
     pub fn ri_context(&self, ri_id: &str) -> Option<&RiContext> {
         self.ri_contexts.get(ri_id)
@@ -187,23 +201,11 @@ impl DrmAgent {
 
     // ----- phase 1: registration -------------------------------------------------
 
-    /// Runs the 4-pass ROAP registration protocol with `ri`, establishing an
-    /// RI Context (paper §2.4.1).
-    ///
-    /// # Errors
-    ///
-    /// Fails with [`DrmError::Roap`] when the Rights Issuer rejects the
-    /// registration, and with [`DrmError::Pki`] when the Rights Issuer
-    /// certificate or its OCSP response does not verify.
-    #[deprecated(note = "use `register_with(ri.service(), ..)` or `register_via(&RoapClient, ..)`")]
-    pub fn register(&mut self, ri: &mut RightsIssuer, now: Timestamp) -> Result<(), DrmError> {
-        self.register_with(ri.service(), now)
-    }
-
-    /// Registration against a shared [`RiService`] — the form the device
-    /// fleet harness uses, where many agents on many threads register with
-    /// one service instance. Equivalent to [`DrmAgent::register_via`] over
-    /// an in-process transport.
+    /// Runs the 4-pass ROAP registration protocol (paper §2.4.1) against a
+    /// shared [`RiService`], establishing an RI Context — the form the
+    /// device fleet harness uses, where many agents on many threads register
+    /// with one service instance. Equivalent to [`DrmAgent::register_via`]
+    /// over an in-process transport.
     ///
     /// # Errors
     ///
@@ -218,21 +220,34 @@ impl DrmAgent {
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::register`]; additionally [`DrmError::Transport`] when
-    /// the transport fails.
+    /// [`DrmError::Roap`] when the Rights Issuer rejects the registration,
+    /// [`DrmError::Pki`] when the Rights Issuer certificate or its OCSP
+    /// response does not verify, and [`DrmError::Transport`] when the
+    /// transport fails.
     pub fn register_via<T: RoapTransport>(
         &mut self,
         client: &RoapClient<T>,
         now: Timestamp,
     ) -> Result<(), DrmError> {
+        // The driver is a walk of the typed agent machine: each protocol
+        // action is a machine step, and a misordered exchange would be
+        // rejected with the machine's stable code instead of limping on.
+        let state = AgentSessionState::Idle.step(AgentEvent::SendHello)?;
         // Pass 1 and 2: the hello exchange negotiates algorithms; it involves
         // no cryptography.
         let hello = client.hello(&DeviceHello::new(&self.device_id))?;
+        let state = state.step(AgentEvent::ChallengeReceived)?;
         // Pass 3: signed RegistrationRequest.
         let request = self.registration_request(&hello, now)?;
+        let state = state.step(AgentEvent::SendRegistration)?;
         let response = client.register(&request)?;
         // Pass 4: verify the RegistrationResponse.
-        self.complete_registration(&hello, &request, &response, now)
+        self.complete_registration(&hello, &request, &response, now)?;
+        debug_assert_eq!(
+            state.step(AgentEvent::ResponseVerified),
+            Ok(AgentSessionState::Registered)
+        );
+        Ok(())
     }
 
     /// Builds the signed `RegistrationRequest` answering `hello` (pass 3 of
@@ -335,28 +350,12 @@ impl DrmAgent {
 
     // ----- phase 2: acquisition ----------------------------------------------------
 
-    /// Acquires a Device Rights Object for `content_id` (paper §2.4.2).
+    /// Acquires a Device Rights Object for `content_id` (paper §2.4.2)
+    /// against a shared [`RiService`].
     ///
     /// # Errors
     ///
-    /// [`DrmError::NotRegistered`] without a prior [`DrmAgent::register`],
-    /// [`DrmError::Roap`] when the Rights Issuer rejects the request or its
-    /// response does not verify.
-    #[deprecated(note = "use `acquire_rights_with(ri.service(), ..)` or `acquire_rights_via`")]
-    pub fn acquire_rights(
-        &mut self,
-        ri: &mut RightsIssuer,
-        content_id: &str,
-        now: Timestamp,
-    ) -> Result<RoResponse, DrmError> {
-        self.acquire_rights_with(ri.service(), content_id, now)
-    }
-
-    /// Device-RO acquisition against a shared [`RiService`].
-    ///
-    /// # Errors
-    ///
-    /// See [`DrmAgent::acquire_rights`].
+    /// See [`DrmAgent::acquire_rights_via`].
     pub fn acquire_rights_with(
         &mut self,
         ri: &RiService,
@@ -371,8 +370,10 @@ impl DrmAgent {
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::acquire_rights`]; additionally
-    /// [`DrmError::Transport`] when the transport fails.
+    /// [`DrmError::NotRegistered`] without a prior registration,
+    /// [`DrmError::Roap`] when the Rights Issuer rejects the request or its
+    /// response does not verify, and [`DrmError::Transport`] when the
+    /// transport fails.
     pub fn acquire_rights_via<T: RoapTransport>(
         &mut self,
         client: &RoapClient<T>,
@@ -380,37 +381,32 @@ impl DrmAgent {
         content_id: &str,
         now: Timestamp,
     ) -> Result<RoResponse, DrmError> {
+        // Machine step: acquisition is only legal from a registered state;
+        // an unregistered relationship is rejected before anything is
+        // signed or sent.
+        let state = self
+            .session_state(ri_id)
+            .step(AgentEvent::SendRoRequest)
+            .map_err(|_| DrmError::NotRegistered)?;
         let request = self.ro_request(ri_id, content_id, None, now)?;
         let response = client.request_ro(&request)?;
         self.verify_ro_response(&request, &response)?;
+        debug_assert_eq!(
+            state
+                .step(AgentEvent::RoVerified)
+                .map(AgentSessionState::settle),
+            Ok(AgentSessionState::Registered)
+        );
         Ok(response)
     }
 
     /// Acquires a Domain Rights Object for `content_id` targeting
-    /// `domain_id`. The device must have joined the domain first.
+    /// `domain_id` against a shared [`RiService`]. The device must have
+    /// joined the domain first.
     ///
     /// # Errors
     ///
-    /// Same as [`DrmAgent::acquire_rights`], plus [`DrmError::NotInDomain`]
-    /// when the device has not joined `domain_id`.
-    #[deprecated(
-        note = "use `acquire_domain_rights_with(ri.service(), ..)` or `acquire_domain_rights_via`"
-    )]
-    pub fn acquire_domain_rights(
-        &mut self,
-        ri: &mut RightsIssuer,
-        content_id: &str,
-        domain_id: &DomainId,
-        now: Timestamp,
-    ) -> Result<RoResponse, DrmError> {
-        self.acquire_domain_rights_with(ri.service(), content_id, domain_id, now)
-    }
-
-    /// Domain-RO acquisition against a shared [`RiService`].
-    ///
-    /// # Errors
-    ///
-    /// See [`DrmAgent::acquire_domain_rights`].
+    /// See [`DrmAgent::acquire_domain_rights_via`].
     pub fn acquire_domain_rights_with(
         &mut self,
         ri: &RiService,
@@ -431,8 +427,8 @@ impl DrmAgent {
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::acquire_domain_rights`]; additionally
-    /// [`DrmError::Transport`] when the transport fails.
+    /// Same as [`DrmAgent::acquire_rights_via`], plus
+    /// [`DrmError::NotInDomain`] when the device has not joined `domain_id`.
     pub fn acquire_domain_rights_via<T: RoapTransport>(
         &mut self,
         client: &RoapClient<T>,
@@ -444,9 +440,21 @@ impl DrmAgent {
         if self.storage.domain_key(domain_id).is_none() {
             return Err(DrmError::NotInDomain);
         }
+        // Machine step: same registered-state gate as
+        // [`DrmAgent::acquire_rights_via`].
+        let state = self
+            .session_state(ri_id)
+            .step(AgentEvent::SendRoRequest)
+            .map_err(|_| DrmError::NotRegistered)?;
         let request = self.ro_request(ri_id, content_id, Some(domain_id.clone()), now)?;
         let response = client.request_ro(&request)?;
         self.verify_ro_response(&request, &response)?;
+        debug_assert_eq!(
+            state
+                .step(AgentEvent::RoVerified)
+                .map(AgentSessionState::settle),
+            Ok(AgentSessionState::Registered)
+        );
         Ok(response)
     }
 
@@ -466,9 +474,14 @@ impl DrmAgent {
         domain_id: Option<DomainId>,
         now: Timestamp,
     ) -> Result<RoRequest, DrmError> {
-        // The context map is keyed by the RI id itself; the lookup is a
-        // registration check, not a data fetch.
-        if !self.ri_contexts.contains_key(ri_id) {
+        // Machine step: the RI-context map is the `Registered` witness —
+        // the machine rejects acquisition from any other state before the
+        // nonce is drawn or anything is signed.
+        if self
+            .session_state(ri_id)
+            .step(AgentEvent::SendRoRequest)
+            .is_err()
+        {
             return Err(DrmError::NotRegistered);
         }
         let context_ri_id = ri_id.to_string();
@@ -709,29 +722,12 @@ impl DrmAgent {
 
     // ----- domains ----------------------------------------------------------------------
 
-    /// Joins a domain operated by `ri`, obtaining and storing the shared
-    /// domain key.
+    /// Joins a domain operated by a shared [`RiService`], obtaining and
+    /// storing the shared domain key.
     ///
     /// # Errors
     ///
-    /// [`DrmError::NotRegistered`] without a prior registration, or
-    /// [`DrmError::Roap`] when the Rights Issuer rejects the join or its
-    /// response does not verify.
-    #[deprecated(note = "use `join_domain_with(ri.service(), ..)` or `join_domain_via`")]
-    pub fn join_domain(
-        &mut self,
-        ri: &mut RightsIssuer,
-        domain_id: &DomainId,
-        now: Timestamp,
-    ) -> Result<(), DrmError> {
-        self.join_domain_with(ri.service(), domain_id, now)
-    }
-
-    /// Domain join against a shared [`RiService`].
-    ///
-    /// # Errors
-    ///
-    /// See [`DrmAgent::join_domain`].
+    /// See [`DrmAgent::join_domain_via`].
     pub fn join_domain_with(
         &mut self,
         ri: &RiService,
@@ -745,8 +741,10 @@ impl DrmAgent {
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::join_domain`]; additionally [`DrmError::Transport`]
-    /// when the transport fails.
+    /// [`DrmError::NotRegistered`] without a prior registration,
+    /// [`DrmError::Roap`] when the Rights Issuer rejects the join or its
+    /// response does not verify, and [`DrmError::Transport`] when the
+    /// transport fails.
     pub fn join_domain_via<T: RoapTransport>(
         &mut self,
         client: &RoapClient<T>,
@@ -771,9 +769,13 @@ impl DrmAgent {
         domain_id: &DomainId,
         now: Timestamp,
     ) -> Result<JoinDomainRequest, DrmError> {
-        // The context map is keyed by the RI id itself; the lookup is a
-        // registration check, not a data fetch.
-        if !self.ri_contexts.contains_key(ri_id) {
+        // Machine step: domain join requires the `Registered` state, same
+        // gate as `ro_request`.
+        if self
+            .session_state(ri_id)
+            .step(AgentEvent::SendRoRequest)
+            .is_err()
+        {
             return Err(DrmError::NotRegistered);
         }
         let context_ri_id = ri_id.to_string();
@@ -849,28 +851,12 @@ impl DrmAgent {
         Ok(())
     }
 
-    /// Leaves a domain: forgets the domain key locally and notifies `ri`.
+    /// Leaves a domain operated by a shared [`RiService`]: forgets the
+    /// domain key locally and notifies the Rights Issuer.
     ///
     /// # Errors
     ///
-    /// Propagates the Rights Issuer's failure reason —
-    /// [`DrmError::Roap`]/[`RoapError::UnknownDomain`] for an unknown domain
-    /// or [`DrmError::NotInDomain`] when the device was not a member. The
-    /// local domain key is removed in every case.
-    #[deprecated(note = "use `leave_domain_with(ri.service(), ..)` or `leave_domain_via`")]
-    pub fn leave_domain(
-        &mut self,
-        ri: &mut RightsIssuer,
-        domain_id: &DomainId,
-    ) -> Result<(), DrmError> {
-        self.leave_domain_with(ri.service(), domain_id)
-    }
-
-    /// Domain leave against a shared [`RiService`].
-    ///
-    /// # Errors
-    ///
-    /// See [`DrmAgent::leave_domain`].
+    /// See [`DrmAgent::leave_domain_via`].
     pub fn leave_domain_with(
         &mut self,
         ri: &RiService,
@@ -884,8 +870,11 @@ impl DrmAgent {
     ///
     /// # Errors
     ///
-    /// See [`DrmAgent::leave_domain`]; additionally [`DrmError::Transport`]
-    /// when the transport fails.
+    /// Propagates the Rights Issuer's failure reason —
+    /// [`DrmError::Roap`]/[`RoapError::UnknownDomain`] for an unknown domain
+    /// or [`DrmError::NotInDomain`] when the device was not a member — and
+    /// [`DrmError::Transport`] when the transport fails. The local domain
+    /// key is removed in every case.
     pub fn leave_domain_via<T: RoapTransport>(
         &mut self,
         client: &RoapClient<T>,
@@ -897,13 +886,10 @@ impl DrmAgent {
 }
 
 #[cfg(test)]
-// The unit tests double as coverage for the deprecated `&mut RightsIssuer`
-// shims: every legacy call here exercises the client-routed compatibility
-// path the seed callers rely on.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rel::RightsTemplate;
+    use crate::ri::RightsIssuer;
     use crate::ContentIssuer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -931,7 +917,7 @@ mod tests {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
         assert!(!w.agent.is_registered_with("ri.example.com"));
-        w.agent.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
         assert!(w.agent.is_registered_with("ri.example.com"));
         assert!(w.ri.is_registered("phone-001"));
         assert_eq!(
@@ -939,7 +925,10 @@ mod tests {
             "ri.example.com"
         );
 
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
         assert_eq!(w.agent.installed_rights(), vec![ro_id.clone()]);
         assert_eq!(w.agent.rights_for_content("cid:track"), vec![ro_id.clone()]);
@@ -961,7 +950,8 @@ mod tests {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
         assert_eq!(
-            w.agent.acquire_rights(&mut w.ri, "cid:track", now),
+            w.agent
+                .acquire_rights_with(w.ri.service(), "cid:track", now),
             Err(DrmError::NotRegistered)
         );
     }
@@ -970,9 +960,10 @@ mod tests {
     fn unknown_content_rejected_by_ri() {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
         assert_eq!(
-            w.agent.acquire_rights(&mut w.ri, "cid:other", now),
+            w.agent
+                .acquire_rights_with(w.ri.service(), "cid:other", now),
             Err(DrmError::Roap(RoapError::UnknownRightsObject))
         );
     }
@@ -981,8 +972,11 @@ mod tests {
     fn count_constraint_enforced_across_consumptions() {
         let mut w = world(RightsTemplate::counted(Permission::Play, 2));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
         assert_eq!(
             w.agent.remaining_count(&ro_id, Permission::Play),
@@ -1008,8 +1002,11 @@ mod tests {
     fn wrong_permission_rejected() {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
         assert_eq!(
             w.agent.consume(&ro_id, &w.dcf, Permission::Print, now),
@@ -1021,8 +1018,11 @@ mod tests {
     fn tampered_dcf_detected() {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let ro_id = w.agent.install_rights(&response, now).unwrap();
         let tampered = w.dcf.tampered();
         assert_eq!(
@@ -1035,8 +1035,11 @@ mod tests {
     fn tampered_rights_object_detected_at_install() {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
-        let mut response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        let mut response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         // Flip a MAC bit.
         response.rights_object.mac[0] ^= 1;
         assert_eq!(
@@ -1052,10 +1055,13 @@ mod tests {
         let now = Timestamp::new(1_000);
         let mut rng = StdRng::seed_from_u64(77);
         let mut other = DrmAgent::new("phone-002", 512, &mut w.ca, &mut rng);
-        w.agent.register(&mut w.ri, now).unwrap();
-        other.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        other.register_with(w.ri.service(), now).unwrap();
         // The RO is addressed to `agent`, not `other`.
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let result = other.install_protected_ro(&response.rights_object, "ri.example.com", now);
         assert!(result.is_err(), "foreign device must not unwrap the keys");
     }
@@ -1066,7 +1072,7 @@ mod tests {
         let now = Timestamp::new(1_000);
         w.ca.revoke(w.ri.certificate().serial());
         w.ri.refresh_ocsp(&w.ca, now);
-        let err = w.agent.register(&mut w.ri, now).unwrap_err();
+        let err = w.agent.register_with(w.ri.service(), now).unwrap_err();
         assert_eq!(err, DrmError::Pki(oma_pki::PkiError::CertificateRevoked));
         assert!(!w.agent.is_registered_with("ri.example.com"));
     }
@@ -1076,10 +1082,13 @@ mod tests {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         // The RI fetched its OCSP response at t=0; far in the future it is stale.
         let far_future = Timestamp::new(OCSP_MAX_AGE_SECONDS + 10_000);
-        let err = w.agent.register(&mut w.ri, far_future).unwrap_err();
+        let err = w
+            .agent
+            .register_with(w.ri.service(), far_future)
+            .unwrap_err();
         assert_eq!(err, DrmError::Pki(oma_pki::PkiError::OcspResponseStale));
         w.ri.refresh_ocsp(&w.ca, far_future);
-        assert!(w.agent.register(&mut w.ri, far_future).is_ok());
+        assert!(w.agent.register_with(w.ri.service(), far_future).is_ok());
     }
 
     #[test]
@@ -1089,19 +1098,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(88);
         let mut player = DrmAgent::new("mp3-player", 512, &mut w.ca, &mut rng);
 
-        w.agent.register(&mut w.ri, now).unwrap();
-        player.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
+        player.register_with(w.ri.service(), now).unwrap();
 
         let domain = w.ri.create_domain("family", 4);
-        w.agent.join_domain(&mut w.ri, &domain, now).unwrap();
-        player.join_domain(&mut w.ri, &domain, now).unwrap();
+        w.agent
+            .join_domain_with(w.ri.service(), &domain, now)
+            .unwrap();
+        player
+            .join_domain_with(w.ri.service(), &domain, now)
+            .unwrap();
         assert_eq!(w.ri.domain_member_count(&domain), Some(2));
         assert_eq!(w.agent.joined_domains(), vec![domain.clone()]);
 
         // The phone acquires a Domain RO; the player installs the very same RO.
         let response = w
             .agent
-            .acquire_domain_rights(&mut w.ri, "cid:track", &domain, now)
+            .acquire_domain_rights_with(w.ri.service(), "cid:track", &domain, now)
             .unwrap();
         assert!(response.rights_object.is_domain_ro());
         let ro_id = w.agent.install_rights(&response, now).unwrap();
@@ -1125,19 +1138,19 @@ mod tests {
 
         // A device outside the domain cannot install the Domain RO.
         let mut outsider = DrmAgent::new("outsider", 512, &mut w.ca, &mut rng);
-        outsider.register(&mut w.ri, now).unwrap();
+        outsider.register_with(w.ri.service(), now).unwrap();
         assert_eq!(
             outsider.install_protected_ro(&response.rights_object, "ri.example.com", now),
             Err(DrmError::NotInDomain)
         );
 
         // Leaving the domain removes the key.
-        w.agent.leave_domain(&mut w.ri, &domain).unwrap();
+        w.agent.leave_domain_with(w.ri.service(), &domain).unwrap();
         assert!(w.agent.joined_domains().is_empty());
         assert_eq!(w.ri.domain_member_count(&domain), Some(1));
         // Leaving again fails with the specific reason.
         assert_eq!(
-            w.agent.leave_domain(&mut w.ri, &domain),
+            w.agent.leave_domain_with(w.ri.service(), &domain),
             Err(DrmError::NotInDomain)
         );
     }
@@ -1146,11 +1159,11 @@ mod tests {
     fn domain_rights_require_membership() {
         let mut w = world(RightsTemplate::unlimited(Permission::Play));
         let now = Timestamp::new(1_000);
-        w.agent.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
         let domain = w.ri.create_domain("family", 4);
         assert_eq!(
             w.agent
-                .acquire_domain_rights(&mut w.ri, "cid:track", &domain, now),
+                .acquire_domain_rights_with(w.ri.service(), "cid:track", &domain, now),
             Err(DrmError::NotInDomain)
         );
     }
@@ -1162,12 +1175,15 @@ mod tests {
         let now = Timestamp::new(1_000);
         w.agent.engine().reset_trace();
 
-        w.agent.register(&mut w.ri, now).unwrap();
+        w.agent.register_with(w.ri.service(), now).unwrap();
         let registration = w.agent.engine().take_trace();
         assert_eq!(registration.count(Algorithm::RsaPrivate).invocations, 1);
         assert_eq!(registration.count(Algorithm::RsaPublic).invocations, 3);
 
-        let response = w.agent.acquire_rights(&mut w.ri, "cid:track", now).unwrap();
+        let response = w
+            .agent
+            .acquire_rights_with(w.ri.service(), "cid:track", now)
+            .unwrap();
         let acquisition = w.agent.engine().take_trace();
         assert_eq!(acquisition.count(Algorithm::RsaPrivate).invocations, 1);
         assert_eq!(acquisition.count(Algorithm::RsaPublic).invocations, 1);

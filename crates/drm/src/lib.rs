@@ -66,6 +66,7 @@ pub mod ri;
 pub mod ro;
 pub mod roap;
 pub mod service;
+pub mod session;
 pub mod shard;
 pub mod storage;
 pub mod wire;
@@ -87,5 +88,6 @@ pub use ri::RightsIssuer;
 pub use ro::{ProtectedRightsObject, RightsObjectId};
 pub use roap::RoapError;
 pub use service::RiService;
+pub use session::{AgentEvent, AgentSessionState, PduKind, RiSessionState};
 pub use shard::ShardedMap;
 pub use wire::{RoapPdu, RoapStatus};

@@ -213,6 +213,8 @@ impl RightsIssuer {
     ///
     /// # Errors
     ///
+    /// * [`DrmError::Roap`] with [`RoapError::DeviceNotRegistered`] — the
+    ///   device holds no trusted relationship,
     /// * [`DrmError::Roap`] with [`RoapError::UnknownDomain`] — the domain
     ///   does not exist,
     /// * [`DrmError::NotInDomain`] — the device was not a member.
@@ -293,12 +295,22 @@ mod tests {
         assert!(ri.has_domain(&id));
         assert_eq!(ri.domain_member_count(&id), Some(0));
         assert!(!ri.has_domain(&DomainId::new("other")));
+        // Unregistered device ids are rejected by the session machine
+        // before any domain state is consulted.
         assert_eq!(
             ri.process_leave_domain("nobody", &id),
+            Err(DrmError::Roap(RoapError::DeviceNotRegistered))
+        );
+        let mut agent = crate::DrmAgent::new("dev-1", 384, &mut ca, &mut rng);
+        agent
+            .register_with(ri.service(), Timestamp::new(10))
+            .unwrap();
+        assert_eq!(
+            ri.process_leave_domain("dev-1", &id),
             Err(DrmError::NotInDomain)
         );
         assert_eq!(
-            ri.process_leave_domain("nobody", &DomainId::new("other")),
+            ri.process_leave_domain("dev-1", &DomainId::new("other")),
             Err(DrmError::Roap(RoapError::UnknownDomain))
         );
     }

@@ -41,6 +41,7 @@ use crate::roap::{
     DeviceHello, JoinDomainRequest, JoinDomainResponse, RegistrationRequest, RegistrationResponse,
     RiHello, RoRequest, RoResponse, RoapError, NONCE_LEN,
 };
+use crate::session::{PduKind, RiSessionState};
 use crate::shard::ShardedMap;
 use crate::wire::{RoapPdu, RoapStatus};
 use oma_crypto::backend::{CryptoBackend, SoftwareBackend};
@@ -550,6 +551,20 @@ impl RiService {
         self.registered.contains(&device_id.to_string())
     }
 
+    /// The typed session-machine state of `device_id`, derived from the
+    /// pending-session and registered-device tables. The sharded maps are
+    /// the authoritative (concurrent) representation; this view is what the
+    /// handlers step through [`RiSessionState::step`] for state legality,
+    /// and what the `oma-explore` model checker compares against its
+    /// reference model after every delivery.
+    pub fn session_state(&self, device_id: &str) -> RiSessionState {
+        let key = device_id.to_string();
+        RiSessionState::derive(
+            self.registered.contains(&key),
+            self.pending_by_device.contains(&key),
+        )
+    }
+
     /// Number of registered devices.
     pub fn registered_count(&self) -> usize {
         self.registered.len()
@@ -688,16 +703,23 @@ impl RiService {
     /// # Errors
     ///
     /// * [`RoapError::UnknownSession`] — the session id was never issued, was
-    ///   already consumed, or the request is a replay,
+    ///   already consumed, or the request is a replay (the machine rejects
+    ///   pass 3 from any state without a challenge outstanding),
     /// * [`RoapError::Malformed`] — the device id differs from the hello,
     /// * [`RoapError::CertificateInvalid`] — the device certificate fails
-    ///   validation against the CA root,
+    ///   validation against the CA root, or its subject is not the claimed
+    ///   device id (cross-device certificate swap),
     /// * [`RoapError::SignatureInvalid`] — the request signature is wrong.
     pub fn process_registration(
         &self,
         request: &RegistrationRequest,
         now: Timestamp,
     ) -> Result<RegistrationResponse, RoapError> {
+        // Machine step: pass 3 is only legal while a challenge is
+        // outstanding ([`RiSessionState::ChallengeIssued`] /
+        // [`RiSessionState::Reregistering`]). The pending-session entry is
+        // the witness of that state — a miss is the machine's
+        // `UnknownSession` rejection.
         let session = self
             .sessions
             .get_cloned(&request.session_id)
@@ -706,6 +728,14 @@ impl RiService {
             return Err(RoapError::Malformed);
         }
         self.verify_device_certificate(&request.certificate, now)?;
+        // Pin the certificate to the claimed device identity. The hello is
+        // unauthenticated, so without this pin a peer holding *any* valid
+        // DRM-agent certificate could complete registration for an
+        // arbitrary device id with its own certificate — and then sign ROAP
+        // requests for that id ever after.
+        if request.certificate.subject() != request.device_id {
+            return Err(RoapError::CertificateInvalid);
+        }
         let signed = RegistrationRequest::signed_bytes(
             request.session_id,
             &request.device_id,
@@ -784,6 +814,10 @@ impl RiService {
         request: &RoRequest,
         now: Timestamp,
     ) -> Result<RoResponse, RoapError> {
+        // Machine step: acquisition is a registered-state self-loop. The
+        // registered-device entry is both the state witness and the pinned
+        // certificate the signature check needs — a miss is the machine's
+        // `DeviceNotRegistered` rejection.
         let device = self
             .registered
             .get_cloned(&request.device_id)
@@ -1046,6 +1080,8 @@ impl RiService {
         request: &JoinDomainRequest,
         _now: Timestamp,
     ) -> Result<JoinDomainResponse, RoapError> {
+        // Machine step: domain join is a registered-state self-loop (see
+        // `process_ro_request` — same witness, same rejection).
         let device = self
             .registered
             .get_cloned(&request.device_id)
@@ -1106,8 +1142,16 @@ impl RiService {
 
     /// Removes a device from a domain (leave-domain).
     ///
+    /// Leave-domain requests are unsigned, so the session machine is the
+    /// only trust boundary they have: the request is rejected unless
+    /// `device_id` is in a registered state. Without this step any wire
+    /// peer could evict arbitrary device ids from their domains (the old
+    /// behaviour, previously only documented on [`RiService::dispatch`]).
+    ///
     /// # Errors
     ///
+    /// * [`DrmError::Roap`] with [`RoapError::DeviceNotRegistered`] — the
+    ///   device holds no trusted relationship (wrong-state transition),
     /// * [`DrmError::Roap`] with [`RoapError::UnknownDomain`] — the domain
     ///   does not exist,
     /// * [`DrmError::NotInDomain`] — the device was not a member.
@@ -1116,6 +1160,12 @@ impl RiService {
         device_id: &str,
         domain_id: &DomainId,
     ) -> Result<(), DrmError> {
+        // Machine step: leave-domain is a registered-state self-loop, and —
+        // the request being unsigned — this state check is its entire
+        // authentication story.
+        self.session_state(device_id)
+            .step(PduKind::LeaveDomainRequest)
+            .map_err(DrmError::Roap)?;
         self.domains.update(domain_id, |domain| {
             let domain = domain.ok_or(DrmError::Roap(RoapError::UnknownDomain))?;
             if domain.remove_member(device_id) {
@@ -1146,9 +1196,10 @@ impl RiService {
     /// pick the clock its certificate is validated against; a deployment
     /// with its own clock should use [`RiService::dispatch_at`], which pins
     /// `now` on the server side. Note also that `LeaveDomainRequest`, like
-    /// the in-process `process_leave_domain` it routes to, is unsigned:
-    /// exposing `dispatch` to untrusted peers means any peer can issue
-    /// leave requests for any device id.
+    /// the in-process `process_leave_domain` it routes to, is unsigned: the
+    /// session machine rejects it for unregistered device ids
+    /// ([`RoapError::DeviceNotRegistered`]), but an untrusted peer can
+    /// still issue leave requests for any *registered* device id.
     ///
     /// Like every other handler, `dispatch` takes `&self`: any number of
     /// threads can push frames into one service instance.
@@ -1426,14 +1477,24 @@ mod tests {
 
     #[test]
     fn leave_domain_reports_both_failure_reasons() {
-        let (_ca, service, _rng) = service();
+        let (mut ca, service, mut rng) = service();
         let id = service.create_domain("family", 2);
+        // Unregistered device ids are stopped at the session machine before
+        // any domain lookup happens — leave-domain is unsigned, so the
+        // machine state is its only trust boundary.
         assert_eq!(
             service.process_leave_domain("ghost", &DomainId::new("nope")),
+            Err(DrmError::Roap(RoapError::DeviceNotRegistered))
+        );
+        // A registered device sees the domain-level failure reasons.
+        let mut agent = crate::DrmAgent::new("dev-1", 384, &mut ca, &mut rng);
+        agent.register_with(&service, Timestamp::new(10)).unwrap();
+        assert_eq!(
+            service.process_leave_domain("dev-1", &DomainId::new("nope")),
             Err(DrmError::Roap(RoapError::UnknownDomain))
         );
         assert_eq!(
-            service.process_leave_domain("ghost", &id),
+            service.process_leave_domain("dev-1", &id),
             Err(DrmError::NotInDomain)
         );
     }

@@ -1,0 +1,558 @@
+//! Typed ROAP session state machines for both protocol ends.
+//!
+//! The 4-pass registration and 2-pass acquisition flows used to live as
+//! imperative handler code where wrong-state transitions were caught ad
+//! hoc. This module makes each end's session lifecycle an explicit machine
+//! with a **total** transition function: every `(state, input)` pair either
+//! steps to the next state or returns the documented [`RoapError`] the wire
+//! answers with. The handlers in [`service`](crate::service) and the
+//! drivers in [`agent`](crate::agent) consult these machines for state
+//! legality and keep only the crypto and data plumbing — so the protocol's
+//! reachable-state space is auditable in one place, and the `oma-explore`
+//! model checker can replay the same machine as its reference model.
+//!
+//! # Server machine ([`RiSessionState`])
+//!
+//! One machine instance per device id, derived from the service's session
+//! and registration tables:
+//!
+//! ```text
+//!            DeviceHello                 RegistrationRequest
+//!   Idle ───────────────▶ ChallengeIssued ───────────────▶ Registered
+//!    │                        │     ▲                        │    ▲
+//!    │ RoRequest /            │     │ DeviceHello            │    │ RoRequest /
+//!    │ JoinDomain /           │     │ (supersede)            │    │ JoinDomain /
+//!    │ LeaveDomain            │     │                        │    │ LeaveDomain
+//!    ▼                        ▼     │       DeviceHello      ▼    │ (self loops)
+//!   DeviceNotRegistered   DeviceNotRegistered ◀──────── Reregistering
+//! ```
+//!
+//! `Reregistering` is `Registered` with a fresh challenge outstanding: a
+//! registered device may say hello again (fleet re-registration), and the
+//! two facts — trusted relationship, pending challenge — coexist until the
+//! new pass 3 consumes the challenge.
+//!
+//! # Agent machine ([`AgentSessionState`])
+//!
+//! One machine instance per RI relationship, driving the split-phase
+//! methods of [`DrmAgent`](crate::agent::DrmAgent):
+//!
+//! ```text
+//!        SendHello        RiHello        SendRegistration    ResponseVerified
+//!   Idle ─────────▶ HelloSent ─────▶ ChallengeReceived ─▶ RegistrationSent ─▶ Registered
+//!                                                                              │   ▲
+//!                                                                    SendRoRequest │ RoVerified
+//!                                                                              ▼   │
+//!                                                                           RoRequested ─▶ RoDelivered
+//! ```
+//!
+//! `RoDelivered` collapses back into `Registered` (acquisition is a
+//! sub-cycle of an established relationship). Illegal agent transitions are
+//! reported as [`RoapError::UnknownSession`] (no challenge outstanding) or
+//! surfaced by the agent as `DrmError::NotRegistered` before anything is
+//! signed or sent.
+
+use crate::roap::RoapError;
+use crate::wire::RoapPdu;
+use std::fmt;
+
+/// The shape of a ROAP PDU with the payload abstracted away — the input
+/// alphabet of the server machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror `RoapPdu` one-for-one
+pub enum PduKind {
+    DeviceHello,
+    RiHello,
+    RegistrationRequest,
+    RegistrationResponse,
+    RoRequest,
+    RoResponse,
+    JoinDomainRequest,
+    JoinDomainResponse,
+    LeaveDomainRequest,
+    Status,
+}
+
+impl PduKind {
+    /// Every kind, in wire-tag order — the iteration basis for exhaustive
+    /// `(state, input)` coverage tests.
+    pub const ALL: [PduKind; 10] = [
+        PduKind::DeviceHello,
+        PduKind::RiHello,
+        PduKind::RegistrationRequest,
+        PduKind::RegistrationResponse,
+        PduKind::RoRequest,
+        PduKind::RoResponse,
+        PduKind::JoinDomainRequest,
+        PduKind::JoinDomainResponse,
+        PduKind::LeaveDomainRequest,
+        PduKind::Status,
+    ];
+
+    /// Classifies a decoded PDU.
+    pub fn of(pdu: &RoapPdu) -> PduKind {
+        match pdu {
+            RoapPdu::DeviceHello(_) => PduKind::DeviceHello,
+            RoapPdu::RiHello(_) => PduKind::RiHello,
+            RoapPdu::RegistrationRequest(_) => PduKind::RegistrationRequest,
+            RoapPdu::RegistrationResponse(_) => PduKind::RegistrationResponse,
+            RoapPdu::RoRequest(_) => PduKind::RoRequest,
+            RoapPdu::RoResponse(_) => PduKind::RoResponse,
+            RoapPdu::JoinDomainRequest(_) => PduKind::JoinDomainRequest,
+            RoapPdu::JoinDomainResponse(_) => PduKind::JoinDomainResponse,
+            RoapPdu::LeaveDomainRequest { .. } => PduKind::LeaveDomainRequest,
+            RoapPdu::Status(_) => PduKind::Status,
+        }
+    }
+
+    /// Whether this kind is a request a server accepts (response kinds
+    /// arriving where a request belongs are rejected as malformed).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            PduKind::DeviceHello
+                | PduKind::RegistrationRequest
+                | PduKind::RoRequest
+                | PduKind::JoinDomainRequest
+                | PduKind::LeaveDomainRequest
+        )
+    }
+}
+
+impl fmt::Display for PduKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PduKind::DeviceHello => "DeviceHello",
+            PduKind::RiHello => "RiHello",
+            PduKind::RegistrationRequest => "RegistrationRequest",
+            PduKind::RegistrationResponse => "RegistrationResponse",
+            PduKind::RoRequest => "RoRequest",
+            PduKind::RoResponse => "RoResponse",
+            PduKind::JoinDomainRequest => "JoinDomainRequest",
+            PduKind::JoinDomainResponse => "JoinDomainResponse",
+            PduKind::LeaveDomainRequest => "LeaveDomainRequest",
+            PduKind::Status => "Status",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Server-side session state of one device id, as derivable from the
+/// service's pending-session and registered-device tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RiSessionState {
+    /// The device has never completed a hello that is still pending, and is
+    /// not registered.
+    #[default]
+    Idle,
+    /// An `RiHello` challenge is outstanding (pending session) but the
+    /// device is not registered yet.
+    ChallengeIssued,
+    /// Registration consumed the challenge; the device holds a trusted
+    /// relationship and no challenge is outstanding.
+    Registered,
+    /// A registered device said hello again: trusted relationship *and* a
+    /// fresh challenge outstanding, until pass 3 consumes it.
+    Reregistering,
+}
+
+impl RiSessionState {
+    /// Every server state — the iteration basis for exhaustive coverage.
+    pub const ALL: [RiSessionState; 4] = [
+        RiSessionState::Idle,
+        RiSessionState::ChallengeIssued,
+        RiSessionState::Registered,
+        RiSessionState::Reregistering,
+    ];
+
+    /// Reconstructs the machine state from the two facts the service
+    /// tracks per device.
+    pub fn derive(registered: bool, challenge_pending: bool) -> RiSessionState {
+        match (registered, challenge_pending) {
+            (false, false) => RiSessionState::Idle,
+            (false, true) => RiSessionState::ChallengeIssued,
+            (true, false) => RiSessionState::Registered,
+            (true, true) => RiSessionState::Reregistering,
+        }
+    }
+
+    /// Whether the device holds a trusted relationship in this state.
+    pub fn is_registered(&self) -> bool {
+        matches!(
+            self,
+            RiSessionState::Registered | RiSessionState::Reregistering
+        )
+    }
+
+    /// Whether a challenge is outstanding in this state.
+    pub fn challenge_pending(&self) -> bool {
+        matches!(
+            self,
+            RiSessionState::ChallengeIssued | RiSessionState::Reregistering
+        )
+    }
+
+    /// The total transition function of the server machine.
+    ///
+    /// Every `(state, kind)` pair either steps to the next state or
+    /// returns the stable protocol error the wire answers with:
+    ///
+    /// | state \ input | `DeviceHello` | `RegistrationRequest` | `RoRequest` / `JoinDomainRequest` / `LeaveDomainRequest` | response kinds |
+    /// |---|---|---|---|---|
+    /// | `Idle` | → `ChallengeIssued` | `UnknownSession` | `DeviceNotRegistered` | `Malformed` |
+    /// | `ChallengeIssued` | → `ChallengeIssued` (supersede) | → `Registered` | `DeviceNotRegistered` | `Malformed` |
+    /// | `Registered` | → `Reregistering` | `UnknownSession` (no challenge: replay) | → self | `Malformed` |
+    /// | `Reregistering` | → `Reregistering` (supersede) | → `Registered` | → self | `Malformed` |
+    ///
+    /// The machine decides *state* legality only. A request in a legal
+    /// state can still be rejected by the handler's data and crypto checks
+    /// (wrong session id, bad signature, unknown content, ...), which is
+    /// why [`RiService`](crate::service::RiService) consults the machine
+    /// first and keeps its crypto pipeline unchanged.
+    pub fn step(self, kind: PduKind) -> Result<RiSessionState, RoapError> {
+        match kind {
+            // Hello is unauthenticated and always accepted: it opens (or
+            // supersedes) a challenge without touching registration.
+            PduKind::DeviceHello => Ok(RiSessionState::derive(self.is_registered(), true)),
+            PduKind::RegistrationRequest => {
+                if self.challenge_pending() {
+                    // Pass 3 consumes the challenge; the device ends up
+                    // registered whether or not it already was.
+                    Ok(RiSessionState::Registered)
+                } else {
+                    // No challenge outstanding: the session was never
+                    // opened, already consumed, or the request is a replay.
+                    Err(RoapError::UnknownSession)
+                }
+            }
+            PduKind::RoRequest | PduKind::JoinDomainRequest | PduKind::LeaveDomainRequest => {
+                if self.is_registered() {
+                    Ok(self)
+                } else {
+                    Err(RoapError::DeviceNotRegistered)
+                }
+            }
+            // Response PDUs are never valid requests.
+            PduKind::RiHello
+            | PduKind::RegistrationResponse
+            | PduKind::RoResponse
+            | PduKind::JoinDomainResponse
+            | PduKind::Status => Err(RoapError::Malformed),
+        }
+    }
+}
+
+impl fmt::Display for RiSessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RiSessionState::Idle => "Idle",
+            RiSessionState::ChallengeIssued => "ChallengeIssued",
+            RiSessionState::Registered => "Registered",
+            RiSessionState::Reregistering => "Reregistering",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Events of the agent machine: the protocol actions a device takes (or
+/// observes) while driving one RI relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentEvent {
+    /// Pass 1: the device sends its `DeviceHello`.
+    SendHello,
+    /// Pass 2: the RI's `RiHello` challenge arrived.
+    ChallengeReceived,
+    /// Pass 3: the device signs and sends its `RegistrationRequest`.
+    SendRegistration,
+    /// Pass 4: the `RegistrationResponse` verified — RI context pinned.
+    ResponseVerified,
+    /// Acquisition pass 1: the device signs and sends an `RoRequest`.
+    SendRoRequest,
+    /// Acquisition pass 2: the `RoResponse` verified against the nonce.
+    RoVerified,
+}
+
+impl AgentEvent {
+    /// Every agent event — the iteration basis for exhaustive coverage.
+    pub const ALL: [AgentEvent; 6] = [
+        AgentEvent::SendHello,
+        AgentEvent::ChallengeReceived,
+        AgentEvent::SendRegistration,
+        AgentEvent::ResponseVerified,
+        AgentEvent::SendRoRequest,
+        AgentEvent::RoVerified,
+    ];
+}
+
+impl fmt::Display for AgentEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AgentEvent::SendHello => "SendHello",
+            AgentEvent::ChallengeReceived => "ChallengeReceived",
+            AgentEvent::SendRegistration => "SendRegistration",
+            AgentEvent::ResponseVerified => "ResponseVerified",
+            AgentEvent::SendRoRequest => "SendRoRequest",
+            AgentEvent::RoVerified => "RoVerified",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Device-side session state of one RI relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AgentSessionState {
+    /// No relationship and no exchange in flight.
+    #[default]
+    Idle,
+    /// `DeviceHello` sent, waiting for the RI's challenge.
+    HelloSent,
+    /// `RiHello` received: the device holds the session id and RI nonce it
+    /// must echo into its signed pass 3.
+    ChallengeReceived,
+    /// Signed `RegistrationRequest` sent, waiting for pass 4.
+    RegistrationSent,
+    /// The `RegistrationResponse` verified: an RI context is pinned and
+    /// acquisition sub-cycles may start.
+    Registered,
+    /// Signed `RoRequest` sent, waiting for the protected Rights Object.
+    RoRequested,
+    /// The `RoResponse` verified against the request nonce — terminal state
+    /// of one acquisition sub-cycle; collapses back into [`Registered`]
+    /// via [`AgentSessionState::settle`].
+    ///
+    /// [`Registered`]: AgentSessionState::Registered
+    RoDelivered,
+}
+
+impl AgentSessionState {
+    /// Every agent state — the iteration basis for exhaustive coverage.
+    pub const ALL: [AgentSessionState; 7] = [
+        AgentSessionState::Idle,
+        AgentSessionState::HelloSent,
+        AgentSessionState::ChallengeReceived,
+        AgentSessionState::RegistrationSent,
+        AgentSessionState::Registered,
+        AgentSessionState::RoRequested,
+        AgentSessionState::RoDelivered,
+    ];
+
+    /// Whether the agent holds a pinned RI context in this state.
+    pub fn is_registered(&self) -> bool {
+        matches!(
+            self,
+            AgentSessionState::Registered
+                | AgentSessionState::RoRequested
+                | AgentSessionState::RoDelivered
+        )
+    }
+
+    /// The total transition function of the agent machine.
+    ///
+    /// | state \ event | `SendHello` | `ChallengeReceived` | `SendRegistration` | `ResponseVerified` | `SendRoRequest` | `RoVerified` |
+    /// |---|---|---|---|---|---|---|
+    /// | `Idle` | → `HelloSent` | `UnknownSession` | `UnknownSession` | `UnknownSession` | `DeviceNotRegistered` | `UnknownSession` |
+    /// | `HelloSent` | → `HelloSent` (retry) | → `ChallengeReceived` | `UnknownSession` | `UnknownSession` | `DeviceNotRegistered` | `UnknownSession` |
+    /// | `ChallengeReceived` | → `HelloSent` (restart) | → `ChallengeReceived` (supersede) | → `RegistrationSent` | `UnknownSession` | `DeviceNotRegistered` | `UnknownSession` |
+    /// | `RegistrationSent` | → `HelloSent` (restart) | → `ChallengeReceived` | → `RegistrationSent` (retry) | → `Registered` | `DeviceNotRegistered` | `UnknownSession` |
+    /// | `Registered` | → `HelloSent` (re-register) | `UnknownSession` | `UnknownSession` | `UnknownSession` | → `RoRequested` | `UnknownSession` |
+    /// | `RoRequested` | → `HelloSent` | `UnknownSession` | `UnknownSession` | `UnknownSession` | → `RoRequested` (retry) | → `RoDelivered` |
+    /// | `RoDelivered` | → `HelloSent` | `UnknownSession` | `UnknownSession` | `UnknownSession` | → `RoRequested` | `UnknownSession` |
+    ///
+    /// Wrong-order events map to [`RoapError::UnknownSession`] (no matching
+    /// exchange in flight) except acquisition attempts without a pinned RI
+    /// context, which map to [`RoapError::DeviceNotRegistered`] — mirroring
+    /// the error the *server* would answer were the agent to misbehave, so
+    /// both ends reject the same misstep with the same stable code.
+    pub fn step(self, event: AgentEvent) -> Result<AgentSessionState, RoapError> {
+        use AgentSessionState as S;
+        match event {
+            // A device may restart registration from anywhere; hello
+            // supersession on the server mirrors this.
+            AgentEvent::SendHello => Ok(S::HelloSent),
+            AgentEvent::ChallengeReceived => match self {
+                S::HelloSent | S::ChallengeReceived | S::RegistrationSent => {
+                    Ok(S::ChallengeReceived)
+                }
+                _ => Err(RoapError::UnknownSession),
+            },
+            AgentEvent::SendRegistration => match self {
+                S::ChallengeReceived | S::RegistrationSent => Ok(S::RegistrationSent),
+                _ => Err(RoapError::UnknownSession),
+            },
+            AgentEvent::ResponseVerified => match self {
+                S::RegistrationSent => Ok(S::Registered),
+                _ => Err(RoapError::UnknownSession),
+            },
+            AgentEvent::SendRoRequest => {
+                if self.is_registered() {
+                    Ok(S::RoRequested)
+                } else {
+                    Err(RoapError::DeviceNotRegistered)
+                }
+            }
+            AgentEvent::RoVerified => match self {
+                S::RoRequested => Ok(S::RoDelivered),
+                _ => Err(RoapError::UnknownSession),
+            },
+        }
+    }
+
+    /// Collapses a completed acquisition sub-cycle back into
+    /// [`AgentSessionState::Registered`]; every other state is unchanged.
+    pub fn settle(self) -> AgentSessionState {
+        match self {
+            AgentSessionState::RoDelivered => AgentSessionState::Registered,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for AgentSessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AgentSessionState::Idle => "Idle",
+            AgentSessionState::HelloSent => "HelloSent",
+            AgentSessionState::ChallengeReceived => "ChallengeReceived",
+            AgentSessionState::RegistrationSent => "RegistrationSent",
+            AgentSessionState::Registered => "Registered",
+            AgentSessionState::RoRequested => "RoRequested",
+            AgentSessionState::RoDelivered => "RoDelivered",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_transition_table_is_total() {
+        for state in RiSessionState::ALL {
+            for kind in PduKind::ALL {
+                // Every pair either steps or rejects — `step` never panics,
+                // and rejection codes are the documented ones.
+                match state.step(kind) {
+                    Ok(next) => assert!(RiSessionState::ALL.contains(&next)),
+                    Err(e) => assert!(matches!(
+                        e,
+                        RoapError::UnknownSession
+                            | RoapError::DeviceNotRegistered
+                            | RoapError::Malformed
+                    )),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn honest_registration_path_reaches_registered() {
+        let s = RiSessionState::Idle;
+        let s = s.step(PduKind::DeviceHello).unwrap();
+        assert_eq!(s, RiSessionState::ChallengeIssued);
+        let s = s.step(PduKind::RegistrationRequest).unwrap();
+        assert_eq!(s, RiSessionState::Registered);
+        assert_eq!(s.step(PduKind::RoRequest).unwrap(), s);
+        assert_eq!(s.step(PduKind::LeaveDomainRequest).unwrap(), s);
+    }
+
+    #[test]
+    fn replayed_pass_three_is_unknown_session() {
+        let s = RiSessionState::Registered;
+        assert_eq!(
+            s.step(PduKind::RegistrationRequest),
+            Err(RoapError::UnknownSession)
+        );
+    }
+
+    #[test]
+    fn unregistered_devices_cannot_touch_domains_or_ros() {
+        for state in [RiSessionState::Idle, RiSessionState::ChallengeIssued] {
+            for kind in [
+                PduKind::RoRequest,
+                PduKind::JoinDomainRequest,
+                PduKind::LeaveDomainRequest,
+            ] {
+                assert_eq!(state.step(kind), Err(RoapError::DeviceNotRegistered));
+            }
+        }
+    }
+
+    #[test]
+    fn reregistration_keeps_trust_and_consumes_challenge() {
+        let s = RiSessionState::Registered;
+        let s = s.step(PduKind::DeviceHello).unwrap();
+        assert_eq!(s, RiSessionState::Reregistering);
+        // Still trusted while the new challenge is outstanding.
+        assert_eq!(s.step(PduKind::RoRequest).unwrap(), s);
+        let s = s.step(PduKind::RegistrationRequest).unwrap();
+        assert_eq!(s, RiSessionState::Registered);
+    }
+
+    #[test]
+    fn derive_roundtrips_through_flags() {
+        for state in RiSessionState::ALL {
+            assert_eq!(
+                RiSessionState::derive(state.is_registered(), state.challenge_pending()),
+                state
+            );
+        }
+    }
+
+    #[test]
+    fn agent_transition_table_is_total() {
+        for state in AgentSessionState::ALL {
+            for event in AgentEvent::ALL {
+                match state.step(event) {
+                    Ok(next) => assert!(AgentSessionState::ALL.contains(&next)),
+                    Err(e) => assert!(matches!(
+                        e,
+                        RoapError::UnknownSession | RoapError::DeviceNotRegistered
+                    )),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agent_lifecycle_walks_the_happy_path() {
+        let s = AgentSessionState::Idle;
+        let s = s.step(AgentEvent::SendHello).unwrap();
+        let s = s.step(AgentEvent::ChallengeReceived).unwrap();
+        let s = s.step(AgentEvent::SendRegistration).unwrap();
+        let s = s.step(AgentEvent::ResponseVerified).unwrap();
+        assert_eq!(s, AgentSessionState::Registered);
+        let s = s.step(AgentEvent::SendRoRequest).unwrap();
+        let s = s.step(AgentEvent::RoVerified).unwrap();
+        assert_eq!(s, AgentSessionState::RoDelivered);
+        assert_eq!(s.settle(), AgentSessionState::Registered);
+    }
+
+    #[test]
+    fn acquisition_without_registration_is_rejected_before_signing() {
+        assert_eq!(
+            AgentSessionState::Idle.step(AgentEvent::SendRoRequest),
+            Err(RoapError::DeviceNotRegistered)
+        );
+        assert_eq!(
+            AgentSessionState::HelloSent.step(AgentEvent::SendRoRequest),
+            Err(RoapError::DeviceNotRegistered)
+        );
+    }
+
+    #[test]
+    fn out_of_order_pass_four_is_rejected() {
+        assert_eq!(
+            AgentSessionState::ChallengeReceived.step(AgentEvent::ResponseVerified),
+            Err(RoapError::UnknownSession)
+        );
+    }
+
+    #[test]
+    fn pdu_kind_covers_every_pdu_shape() {
+        assert_eq!(PduKind::ALL.len(), 10);
+        assert!(PduKind::DeviceHello.is_request());
+        assert!(!PduKind::Status.is_request());
+        assert_eq!(PduKind::RoRequest.to_string(), "RoRequest");
+    }
+}

@@ -1,0 +1,136 @@
+//! Command-line front end of the interleaving explorer and the
+//! malicious-peer fuzzer.
+//!
+//! ```text
+//! explore [--sessions N] [--seed S] [--depth D] [--max-states M]
+//!         [--acquisitions K] [--faults reorder,duplicate,drop|none]
+//!         [--time-budget SECS] [--trace-out PATH] [--fuzz]
+//! ```
+//!
+//! Exit codes: `0` — clean run; `1` — bad usage; `2` — an invariant was
+//! violated (the counterexample trace is printed, and written to
+//! `--trace-out` when given) or a fuzz attack was answered with the wrong
+//! status.
+
+use oma_explore::{explore, fuzz, ExploreConfig, Faults};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: explore [--sessions N] [--seed S] [--depth D] [--max-states M]\n\
+         \x20              [--acquisitions K] [--faults reorder,duplicate,drop|none]\n\
+         \x20              [--time-budget SECS] [--trace-out PATH] [--fuzz]"
+    );
+    ExitCode::from(1)
+}
+
+fn parse_faults(spec: &str) -> Option<Faults> {
+    let mut faults = Faults::none();
+    if spec == "none" {
+        return Some(faults);
+    }
+    for name in spec.split(',') {
+        match name {
+            "reorder" => faults.reorder = true,
+            "duplicate" => faults.duplicate = true,
+            "drop" => faults.drop = true,
+            _ => return None,
+        }
+    }
+    Some(faults)
+}
+
+fn main() -> ExitCode {
+    let mut config = ExploreConfig::smoke();
+    let mut trace_out: Option<String> = None;
+    let mut run_fuzz = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--fuzz" {
+            run_fuzz = true;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match flag {
+            "--sessions" => match value.parse() {
+                Ok(n) => config.sessions = n,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => config.seed = n,
+                Err(_) => return usage(),
+            },
+            "--depth" => match value.parse() {
+                Ok(n) => config.max_depth = n,
+                Err(_) => return usage(),
+            },
+            "--max-states" => match value.parse() {
+                Ok(n) => config.max_states = n,
+                Err(_) => return usage(),
+            },
+            "--acquisitions" => match value.parse() {
+                Ok(n) => config.acquisitions = n,
+                Err(_) => return usage(),
+            },
+            "--time-budget" => match value.parse() {
+                Ok(secs) => config.time_budget = Duration::from_secs(secs),
+                Err(_) => return usage(),
+            },
+            "--faults" => match parse_faults(value) {
+                Some(f) => config.faults = f,
+                None => return usage(),
+            },
+            "--trace-out" => trace_out = Some(value.clone()),
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    if run_fuzz {
+        let failures = fuzz::run_corpus(config.seed);
+        if failures.is_empty() {
+            println!(
+                "fuzz corpus (seed {}): every attack answered with its documented status",
+                config.seed
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "fuzz corpus (seed {}): {} failures",
+            config.seed,
+            failures.len()
+        );
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "exploring {} sessions, faults {}, seed {}, depth {}, {} states max",
+        config.sessions, config.faults, config.seed, config.max_depth, config.max_states
+    );
+    let report = explore(&config);
+    print!("{report}");
+    if report.violations.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    if let Some(path) = trace_out {
+        let mut body = String::new();
+        for violation in &report.violations {
+            body.push_str(&violation.to_string());
+        }
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => eprintln!("counterexample trace written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    ExitCode::from(2)
+}

@@ -1,0 +1,79 @@
+//! The CI smoke runs: a 3-session exploration under every fault class and
+//! the full malicious-peer corpus, both deterministic and budget-bounded.
+
+use oma_explore::{explore, fuzz, ExploreConfig, Faults};
+use std::time::Duration;
+
+/// The acceptance-criteria run: 3 concurrent sessions, reorder + duplicate
+/// + drop faults, zero invariant violations.
+#[test]
+fn three_sessions_with_all_faults_hold_every_invariant() {
+    let report = explore(&ExploreConfig::smoke());
+    assert!(report.violations.is_empty(), "{report}");
+    assert!(
+        report.distinct_states > 100,
+        "the fault schedule should fan out well past the happy path: {report}"
+    );
+}
+
+/// Each fault class alone also explores cleanly (smaller budgets keep the
+/// three runs fast).
+#[test]
+fn each_fault_class_explores_cleanly_in_isolation() {
+    for faults in [
+        Faults {
+            reorder: true,
+            duplicate: false,
+            drop: false,
+        },
+        Faults {
+            reorder: false,
+            duplicate: true,
+            drop: false,
+        },
+        Faults {
+            reorder: false,
+            duplicate: false,
+            drop: true,
+        },
+    ] {
+        let config = ExploreConfig {
+            sessions: 2,
+            seed: 0xd1ce,
+            faults,
+            acquisitions: 1,
+            max_depth: 24,
+            max_states: 4_000,
+            time_budget: Duration::from_secs(30),
+        };
+        let report = explore(&config);
+        assert!(report.violations.is_empty(), "faults {faults}: {report}");
+        assert!(report.states_explored > 0, "faults {faults}: {report}");
+    }
+}
+
+/// Same seed, same exploration — the counterexample replay guarantee.
+#[test]
+fn exploration_is_deterministic() {
+    let config = ExploreConfig {
+        sessions: 2,
+        seed: 9,
+        faults: Faults::all(),
+        acquisitions: 1,
+        max_depth: 18,
+        max_states: 3_000,
+        time_budget: Duration::from_secs(30),
+    };
+    let a = explore(&config);
+    let b = explore(&config);
+    assert_eq!(a.states_explored, b.states_explored);
+    assert_eq!(a.distinct_states, b.distinct_states);
+    assert_eq!(a.pruned, b.pruned);
+    assert_eq!(a.completed_traces, b.completed_traces);
+}
+
+#[test]
+fn fuzz_corpus_passes_in_process() {
+    let failures = fuzz::run_corpus(42);
+    assert!(failures.is_empty(), "{failures:#?}");
+}

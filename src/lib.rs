@@ -34,7 +34,12 @@
 //! * [`load`] — the deterministic device-fleet load harness: worker threads
 //!   drive per-device-seeded agents against one shared concurrent
 //!   [`RiService`](drm::RiService) and report throughput next to the paper's
-//!   tables.
+//!   tables,
+//! * [`explore`] — the model-checking-style interleaving
+//!   [`explorer`](explore::explore) over the typed ROAP session machines
+//!   (reorder/duplicate/drop faults, state-hash pruning, protocol
+//!   invariants) and the malicious-peer protocol
+//!   [`fuzzer`](explore::fuzz).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the benchmark harness that regenerates every table and
@@ -72,6 +77,7 @@ pub use oma_bignum as bignum;
 pub use oma_cluster as cluster;
 pub use oma_crypto as crypto;
 pub use oma_drm as drm;
+pub use oma_explore as explore;
 pub use oma_load as load;
 pub use oma_net as net;
 pub use oma_perf as perf;

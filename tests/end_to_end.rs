@@ -1,11 +1,6 @@
 //! Cross-crate integration tests: the full OMA DRM 2 life-cycle driven
 //! through the umbrella crate's public API.
 
-// This suite deliberately drives the deprecated `&mut RightsIssuer` shims:
-// seed callers must keep compiling and behaving identically now that the
-// legacy paths route through `RoapClient<InProcTransport>`.
-#![allow(deprecated)]
-
 use oma_drm2::drm::{ContentIssuer, DrmAgent, DrmError, Permission, RightsIssuer, RightsTemplate};
 use oma_drm2::pki::{CertificationAuthority, PkiError, Timestamp};
 use rand::rngs::StdRng;
@@ -43,10 +38,10 @@ fn fixture(seed: u64, template: RightsTemplate) -> Fixture {
 fn lifecycle_through_umbrella_crate() {
     let mut f = fixture(1, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
-    f.agent.register(&mut f.ri, now).unwrap();
+    f.agent.register_with(f.ri.service(), now).unwrap();
     let response = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
     let plaintext = f
@@ -60,10 +55,10 @@ fn lifecycle_through_umbrella_crate() {
 fn repeated_playback_with_count_constraint() {
     let mut f = fixture(2, RightsTemplate::counted(Permission::Play, 3));
     let now = Timestamp::new(500);
-    f.agent.register(&mut f.ri, now).unwrap();
+    f.agent.register_with(f.ri.service(), now).unwrap();
     let response = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
     for i in 0..3 {
@@ -88,7 +83,7 @@ fn revoked_rights_issuer_cannot_register_devices() {
     f.ca.revoke(f.ri.certificate().serial());
     f.ri.refresh_ocsp(&f.ca, now);
     assert_eq!(
-        f.agent.register(&mut f.ri, now),
+        f.agent.register_with(f.ri.service(), now),
         Err(DrmError::Pki(PkiError::CertificateRevoked))
     );
 }
@@ -97,10 +92,10 @@ fn revoked_rights_issuer_cannot_register_devices() {
 fn tampered_content_and_rights_objects_are_rejected() {
     let mut f = fixture(4, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
-    f.agent.register(&mut f.ri, now).unwrap();
+    f.agent.register_with(f.ri.service(), now).unwrap();
     let mut response = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
 
     // Tampered DCF detected at consumption time.
@@ -124,16 +119,16 @@ fn tampered_content_and_rights_objects_are_rejected() {
 fn second_rights_object_for_same_content_can_coexist() {
     let mut f = fixture(5, RightsTemplate::counted(Permission::Play, 1));
     let now = Timestamp::new(500);
-    f.agent.register(&mut f.ri, now).unwrap();
+    f.agent.register_with(f.ri.service(), now).unwrap();
 
     let first = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
     let first_id = f.agent.install_rights(&first, now).unwrap();
     let second = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
     let second_id = f.agent.install_rights(&second, now).unwrap();
     assert_ne!(first_id, second_id);
@@ -160,10 +155,10 @@ fn consumption_uses_only_symmetric_crypto() {
     use oma_drm2::crypto::Algorithm;
     let mut f = fixture(6, RightsTemplate::unlimited(Permission::Play));
     let now = Timestamp::new(500);
-    f.agent.register(&mut f.ri, now).unwrap();
+    f.agent.register_with(f.ri.service(), now).unwrap();
     let response = f
         .agent
-        .acquire_rights(&mut f.ri, "cid:content", now)
+        .acquire_rights_with(f.ri.service(), "cid:content", now)
         .unwrap();
     let ro_id = f.agent.install_rights(&response, now).unwrap();
 

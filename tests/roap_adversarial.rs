@@ -7,10 +7,15 @@ use oma_drm2::crypto::rsa::RsaKeyPair;
 use oma_drm2::crypto::CryptoEngine;
 use oma_drm2::drm::agent::OCSP_MAX_AGE_SECONDS;
 use oma_drm2::drm::roap::{DeviceHello, RegistrationRequest, RoapError, NONCE_LEN};
-use oma_drm2::drm::{ContentIssuer, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
+use oma_drm2::drm::{
+    ContentIssuer, DrmAgent, DrmError, Permission, RiService, RightsTemplate, RoapTransport,
+};
+use oma_drm2::explore::fuzz;
+use oma_drm2::net::{RoapEventServer, RoapTcpServer, ServerConfig, TcpTransport};
 use oma_drm2::pki::{CertificationAuthority, EntityRole, PkiError, Timestamp, ValidityPeriod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 const BITS: usize = 384;
 
@@ -223,4 +228,80 @@ fn stale_ocsp_response_is_rejected() {
         victim.register_with(&w.service, far_future),
         Err(DrmError::Pki(PkiError::CertificateRevoked))
     );
+}
+
+// ---------------------------------------------------------------------------
+// The malicious-peer corpus, replayed through every server core
+// ---------------------------------------------------------------------------
+
+/// Seed of the fuzz world; [`fuzz::build_corpus`] is a pure function of it,
+/// so each core gets a byte-identical world and byte-identical attack
+/// frames.
+const CORPUS_SEED: u64 = 42;
+
+/// Delivers the corpus through one already-connected transport, returning
+/// the raw response frames in corpus order.
+fn deliver_corpus<T: RoapTransport>(attacks: &[fuzz::Attack], transport: &T) -> Vec<Vec<u8>> {
+    attacks
+        .iter()
+        .map(|attack| {
+            transport
+                .roundtrip(&attack.frame)
+                .unwrap_or_else(|e| panic!("{}: transport failed: {e:?}", attack.name))
+        })
+        .collect()
+}
+
+#[test]
+fn malicious_corpus_is_answered_identically_by_all_three_server_cores() {
+    // Core 1: in-process dispatch — also the oracle for the expected
+    // status frame of every attack.
+    let (world, attacks) = fuzz::build_corpus(CORPUS_SEED);
+    let in_proc: Vec<Vec<u8>> = attacks
+        .iter()
+        .map(|attack| world.service.dispatch(&attack.frame))
+        .collect();
+    for (attack, response) in attacks.iter().zip(&in_proc) {
+        assert_eq!(
+            response,
+            &attack.expected_frame(),
+            "{}: wrong status frame from in-process dispatch",
+            attack.name
+        );
+    }
+
+    // Core 2: the thread-pool TCP server, fresh identical world.
+    let (world, attacks_tcp) = fuzz::build_corpus(CORPUS_SEED);
+    let server = RoapTcpServer::bind(Arc::clone(&world.service), ServerConfig::default())
+        .expect("bind thread-pool server");
+    let transport = TcpTransport::connect(server.local_addr()).expect("connect");
+    let tcp = deliver_corpus(&attacks_tcp, &transport);
+    drop(transport);
+    server.shutdown();
+
+    // Core 3: the readiness event-loop server, fresh identical world.
+    let (world, attacks_event) = fuzz::build_corpus(CORPUS_SEED);
+    let server = RoapEventServer::bind(Arc::clone(&world.service), ServerConfig::default())
+        .expect("bind event-loop server");
+    let transport = TcpTransport::connect(server.local_addr()).expect("connect");
+    let event = deliver_corpus(&attacks_event, &transport);
+    drop(transport);
+    server.shutdown();
+
+    // Byte identity across all three cores, attack by attack.
+    for ((attack, by_tcp), by_event) in attacks.iter().zip(&tcp).zip(&event) {
+        let reference = attack.expected_frame();
+        assert_eq!(
+            by_tcp, &reference,
+            "{}: thread-pool TCP core diverged from the in-process oracle",
+            attack.name
+        );
+        assert_eq!(
+            by_event, &reference,
+            "{}: event-loop core diverged from the in-process oracle",
+            attack.name
+        );
+    }
+    assert_eq!(in_proc, tcp);
+    assert_eq!(in_proc, event);
 }

@@ -1,0 +1,493 @@
+//! The typed ROAP session machines, checked three ways:
+//!
+//! 1. **Exhaustive transition tables** — every `(state, input)` pair of
+//!    both machines either steps or returns its documented [`RoapError`],
+//!    checked pair by pair against the tables in the module docs.
+//! 2. **Property walks** — random input sequences never panic, stay inside
+//!    the state set, and only ever reject with documented codes
+//!    (vendored proptest).
+//! 3. **Named wire replays** — scripted attacks and interleavings driven
+//!    through [`RiService::dispatch`], asserting the exact status frame on
+//!    the wire *and* that the service's derived machine state
+//!    ([`RiService::session_state`]) tracks the reference model step by
+//!    step.
+//!
+//! [`RiService::dispatch`]: oma_drm2::drm::RiService
+//! [`RiService::session_state`]: oma_drm2::drm::RiService
+
+use oma_drm2::crypto::rsa::RsaKeyPair;
+use oma_drm2::crypto::CryptoEngine;
+use oma_drm2::drm::roap::{DeviceHello, RegistrationRequest, RoRequest, NONCE_LEN};
+use oma_drm2::drm::session::{AgentEvent, AgentSessionState, PduKind, RiSessionState};
+use oma_drm2::drm::wire::RoapStatus;
+use oma_drm2::drm::{
+    ContentIssuer, DomainId, Permission, RiService, RightsTemplate, RoapError, RoapPdu,
+};
+use oma_drm2::pki::{Certificate, CertificationAuthority, EntityRole, Timestamp, ValidityPeriod};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BITS: usize = 384;
+const NOW: u64 = 1_000;
+
+// ---------------------------------------------------------------------------
+// 1. Exhaustive transition tables
+// ---------------------------------------------------------------------------
+
+/// The server machine's documented verdict for one `(state, kind)` pair.
+fn server_table(state: RiSessionState, kind: PduKind) -> Result<RiSessionState, RoapError> {
+    use RiSessionState as S;
+    match kind {
+        PduKind::DeviceHello => Ok(match state {
+            S::Idle | S::ChallengeIssued => S::ChallengeIssued,
+            S::Registered | S::Reregistering => S::Reregistering,
+        }),
+        PduKind::RegistrationRequest => match state {
+            S::ChallengeIssued | S::Reregistering => Ok(S::Registered),
+            S::Idle | S::Registered => Err(RoapError::UnknownSession),
+        },
+        PduKind::RoRequest | PduKind::JoinDomainRequest | PduKind::LeaveDomainRequest => {
+            match state {
+                S::Registered | S::Reregistering => Ok(state),
+                S::Idle | S::ChallengeIssued => Err(RoapError::DeviceNotRegistered),
+            }
+        }
+        PduKind::RiHello
+        | PduKind::RegistrationResponse
+        | PduKind::RoResponse
+        | PduKind::JoinDomainResponse
+        | PduKind::Status => Err(RoapError::Malformed),
+    }
+}
+
+#[test]
+fn every_server_state_pdu_pair_matches_the_documented_table() {
+    for state in RiSessionState::ALL {
+        for kind in PduKind::ALL {
+            assert_eq!(
+                state.step(kind),
+                server_table(state, kind),
+                "({state}, {kind})"
+            );
+        }
+    }
+}
+
+/// The agent machine's documented verdict for one `(state, event)` pair.
+fn agent_table(
+    state: AgentSessionState,
+    event: AgentEvent,
+) -> Result<AgentSessionState, RoapError> {
+    use AgentSessionState as S;
+    match event {
+        AgentEvent::SendHello => Ok(S::HelloSent),
+        AgentEvent::ChallengeReceived => match state {
+            S::HelloSent | S::ChallengeReceived | S::RegistrationSent => Ok(S::ChallengeReceived),
+            _ => Err(RoapError::UnknownSession),
+        },
+        AgentEvent::SendRegistration => match state {
+            S::ChallengeReceived | S::RegistrationSent => Ok(S::RegistrationSent),
+            _ => Err(RoapError::UnknownSession),
+        },
+        AgentEvent::ResponseVerified => match state {
+            S::RegistrationSent => Ok(S::Registered),
+            _ => Err(RoapError::UnknownSession),
+        },
+        AgentEvent::SendRoRequest => match state {
+            S::Registered | S::RoRequested | S::RoDelivered => Ok(S::RoRequested),
+            _ => Err(RoapError::DeviceNotRegistered),
+        },
+        AgentEvent::RoVerified => match state {
+            S::RoRequested => Ok(S::RoDelivered),
+            _ => Err(RoapError::UnknownSession),
+        },
+    }
+}
+
+#[test]
+fn every_agent_state_event_pair_matches_the_documented_table() {
+    for state in AgentSessionState::ALL {
+        for event in AgentEvent::ALL {
+            assert_eq!(
+                state.step(event),
+                agent_table(state, event),
+                "({state}, {event})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Property walks
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any input sequence keeps the server machine inside its state set and
+    /// only rejects with the three documented codes.
+    #[test]
+    fn server_machine_is_total_under_random_walks(seed in 0u64..u64::MAX) {
+        let mut state = RiSessionState::default();
+        let mut x = seed;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let kind = PduKind::ALL[(x >> 33) as usize % PduKind::ALL.len()];
+            match state.step(kind) {
+                Ok(next) => {
+                    prop_assert!(RiSessionState::ALL.contains(&next));
+                    // Registration trust is sticky: no input ever walks a
+                    // registered device back to untrusted.
+                    if state.is_registered() {
+                        prop_assert!(next.is_registered(), "{state} --{kind}--> {next}");
+                    }
+                    state = next;
+                }
+                Err(e) => prop_assert!(
+                    matches!(
+                        e,
+                        RoapError::UnknownSession
+                            | RoapError::DeviceNotRegistered
+                            | RoapError::Malformed
+                    ),
+                    "undocumented rejection {e:?} for ({state}, {kind})"
+                ),
+            }
+        }
+    }
+
+    /// Same totality property for the agent machine; `settle` never leaves
+    /// the state set either.
+    #[test]
+    fn agent_machine_is_total_under_random_walks(seed in 0u64..u64::MAX) {
+        let mut state = AgentSessionState::default();
+        let mut x = seed;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let event = AgentEvent::ALL[(x >> 33) as usize % AgentEvent::ALL.len()];
+            match state.step(event) {
+                Ok(next) => {
+                    prop_assert!(AgentSessionState::ALL.contains(&next));
+                    prop_assert!(AgentSessionState::ALL.contains(&next.settle()));
+                    state = next;
+                }
+                Err(e) => prop_assert!(
+                    matches!(
+                        e,
+                        RoapError::UnknownSession | RoapError::DeviceNotRegistered
+                    ),
+                    "undocumented rejection {e:?} for ({state}, {event})"
+                ),
+            }
+        }
+    }
+
+    /// `derive` and the flag accessors are inverses over the whole state
+    /// space (the service's map-derived view loses nothing).
+    #[test]
+    fn derive_roundtrips_for_any_flag_combination(flags in 0u8..4) {
+        let (registered, pending) = (flags & 1 != 0, flags & 2 != 0);
+        let state = RiSessionState::derive(registered, pending);
+        prop_assert_eq!(state.is_registered(), registered);
+        prop_assert_eq!(state.challenge_pending(), pending);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Named wire replays
+// ---------------------------------------------------------------------------
+
+struct World {
+    ca: CertificationAuthority,
+    service: RiService,
+    rng: StdRng,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ca = CertificationAuthority::new("cmla", BITS, &mut rng);
+    let service = RiService::new("ri.example.com", BITS, &mut ca, &mut rng);
+    World { ca, service, rng }
+}
+
+struct Peer {
+    id: String,
+    keys: RsaKeyPair,
+    certificate: Certificate,
+    engine: CryptoEngine,
+}
+
+impl Peer {
+    fn new(w: &mut World, id: &str, engine_seed: u64) -> Peer {
+        let keys = RsaKeyPair::generate(BITS, &mut w.rng);
+        let certificate = w.ca.issue(
+            id,
+            EntityRole::DrmAgent,
+            keys.public().clone(),
+            ValidityPeriod::starting_at(Timestamp::new(0), 1_000_000),
+        );
+        Peer {
+            id: id.to_string(),
+            keys,
+            certificate,
+            engine: CryptoEngine::with_seed(engine_seed),
+        }
+    }
+
+    fn hello_frame(&self) -> Vec<u8> {
+        RoapPdu::DeviceHello(DeviceHello::new(&self.id)).encode()
+    }
+
+    fn pass3_frame(&self, session_id: u64) -> Vec<u8> {
+        let now = Timestamp::new(NOW);
+        let device_nonce = self.engine.random_nonce(NONCE_LEN);
+        let signed = RegistrationRequest::signed_bytes(
+            session_id,
+            &self.id,
+            &device_nonce,
+            now,
+            &self.certificate,
+        );
+        let signature = self.engine.pss_sign(self.keys.private(), &signed).unwrap();
+        RoapPdu::RegistrationRequest(RegistrationRequest {
+            session_id,
+            device_id: self.id.clone(),
+            device_nonce,
+            request_time: now,
+            certificate: self.certificate.clone(),
+            signature,
+        })
+        .encode()
+    }
+
+    fn ro_frame(&self, content_id: &str) -> Vec<u8> {
+        let now = Timestamp::new(NOW);
+        let device_nonce = self.engine.random_nonce(NONCE_LEN);
+        let signed = RoRequest::signed_bytes(
+            &self.id,
+            "ri.example.com",
+            content_id,
+            None,
+            &device_nonce,
+            now,
+        );
+        let signature = self.engine.pss_sign(self.keys.private(), &signed).unwrap();
+        RoapPdu::RoRequest(RoRequest {
+            device_id: self.id.clone(),
+            ri_id: "ri.example.com".to_string(),
+            content_id: content_id.to_string(),
+            domain_id: None,
+            device_nonce,
+            request_time: now,
+            signature,
+        })
+        .encode()
+    }
+}
+
+fn decoded(service: &RiService, frame: &[u8]) -> RoapPdu {
+    RoapPdu::decode(&service.dispatch(frame)).expect("service answers well-formed frames")
+}
+
+fn session_of(reply: &RoapPdu) -> u64 {
+    match reply {
+        RoapPdu::RiHello(hello) => hello.session_id,
+        other => panic!("expected RiHello, got {other:?}"),
+    }
+}
+
+fn status_of(reply: &RoapPdu) -> RoapStatus {
+    match reply {
+        RoapPdu::Status(status) => *status,
+        other => panic!("expected Status, got {other:?}"),
+    }
+}
+
+#[test]
+fn replayed_pass_three_is_rejected_and_trust_survives() {
+    let mut w = world(0x9e01);
+    let alice = Peer::new(&mut w, "alice", 21);
+    assert_eq!(w.service.session_state("alice"), RiSessionState::Idle);
+
+    let session = session_of(&decoded(&w.service, &alice.hello_frame()));
+    assert_eq!(
+        w.service.session_state("alice"),
+        RiSessionState::ChallengeIssued
+    );
+
+    let pass3 = alice.pass3_frame(session);
+    assert!(matches!(
+        decoded(&w.service, &pass3),
+        RoapPdu::RegistrationResponse(_)
+    ));
+    assert_eq!(w.service.session_state("alice"), RiSessionState::Registered);
+
+    // The replayed frame answers the machine's UnknownSession — and the
+    // registered state is untouched.
+    assert_eq!(
+        status_of(&decoded(&w.service, &pass3)),
+        RoapStatus::Roap(RoapError::UnknownSession)
+    );
+    assert_eq!(w.service.session_state("alice"), RiSessionState::Registered);
+}
+
+#[test]
+fn superseding_hello_invalidates_the_stale_challenge() {
+    let mut w = world(0x9e02);
+    let bob = Peer::new(&mut w, "bob", 22);
+
+    let stale = session_of(&decoded(&w.service, &bob.hello_frame()));
+    let fresh = session_of(&decoded(&w.service, &bob.hello_frame()));
+    assert_ne!(stale, fresh);
+    assert_eq!(
+        w.service.session_state("bob"),
+        RiSessionState::ChallengeIssued
+    );
+
+    // Answering the superseded challenge fails; the fresh one succeeds.
+    assert_eq!(
+        status_of(&decoded(&w.service, &bob.pass3_frame(stale))),
+        RoapStatus::Roap(RoapError::UnknownSession)
+    );
+    assert!(matches!(
+        decoded(&w.service, &bob.pass3_frame(fresh)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+    assert_eq!(w.service.session_state("bob"), RiSessionState::Registered);
+}
+
+#[test]
+fn requests_before_registration_answer_the_machine_codes() {
+    let mut w = world(0x9e03);
+    let carol = Peer::new(&mut w, "carol", 23);
+    w.service.create_domain("family", 4);
+
+    // Acquisition and (unsigned) leave-domain both need Registered state.
+    assert_eq!(
+        status_of(&decoded(&w.service, &carol.ro_frame("cid:any"))),
+        RoapStatus::Roap(RoapError::DeviceNotRegistered)
+    );
+    let leave = RoapPdu::LeaveDomainRequest {
+        device_id: "carol".to_string(),
+        domain_id: DomainId::new("family"),
+    }
+    .encode();
+    assert_eq!(
+        status_of(&decoded(&w.service, &leave)),
+        RoapStatus::Roap(RoapError::DeviceNotRegistered)
+    );
+    // A challenge alone is still not registration.
+    let _ = session_of(&decoded(&w.service, &carol.hello_frame()));
+    assert_eq!(
+        status_of(&decoded(&w.service, &carol.ro_frame("cid:any"))),
+        RoapStatus::Roap(RoapError::DeviceNotRegistered)
+    );
+}
+
+#[test]
+fn interleaved_registrations_keep_per_device_machines_independent() {
+    let mut w = world(0x9e04);
+    let left = Peer::new(&mut w, "left", 24);
+    let right = Peer::new(&mut w, "right", 25);
+
+    // Interleave the two registrations pass by pass.
+    let left_session = session_of(&decoded(&w.service, &left.hello_frame()));
+    let right_session = session_of(&decoded(&w.service, &right.hello_frame()));
+    assert_ne!(left_session, right_session);
+
+    // Crossing the streams — left answering right's challenge — is the
+    // session/device binding violation, not a machine step.
+    assert!(matches!(
+        decoded(&w.service, &left.pass3_frame(right_session)),
+        RoapPdu::Status(RoapStatus::Roap(RoapError::Malformed))
+    ));
+
+    assert!(matches!(
+        decoded(&w.service, &right.pass3_frame(right_session)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+    assert_eq!(
+        w.service.session_state("left"),
+        RiSessionState::ChallengeIssued,
+        "right's registration must not advance left's machine"
+    );
+    assert!(matches!(
+        decoded(&w.service, &left.pass3_frame(left_session)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+    assert_eq!(w.service.session_state("left"), RiSessionState::Registered);
+    assert_eq!(w.service.session_state("right"), RiSessionState::Registered);
+}
+
+#[test]
+fn reregistration_walks_through_reregistering_and_keeps_serving() {
+    let mut w = world(0x9e05);
+    let dave = Peer::new(&mut w, "dave", 27);
+    let ci = ContentIssuer::new("ci");
+    let (dcf, cek) = ci.package(b"track", "cid:track", &mut w.rng);
+    w.service.add_content(
+        "cid:track",
+        cek,
+        &dcf,
+        RightsTemplate::unlimited(Permission::Play),
+    );
+
+    let session = session_of(&decoded(&w.service, &dave.hello_frame()));
+    assert!(matches!(
+        decoded(&w.service, &dave.pass3_frame(session)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+
+    // A new hello from a registered device: trust is kept while the new
+    // challenge is outstanding, and acquisitions still work.
+    let renewal = session_of(&decoded(&w.service, &dave.hello_frame()));
+    assert_eq!(
+        w.service.session_state("dave"),
+        RiSessionState::Reregistering
+    );
+    assert!(matches!(
+        decoded(&w.service, &dave.ro_frame("cid:track")),
+        RoapPdu::RoResponse(_)
+    ));
+
+    assert!(matches!(
+        decoded(&w.service, &dave.pass3_frame(renewal)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+    assert_eq!(w.service.session_state("dave"), RiSessionState::Registered);
+}
+
+#[test]
+fn duplicated_ro_requests_are_served_with_distinct_ids() {
+    let mut w = world(0x9e06);
+    let erin = Peer::new(&mut w, "erin", 28);
+    let ci = ContentIssuer::new("ci");
+    let (dcf, cek) = ci.package(b"track", "cid:track", &mut w.rng);
+    w.service.add_content(
+        "cid:track",
+        cek,
+        &dcf,
+        RightsTemplate::unlimited(Permission::Play),
+    );
+    let session = session_of(&decoded(&w.service, &erin.hello_frame()));
+    assert!(matches!(
+        decoded(&w.service, &erin.pass3_frame(session)),
+        RoapPdu::RegistrationResponse(_)
+    ));
+
+    // The same RO-request frame delivered twice: acquisition is a
+    // registered-state self-loop, so both deliveries are answered — with
+    // two *different* Rights-Object ids (the no-duplicate-id invariant).
+    let request = erin.ro_frame("cid:track");
+    let first = match decoded(&w.service, &request) {
+        RoapPdu::RoResponse(r) => r.rights_object.id().as_str().to_string(),
+        other => panic!("expected RoResponse, got {other:?}"),
+    };
+    let second = match decoded(&w.service, &request) {
+        RoapPdu::RoResponse(r) => r.rights_object.id().as_str().to_string(),
+        other => panic!("expected RoResponse, got {other:?}"),
+    };
+    assert_ne!(first, second);
+    assert_eq!(w.service.session_state("erin"), RiSessionState::Registered);
+}

@@ -4,11 +4,6 @@
 //! (Registration → Acquisition → Installation → Consumption), consistent
 //! snapshot/take semantics, and no lost updates under concurrency.
 
-// This suite deliberately drives the deprecated `&mut RightsIssuer` shims:
-// seed callers must keep compiling and behaving identically now that the
-// legacy paths route through `RoapClient<InProcTransport>`.
-#![allow(deprecated)]
-
 use oma_drm2::crypto::{Algorithm, CryptoEngine, OpTrace};
 use oma_drm2::drm::{ContentIssuer, DrmAgent, Permission, RightsIssuer, RightsTemplate};
 use oma_drm2::pki::{CertificationAuthority, Timestamp};
@@ -43,12 +38,12 @@ fn run_phases(world: &mut Lifecycle) -> [OpTrace; 4] {
     let now = Timestamp::new(1_000);
     world.agent.engine().reset_trace();
 
-    world.agent.register(&mut world.ri, now).unwrap();
+    world.agent.register_with(world.ri.service(), now).unwrap();
     let registration = world.agent.engine().take_trace();
 
     let response = world
         .agent
-        .acquire_rights(&mut world.ri, "cid:track", now)
+        .acquire_rights_with(world.ri.service(), "cid:track", now)
         .unwrap();
     let acquisition = world.agent.engine().take_trace();
 
@@ -82,11 +77,11 @@ fn per_phase_takes_equal_one_cumulative_snapshot() {
     snapshotted.agent.engine().reset_trace();
     snapshotted
         .agent
-        .register(&mut snapshotted.ri, now)
+        .register_with(snapshotted.ri.service(), now)
         .unwrap();
     let response = snapshotted
         .agent
-        .acquire_rights(&mut snapshotted.ri, "cid:track", now)
+        .acquire_rights_with(snapshotted.ri.service(), "cid:track", now)
         .unwrap();
     let ro_id = snapshotted.agent.install_rights(&response, now).unwrap();
     snapshotted
