@@ -13,12 +13,16 @@
 //!
 //! repro --emit-bench [--smoke] [PATH]      # write a BENCH_*.json snapshot
 //! repro --check-bench BASELINE FRESH       # fail on throughput regression
+//! repro --emit-trace [PATH]                # dump a fleet span trace (JSONL)
 //! ```
 //!
 //! `--emit-bench` writes a performance snapshot (default path
-//! `BENCH_pr9.json`); `--smoke` limits it to the small CI-sized section.
+//! `BENCH_pr10.json`); `--smoke` limits it to the small CI-sized section.
 //! `--check-bench` compares two snapshots and exits non-zero when the fresh
-//! one's smoke fleet throughput regressed beyond the tolerated drop.
+//! one's smoke fleet throughput regressed beyond the tolerated drop, or
+//! when the fresh snapshot's observability-overhead ratio fell below the
+//! CI floor. `--emit-trace` runs an obs-enabled smoke fleet and writes the
+//! per-frame span ring as JSON Lines (one span per served frame).
 
 use oma_bench::snapshot::{check_regression, BenchSnapshot};
 use oma_bench::{Experiment, FIGURE6_PAPER_MS, FIGURE7_PAPER_MS};
@@ -137,8 +141,8 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
-        .unwrap_or("BENCH_pr9.json");
-    // "BENCH_pr9.json" -> trajectory label "pr9".
+        .unwrap_or("BENCH_pr10.json");
+    // "BENCH_pr10.json" -> trajectory label "pr10".
     let label = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -178,6 +182,48 @@ fn emit_bench(args: &[String]) -> Result<(), String> {
             session.fuzz_attacks,
         );
     }
+    if let Some(latency) = &section.latency {
+        println!(
+            "  latency: registration p50/p95/p99 {:.0}/{:.0}/{:.0} us (threads) {:.0}/{:.0}/{:.0} us (event), acquisition p50 {:.0}/{:.0} us, obs overhead ratio {:.3}",
+            latency.threads_registration_p50_micros,
+            latency.threads_registration_p95_micros,
+            latency.threads_registration_p99_micros,
+            latency.event_registration_p50_micros,
+            latency.event_registration_p95_micros,
+            latency.event_registration_p99_micros,
+            latency.threads_acquisition_p50_micros,
+            latency.event_acquisition_p50_micros,
+            latency.obs_overhead_ratio,
+        );
+    }
+    Ok(())
+}
+
+/// `repro --emit-trace [PATH]`: run an obs-enabled smoke fleet and write
+/// the span ring as JSON Lines — the CI artifact that shows what one
+/// serving window looked like, frame by frame.
+fn emit_trace(args: &[String]) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("fleet_trace.jsonl");
+    let obs = oma_obs::Obs::new();
+    let spec = oma_load::FleetSpec::smoke();
+    oma_load::run_fleet_tcp_obs(
+        &spec,
+        oma_load::TcpBackend::ThreadPool,
+        &oma_obs::ObsConfig::On(std::sync::Arc::clone(&obs)),
+    )
+    .map_err(|e| format!("trace fleet failed: {e}"))?;
+    let spans = obs.spans();
+    std::fs::write(path, spans.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "wrote {path}: {} spans ({} recorded, {} dropped)",
+        spans.spans().len(),
+        spans.recorded(),
+        spans.dropped()
+    );
     Ok(())
 }
 
@@ -208,6 +254,13 @@ fn main() {
     if selection.first().map(String::as_str) == Some("--check-bench") {
         if let Err(e) = check_bench(&selection[1..]) {
             eprintln!("check-bench failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if selection.first().map(String::as_str) == Some("--emit-trace") {
+        if let Err(e) = emit_trace(&selection[1..]) {
+            eprintln!("emit-trace failed: {e}");
             std::process::exit(1);
         }
         return;

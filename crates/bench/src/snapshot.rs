@@ -13,9 +13,12 @@
 //! RSA op latencies with a seed-equivalent baseline and the resulting
 //! speedup, wire-fleet throughput with per-phase cycle totals, the
 //! durability costs (journaling overhead ratio, WAL replay time), the
-//! nested `net` group (threads-vs-event-loop serving comparison) and the
+//! nested `net` group (threads-vs-event-loop serving comparison), the
 //! nested `cluster` group (WAL replication throughput, failover latency
-//! and sharded-fleet throughput with one mid-wave primary kill).
+//! and sharded-fleet throughput with one mid-wave primary kill), the
+//! nested `session` group (interleaving-explorer throughput) and the
+//! nested `latency` group (per-phase latency quantiles from the `oma-obs`
+//! histograms, plus the obs-on/obs-off throughput ratio).
 //!
 //! The emit/bless flow and the regression gate are documented in the
 //! repository README under "Performance trajectory".
@@ -26,9 +29,10 @@ use oma_crypto::rsa::RsaKeyPair;
 use oma_drm::{DrmAgent, RiJournal, RiService};
 use oma_explore::{explore, fuzz, ExploreConfig, Faults};
 use oma_load::{
-    run_fleet_cluster, run_fleet_durable_with, run_fleet_tcp_with, run_fleet_wire, FleetSpec,
-    TcpBackend,
+    run_fleet_cluster, run_fleet_durable_with, run_fleet_tcp_obs, run_fleet_tcp_with,
+    run_fleet_wire, FleetSpec, TcpBackend,
 };
+use oma_obs::{Obs, ObsConfig};
 use oma_pki::{CertificationAuthority, Timestamp};
 use oma_store::RiStore;
 use rand::rngs::StdRng;
@@ -40,9 +44,10 @@ use std::time::Instant;
 /// any schema up to this one: schema 1 documents predate the `net`
 /// (threads-vs-event-loop) group, schema 2 documents predate the `cluster`
 /// (replication/failover) group, schema 3 documents predate the `session`
-/// (interleaving-explorer) group — all parse with the missing groups
-/// absent.
-pub const BENCH_SCHEMA: u64 = 4;
+/// (interleaving-explorer) group, schema 4 documents predate the `latency`
+/// (per-phase latency distribution / observability overhead) group — all
+/// parse with the missing groups absent.
+pub const BENCH_SCHEMA: u64 = 5;
 
 /// Modulus size of the RSA latency probe. The paper's Table 1 charges RSA
 /// per 1024-bit operation, so the trajectory tracks the op the cost model
@@ -495,6 +500,218 @@ impl SessionBench {
     }
 }
 
+/// Per-phase latency distributions over loopback TCP, plus the cost of
+/// collecting them: the `oma-obs` histograms the fleet records when
+/// observability is on, reduced to the quantiles the paper's cost tables
+/// speak in — and the throughput ratio proving that recording them is
+/// (near) free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyBench {
+    /// Devices in the fleet.
+    pub devices: u64,
+    /// Worker threads driving them (and sizing the thread-pool core).
+    pub workers: u64,
+    /// Registration-exchange latency quantiles against the thread-pool
+    /// core, in microseconds: p50.
+    pub threads_registration_p50_micros: f64,
+    /// Thread-pool registration p95.
+    pub threads_registration_p95_micros: f64,
+    /// Thread-pool registration p99.
+    pub threads_registration_p99_micros: f64,
+    /// Thread-pool RO-acquisition p50.
+    pub threads_acquisition_p50_micros: f64,
+    /// Thread-pool RO-acquisition p95.
+    pub threads_acquisition_p95_micros: f64,
+    /// Thread-pool RO-acquisition p99.
+    pub threads_acquisition_p99_micros: f64,
+    /// Event-loop registration p50.
+    pub event_registration_p50_micros: f64,
+    /// Event-loop registration p95.
+    pub event_registration_p95_micros: f64,
+    /// Event-loop registration p99.
+    pub event_registration_p99_micros: f64,
+    /// Event-loop RO-acquisition p50.
+    pub event_acquisition_p50_micros: f64,
+    /// Event-loop RO-acquisition p95.
+    pub event_acquisition_p95_micros: f64,
+    /// Event-loop RO-acquisition p99.
+    pub event_acquisition_p99_micros: f64,
+    /// Best-of-N obs-on throughput over best-of-N obs-off throughput on
+    /// the thread-pool core. 1.0 means recording every histogram sample
+    /// and span costs nothing; the CI gate requires it near 1.0 (see
+    /// `MIN_OBS_THROUGHPUT_RATIO`).
+    pub obs_overhead_ratio: f64,
+}
+
+/// The committed-baseline floor for [`LatencyBench::obs_overhead_ratio`]:
+/// an emitted snapshot must show obs-on throughput within 2% of obs-off.
+pub const MIN_OBS_THROUGHPUT_RATIO: f64 = 0.98;
+
+/// How many obs-off/obs-on run pairs the overhead probe takes the best of.
+/// Loopback fleet runs are scheduler-noisy at smoke sizes; best-of pairs
+/// measures the instrumentation cost, not an unlucky context switch. The
+/// pairs alternate which side runs first so slow in-process drift
+/// (allocator state, thermal throttling late in a long `--emit-bench`)
+/// cancels instead of taxing whichever side always ran second.
+const OBS_OVERHEAD_TRIALS: usize = 4;
+
+impl LatencyBench {
+    /// Runs obs-enabled fleets against both TCP cores for the quantiles,
+    /// then alternating obs-off/obs-on thread-pool runs for the overhead
+    /// ratio.
+    ///
+    /// # Errors
+    ///
+    /// Stringified `DrmError` from any run, or a fleet whose histograms
+    /// came back empty (which would mean the obs plumbing is broken).
+    pub fn measure(spec: &FleetSpec) -> Result<Self, String> {
+        let threads = Self::phase_quantiles(spec, TcpBackend::ThreadPool)?;
+        let event = Self::phase_quantiles(spec, TcpBackend::EventLoop)?;
+
+        let mut best_off = 0.0f64;
+        let mut best_on = 0.0f64;
+        for trial in 0..OBS_OVERHEAD_TRIALS {
+            // Alternate the order within each pair (see OBS_OVERHEAD_TRIALS).
+            if trial % 2 == 0 {
+                best_off = best_off.max(Self::off_throughput(spec)?);
+                best_on = best_on.max(Self::on_throughput(spec)?);
+            } else {
+                best_on = best_on.max(Self::on_throughput(spec)?);
+                best_off = best_off.max(Self::off_throughput(spec)?);
+            }
+        }
+
+        Ok(LatencyBench {
+            devices: spec.devices as u64,
+            workers: spec.workers as u64,
+            threads_registration_p50_micros: threads.0[0],
+            threads_registration_p95_micros: threads.0[1],
+            threads_registration_p99_micros: threads.0[2],
+            threads_acquisition_p50_micros: threads.1[0],
+            threads_acquisition_p95_micros: threads.1[1],
+            threads_acquisition_p99_micros: threads.1[2],
+            event_registration_p50_micros: event.0[0],
+            event_registration_p95_micros: event.0[1],
+            event_registration_p99_micros: event.0[2],
+            event_acquisition_p50_micros: event.1[0],
+            event_acquisition_p95_micros: event.1[1],
+            event_acquisition_p99_micros: event.1[2],
+            obs_overhead_ratio: best_on / best_off.max(f64::EPSILON),
+        })
+    }
+
+    /// One uninstrumented thread-pool fleet run's throughput.
+    fn off_throughput(spec: &FleetSpec) -> Result<f64, String> {
+        let report = run_fleet_tcp_with(spec, TcpBackend::ThreadPool)
+            .map_err(|e| format!("obs-off fleet failed: {e}"))?;
+        Ok(throughput(&report))
+    }
+
+    /// One fully instrumented thread-pool fleet run's throughput.
+    fn on_throughput(spec: &FleetSpec) -> Result<f64, String> {
+        let report = run_fleet_tcp_obs(spec, TcpBackend::ThreadPool, &ObsConfig::On(Obs::new()))
+            .map_err(|e| format!("obs-on fleet failed: {e}"))?;
+        Ok(throughput(&report))
+    }
+
+    /// One obs-enabled fleet run against `backend`; returns
+    /// `([registration p50, p95, p99], [acquisition p50, p95, p99])` in
+    /// microseconds.
+    fn phase_quantiles(
+        spec: &FleetSpec,
+        backend: TcpBackend,
+    ) -> Result<([f64; 3], [f64; 3]), String> {
+        let obs = Obs::new();
+        run_fleet_tcp_obs(spec, backend, &ObsConfig::On(Arc::clone(&obs)))
+            .map_err(|e| format!("latency fleet ({backend:?}) failed: {e}"))?;
+        let quantiles = |name: &str| -> Result<[f64; 3], String> {
+            let hist = obs
+                .registry()
+                .find_histogram(name)
+                .ok_or_else(|| format!("histogram {name} was never registered"))?;
+            let snap = hist.snapshot();
+            if snap.count() == 0 {
+                return Err(format!("histogram {name} recorded no samples"));
+            }
+            Ok([0.50, 0.95, 0.99].map(|q| snap.value_at_quantile(q) as f64 / 1e3))
+        };
+        Ok((
+            quantiles("fleet_registration_nanos")?,
+            quantiles("fleet_acquisition_nanos")?,
+        ))
+    }
+
+    /// Serializes the group as a nested JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"devices\": {},\n",
+                "      \"workers\": {},\n",
+                "      \"threads_registration_p50_micros\": {:.3},\n",
+                "      \"threads_registration_p95_micros\": {:.3},\n",
+                "      \"threads_registration_p99_micros\": {:.3},\n",
+                "      \"threads_acquisition_p50_micros\": {:.3},\n",
+                "      \"threads_acquisition_p95_micros\": {:.3},\n",
+                "      \"threads_acquisition_p99_micros\": {:.3},\n",
+                "      \"event_registration_p50_micros\": {:.3},\n",
+                "      \"event_registration_p95_micros\": {:.3},\n",
+                "      \"event_registration_p99_micros\": {:.3},\n",
+                "      \"event_acquisition_p50_micros\": {:.3},\n",
+                "      \"event_acquisition_p95_micros\": {:.3},\n",
+                "      \"event_acquisition_p99_micros\": {:.3},\n",
+                "      \"obs_overhead_ratio\": {:.4}\n",
+                "    }}"
+            ),
+            self.devices,
+            self.workers,
+            self.threads_registration_p50_micros,
+            self.threads_registration_p95_micros,
+            self.threads_registration_p99_micros,
+            self.threads_acquisition_p50_micros,
+            self.threads_acquisition_p95_micros,
+            self.threads_acquisition_p99_micros,
+            self.event_registration_p50_micros,
+            self.event_registration_p95_micros,
+            self.event_registration_p99_micros,
+            self.event_acquisition_p50_micros,
+            self.event_acquisition_p95_micros,
+            self.event_acquisition_p99_micros,
+            self.obs_overhead_ratio,
+        )
+    }
+
+    /// Parses the group from its object slice.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or malformed field.
+    pub fn from_json(obj: &str) -> Result<Self, String> {
+        Ok(LatencyBench {
+            devices: u64_field(obj, "devices")?,
+            workers: u64_field(obj, "workers")?,
+            threads_registration_p50_micros: f64_field(obj, "threads_registration_p50_micros")?,
+            threads_registration_p95_micros: f64_field(obj, "threads_registration_p95_micros")?,
+            threads_registration_p99_micros: f64_field(obj, "threads_registration_p99_micros")?,
+            threads_acquisition_p50_micros: f64_field(obj, "threads_acquisition_p50_micros")?,
+            threads_acquisition_p95_micros: f64_field(obj, "threads_acquisition_p95_micros")?,
+            threads_acquisition_p99_micros: f64_field(obj, "threads_acquisition_p99_micros")?,
+            event_registration_p50_micros: f64_field(obj, "event_registration_p50_micros")?,
+            event_registration_p95_micros: f64_field(obj, "event_registration_p95_micros")?,
+            event_registration_p99_micros: f64_field(obj, "event_registration_p99_micros")?,
+            event_acquisition_p50_micros: f64_field(obj, "event_acquisition_p50_micros")?,
+            event_acquisition_p95_micros: f64_field(obj, "event_acquisition_p95_micros")?,
+            event_acquisition_p99_micros: f64_field(obj, "event_acquisition_p99_micros")?,
+            obs_overhead_ratio: f64_field(obj, "obs_overhead_ratio")?,
+        })
+    }
+}
+
+/// Registrations per wall-clock second of a fleet report.
+fn throughput(report: &oma_load::FleetReport) -> f64 {
+    report.registrations as f64 / report.elapsed.as_secs_f64().max(f64::EPSILON)
+}
+
 /// Durability costs: journaling overhead and WAL replay latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DurabilityBench {
@@ -576,6 +793,10 @@ pub struct BenchSection {
     /// Session-machine exploration throughput. `None` only when parsed
     /// from a schema-1/2/3 document that predates the group.
     pub session: Option<SessionBench>,
+    /// Per-phase latency distributions and observability overhead. `None`
+    /// only when parsed from a schema-1/2/3/4 document that predates the
+    /// group.
+    pub latency: Option<LatencyBench>,
 }
 
 impl BenchSection {
@@ -600,6 +821,7 @@ impl BenchSection {
             10_000
         };
         let session = SessionBench::measure(explore_states)?;
+        let latency = LatencyBench::measure(spec)?;
         Ok(BenchSection {
             rsa,
             fleet,
@@ -607,6 +829,7 @@ impl BenchSection {
             net: Some(net),
             cluster: Some(cluster),
             session: Some(session),
+            latency: Some(latency),
         })
     }
 
@@ -622,6 +845,10 @@ impl BenchSection {
             None => "null".to_string(),
         };
         let session = match &self.session {
+            Some(group) => group.to_json(),
+            None => "null".to_string(),
+        };
+        let latency = match &self.latency {
             Some(group) => group.to_json(),
             None => "null".to_string(),
         };
@@ -648,7 +875,8 @@ impl BenchSection {
                 "    \"wal_replay_micros\": {:.3},\n",
                 "    \"net\": {},\n",
                 "    \"cluster\": {},\n",
-                "    \"session\": {}\n",
+                "    \"session\": {},\n",
+                "    \"latency\": {}\n",
                 "  }}"
             ),
             self.rsa.modulus_bits,
@@ -672,6 +900,7 @@ impl BenchSection {
             net,
             cluster,
             session,
+            latency,
         )
     }
 
@@ -717,6 +946,10 @@ impl BenchSection {
             },
             session: match object_slice(obj, "session")? {
                 Some(group) => Some(SessionBench::from_json(group)?),
+                None => None,
+            },
+            latency: match object_slice(obj, "latency")? {
+                Some(group) => Some(LatencyBench::from_json(group)?),
                 None => None,
             },
         })
@@ -806,6 +1039,14 @@ impl BenchSnapshot {
 /// # Errors
 ///
 /// The regression message, suitable for failing a CI step.
+/// CI floor for a *freshly measured* [`LatencyBench::obs_overhead_ratio`].
+/// Deliberately looser than the committed-baseline floor
+/// [`MIN_OBS_THROUGHPUT_RATIO`]: a shared CI runner's best-of-pairs probe
+/// still carries scheduler noise a quiet bench box does not, so the gate
+/// catches an instrumentation path that became genuinely expensive without
+/// flaking on machine weather.
+pub const CI_MIN_OBS_THROUGHPUT_RATIO: f64 = 0.85;
+
 pub fn check_regression(baseline: &BenchSnapshot, fresh: &BenchSnapshot) -> Result<String, String> {
     let base = baseline.smoke.fleet.registrations_per_sec;
     let now = fresh.smoke.fleet.registrations_per_sec;
@@ -827,13 +1068,27 @@ pub fn check_regression(baseline: &BenchSnapshot, fresh: &BenchSnapshot) -> Resu
             MAX_THROUGHPUT_DROP * 100.0
         ));
     }
-    Ok(format!(
+    let mut verdict = format!(
         "smoke fleet throughput {:+.1}% vs baseline '{}' ({:.1} -> {:.1} reg/s)",
         change * 100.0,
         baseline.label,
         base,
         now
-    ))
+    );
+    if let Some(latency) = &fresh.smoke.latency {
+        if latency.obs_overhead_ratio < CI_MIN_OBS_THROUGHPUT_RATIO {
+            return Err(format!(
+                "observability overhead too high: obs-on throughput is {:.1}% of obs-off (CI floor {:.0}%)",
+                latency.obs_overhead_ratio * 100.0,
+                CI_MIN_OBS_THROUGHPUT_RATIO * 100.0
+            ));
+        }
+        verdict.push_str(&format!(
+            "; obs-on/obs-off throughput ratio {:.3} (floor {:.2})",
+            latency.obs_overhead_ratio, CI_MIN_OBS_THROUGHPUT_RATIO
+        ));
+    }
+    Ok(verdict)
 }
 
 // ----- minimal JSON field extraction -----------------------------------------
@@ -966,6 +1221,23 @@ mod tests {
                 states_per_sec: 15000.0,
                 fuzz_attacks: 15,
             }),
+            latency: Some(LatencyBench {
+                devices: 3,
+                workers: 2,
+                threads_registration_p50_micros: 900.0,
+                threads_registration_p95_micros: 1500.0,
+                threads_registration_p99_micros: 2000.0,
+                threads_acquisition_p50_micros: 700.0,
+                threads_acquisition_p95_micros: 1200.0,
+                threads_acquisition_p99_micros: 1600.0,
+                event_registration_p50_micros: 950.0,
+                event_registration_p95_micros: 1550.0,
+                event_registration_p99_micros: 2100.0,
+                event_acquisition_p50_micros: 750.0,
+                event_acquisition_p95_micros: 1250.0,
+                event_acquisition_p99_micros: 1700.0,
+                obs_overhead_ratio: 0.995,
+            }),
         }
     }
 
@@ -1031,7 +1303,7 @@ mod tests {
             smoke: section,
             full: None,
         };
-        let doc = v1.to_json().replace("\"schema\": 4", "\"schema\": 1");
+        let doc = v1.to_json().replace("\"schema\": 5", "\"schema\": 1");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-1 doc parses");
         assert_eq!(parsed.smoke.net, None);
         assert_eq!(parsed.smoke.cluster, None);
@@ -1050,7 +1322,7 @@ mod tests {
             smoke: section,
             full: None,
         };
-        let doc = v2.to_json().replace("\"schema\": 4", "\"schema\": 2");
+        let doc = v2.to_json().replace("\"schema\": 5", "\"schema\": 2");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-2 doc parses");
         assert!(parsed.smoke.net.is_some());
         assert_eq!(parsed.smoke.cluster, None);
@@ -1069,7 +1341,7 @@ mod tests {
             smoke: section,
             full: None,
         };
-        let doc = v3.to_json().replace("\"schema\": 4", "\"schema\": 3");
+        let doc = v3.to_json().replace("\"schema\": 5", "\"schema\": 3");
         let parsed = BenchSnapshot::from_json(&doc).expect("schema-3 doc parses");
         assert!(parsed.smoke.net.is_some());
         assert!(parsed.smoke.cluster.is_some());
@@ -1138,5 +1410,53 @@ mod tests {
             baseline.smoke.session, None,
             "schema-3 file predates the session group"
         );
+    }
+
+    #[test]
+    fn committed_schema_four_baseline_still_parses() {
+        let doc = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json"));
+        let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr9.json parses");
+        assert_eq!(baseline.label, "pr9");
+        assert!(
+            baseline.smoke.session.is_some(),
+            "schema-4 file has a session group"
+        );
+        assert_eq!(
+            baseline.smoke.latency, None,
+            "schema-4 file predates the latency group"
+        );
+    }
+
+    #[test]
+    fn committed_baseline_holds_the_obs_overhead_floor() {
+        let doc = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_pr10.json"
+        ));
+        let baseline = BenchSnapshot::from_json(doc).expect("BENCH_pr10.json parses");
+        assert_eq!(baseline.label, "pr10");
+        let latency = baseline
+            .smoke
+            .latency
+            .as_ref()
+            .expect("schema-5 file has a latency group");
+        assert!(
+            latency.obs_overhead_ratio >= MIN_OBS_THROUGHPUT_RATIO,
+            "committed snapshot shows {:.3} obs-on/obs-off throughput, below the \
+             {MIN_OBS_THROUGHPUT_RATIO} floor — re-measure on a quiet machine",
+            latency.obs_overhead_ratio
+        );
+        for p in [
+            latency.threads_registration_p50_micros,
+            latency.threads_registration_p95_micros,
+            latency.threads_registration_p99_micros,
+            latency.event_registration_p50_micros,
+            latency.event_registration_p95_micros,
+            latency.event_registration_p99_micros,
+            latency.threads_acquisition_p50_micros,
+            latency.event_acquisition_p50_micros,
+        ] {
+            assert!(p > 0.0, "latency quantiles must be measured, not zero");
+        }
     }
 }

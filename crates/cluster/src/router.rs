@@ -139,14 +139,10 @@ impl ClusterRouter {
 /// decode or PDUs that carry no device identity (responses, triggers,
 /// status).
 pub fn frame_device_id(frame: &[u8]) -> Option<String> {
-    match RoapPdu::decode(frame).ok()? {
-        RoapPdu::DeviceHello(hello) => Some(hello.device_id),
-        RoapPdu::RegistrationRequest(req) => Some(req.device_id),
-        RoapPdu::RoRequest(req) => Some(req.device_id),
-        RoapPdu::JoinDomainRequest(req) => Some(req.device_id),
-        RoapPdu::LeaveDomainRequest { device_id, .. } => Some(device_id),
-        _ => None,
-    }
+    RoapPdu::decode(frame)
+        .ok()?
+        .device_id()
+        .map(|device_id| device_id.to_string())
 }
 
 #[cfg(test)]

@@ -24,13 +24,15 @@ use crate::ClusterError;
 use oma_drm::journal::{RiJournal, RiStateImage};
 use oma_drm::RiService;
 use oma_net::ServerMetrics;
+use oma_obs::{Histogram, ObsConfig};
 use oma_store::log::SEGMENT_HEADER;
 use oma_store::{codec, MemLog, RiStore, StoreConfig, Wal};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How many record frames one `Records` PDU carries at most.
 pub const MAX_BATCH_RECORDS: usize = 256;
@@ -62,6 +64,49 @@ pub struct Primary<L: Wal> {
     store: Arc<RiStore<L>>,
     fenced: AtomicBool,
     metrics: Option<Arc<ServerMetrics>>,
+    obs: Option<ShipObs>,
+}
+
+/// Ship→ack latency tracking: every tail shipped to the follower leaves a
+/// `(last_sequence, shipped_at)` marker; the ack that covers a marker's
+/// sequence closes it and the elapsed time lands in the
+/// `repl_ship_ack_nanos` histogram. This replaces the single point-in-time
+/// `repl_follower_lag` gauge (still kept for the metrics `Display` line)
+/// with a full replication-latency distribution.
+struct ShipObs {
+    ship_ack_nanos: Arc<Histogram>,
+    pending: Mutex<VecDeque<(u64, Instant)>>,
+}
+
+/// Markers kept in flight before the oldest is discarded: a follower that
+/// never acks must not grow the primary without bound.
+const MAX_PENDING_SHIPS: usize = 1024;
+
+impl ShipObs {
+    fn on_shipped(&self, last_sequence: u64) {
+        let mut pending = match self.pending.lock() {
+            Ok(pending) => pending,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if pending.len() >= MAX_PENDING_SHIPS {
+            pending.pop_front();
+        }
+        pending.push_back((last_sequence, Instant::now()));
+    }
+
+    fn on_acked(&self, last_sequence: u64) {
+        let mut pending = match self.pending.lock() {
+            Ok(pending) => pending,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        while let Some(&(sequence, shipped_at)) = pending.front() {
+            if sequence > last_sequence {
+                break;
+            }
+            pending.pop_front();
+            self.ship_ack_nanos.record_duration(shipped_at.elapsed());
+        }
+    }
 }
 
 impl<L: Wal> Primary<L> {
@@ -73,7 +118,21 @@ impl<L: Wal> Primary<L> {
             store,
             fenced: AtomicBool::new(false),
             metrics: None,
+            obs: None,
         }
+    }
+
+    /// Publishes the ship→ack latency distribution as the
+    /// `repl_ship_ack_nanos` histogram of `obs`'s registry. No-op when
+    /// observability is off.
+    pub fn with_obs(mut self, obs: &ObsConfig) -> Self {
+        if let Some(obs) = obs.obs() {
+            self.obs = Some(ShipObs {
+                ship_ack_nanos: obs.registry().histogram("repl_ship_ack_nanos"),
+                pending: Mutex::new(VecDeque::new()),
+            });
+        }
+        self
     }
 
     /// Publishes shipping counters (records shipped/acked, follower lag,
@@ -181,6 +240,9 @@ impl<L: Wal> Primary<L> {
                     let head = self.store.next_sequence().saturating_sub(1);
                     metrics.set_follower_lag(head.saturating_sub(*last_sequence));
                 }
+                if let Some(obs) = &self.obs {
+                    obs.on_acked(*last_sequence);
+                }
                 Ok(Vec::new())
             }
             ReplPdu::HandshakeAck { .. } | ReplPdu::Records { .. } => Err(ClusterError::Malformed(
@@ -206,6 +268,11 @@ impl<L: Wal> Primary<L> {
         });
         if let Some(metrics) = &self.metrics {
             metrics.on_records_shipped(shipped);
+        }
+        if shipped > 0 {
+            if let Some(obs) = &self.obs {
+                obs.on_shipped(tail.last_sequence);
+            }
         }
         Ok(())
     }
@@ -673,6 +740,39 @@ mod tests {
             }
             assert!(acked > 0, "records must have shipped");
         }
+    }
+
+    #[test]
+    fn ship_ack_latency_lands_in_the_histogram() {
+        let (service, primary) = primary_world();
+        let obs = oma_obs::Obs::new();
+        let primary = primary.with_obs(&ObsConfig::On(Arc::clone(&obs)));
+        say_hello(&service, 4);
+
+        let mut follower = Follower::in_memory("node.b", AckPolicy::Async);
+        let applied = replicate(&primary, &mut follower).unwrap();
+        assert!(applied > 0);
+
+        let hist = obs
+            .registry()
+            .find_histogram("repl_ship_ack_nanos")
+            .expect("with_obs registers the histogram");
+        let snap = hist.snapshot();
+        // One sample per acked shipped tail: the handshake round ships one
+        // tail and the follower acks it once.
+        assert!(snap.count() >= 1, "ack must close a shipped marker");
+
+        // Acking again past the head records nothing new (no open marker).
+        let before = hist.snapshot().count();
+        primary
+            .handle(&ReplPdu::Ack {
+                epoch: 1,
+                last_sequence: follower.last_sequence(),
+                applied: 0,
+                durable: false,
+            })
+            .unwrap();
+        assert_eq!(hist.snapshot().count(), before);
     }
 
     #[test]

@@ -1207,6 +1207,15 @@ impl RiService {
         self.dispatch_with_clock(frame, None)
     }
 
+    /// Total crypto cycles this service's backend has charged so far —
+    /// the server-side [`CycleMeter`](oma_crypto::backend::CycleMeter)
+    /// reading. Observability layers difference it around a dispatch to
+    /// attribute cycles to a request span; under concurrent dispatch the
+    /// delta is best effort (it may include a neighbour's work).
+    pub fn charged_cycles(&self) -> u64 {
+        self.engine.charged_cycles()
+    }
+
     /// [`RiService::dispatch`] with a server-chosen timestamp: `now` is used
     /// for certificate-validity and freshness decisions instead of the
     /// request's own `request_time`, so a wire peer cannot back-date itself

@@ -274,6 +274,21 @@ impl RoapPdu {
         }
     }
 
+    /// The device identity a request PDU names, when it names one.
+    /// `None` for responses, triggers and status PDUs — the routing and
+    /// tracing layers (cluster sharding, request spans) treat those as
+    /// identity-less.
+    pub fn device_id(&self) -> Option<&str> {
+        match self {
+            RoapPdu::DeviceHello(hello) => Some(&hello.device_id),
+            RoapPdu::RegistrationRequest(req) => Some(&req.device_id),
+            RoapPdu::RoRequest(req) => Some(&req.device_id),
+            RoapPdu::JoinDomainRequest(req) => Some(&req.device_id),
+            RoapPdu::LeaveDomainRequest { device_id, .. } => Some(device_id),
+            _ => None,
+        }
+    }
+
     /// Encodes the PDU into one framed envelope.
     ///
     /// Realistic ROAP PDUs are hundreds of bytes to a few KiB; a body that

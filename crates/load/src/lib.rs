@@ -84,6 +84,7 @@ use oma_drm::roap::{
 use oma_drm::wire::RoapPdu;
 use oma_drm::{ContentIssuer, Dcf, DrmAgent, DrmError, Permission, RiService, RightsTemplate};
 use oma_net::{RoapEventServer, RoapTcpServer, ServerConfig, TcpTransport};
+use oma_obs::{Histogram, ObsConfig};
 use oma_perf::phases::PhaseTraces;
 use oma_perf::report::FleetSummary;
 use oma_perf::runner::PhaseCycles;
@@ -173,6 +174,27 @@ impl FleetSpec {
     pub fn with_acquisitions(mut self, acquisitions_per_device: usize) -> Self {
         self.acquisitions_per_device = acquisitions_per_device;
         self
+    }
+}
+
+/// Pre-resolved fleet-phase histogram handles: per-device wall-clock of
+/// the two ROAP exchanges the paper prices — registration and
+/// Rights-Object acquisition. One sample per device (registration) or per
+/// acquisition round, recorded by the worker that drove the device, so a
+/// fleet run yields a full latency *distribution*, not just a mean.
+struct FleetObs {
+    registration_nanos: Arc<Histogram>,
+    acquisition_nanos: Arc<Histogram>,
+}
+
+impl FleetObs {
+    /// Resolves the `fleet_registration_nanos` / `fleet_acquisition_nanos`
+    /// histograms, or `None` when observability is off.
+    fn from_config(obs: &ObsConfig) -> Option<FleetObs> {
+        obs.obs().map(|obs| FleetObs {
+            registration_nanos: obs.registry().histogram("fleet_registration_nanos"),
+            acquisition_nanos: obs.registry().histogram("fleet_acquisition_nanos"),
+        })
     }
 }
 
@@ -392,6 +414,7 @@ fn drive_device(
         &RoapClient::in_proc(service),
         ca,
         catalog,
+        None,
     )
 }
 
@@ -406,6 +429,7 @@ fn drive_device_via<T: RoapTransport>(
     client: &RoapClient<T>,
     ca: &Mutex<CertificationAuthority>,
     catalog: &[CatalogItem],
+    obs: Option<&FleetObs>,
 ) -> Result<DeviceOutcome, DrmError> {
     let (mut agent, backend) = provision_device(spec, index, ca);
     let device_id = spec.device_id(index);
@@ -415,7 +439,11 @@ fn drive_device_via<T: RoapTransport>(
     agent.engine().reset_trace();
     backend.take_charged_cycles();
 
+    let started = Instant::now();
     agent.register_via(client, now())?;
+    if let Some(obs) = obs {
+        obs.registration_nanos.record_duration(started.elapsed());
+    }
     traces.registration.merge(&agent.engine().take_trace());
     cycles.registration += backend.take_charged_cycles();
 
@@ -424,7 +452,11 @@ fn drive_device_via<T: RoapTransport>(
     for k in 0..spec.acquisitions_per_device {
         let item = &catalog[(index + k) % catalog.len()];
 
+        let started = Instant::now();
         let response = agent.acquire_rights_via(client, ri_id, &item.content_id, now())?;
+        if let Some(obs) = obs {
+            obs.acquisition_nanos.record_duration(started.elapsed());
+        }
         traces.acquisition.merge(&agent.engine().take_trace());
         cycles.acquisition += backend.take_charged_cycles();
 
@@ -599,6 +631,26 @@ impl AnyServer {
 ///
 /// See [`run_fleet_tcp`].
 pub fn run_fleet_tcp_with(spec: &FleetSpec, backend: TcpBackend) -> Result<FleetReport, DrmError> {
+    run_fleet_tcp_obs(spec, backend, &ObsConfig::Off)
+}
+
+/// [`run_fleet_tcp_with`] with an observability surface attached to *both*
+/// ends of the wire: the server core records its per-frame latency
+/// histograms into `obs`'s registry, and every client worker records the
+/// wall-clock of each device's registration and RO-acquisition exchange
+/// into the `fleet_registration_nanos` / `fleet_acquisition_nanos`
+/// histograms — the paper's two priced protocol phases, as latency
+/// distributions instead of means. With [`ObsConfig::Off`] this is exactly
+/// [`run_fleet_tcp_with`].
+///
+/// # Errors
+///
+/// See [`run_fleet_tcp`].
+pub fn run_fleet_tcp_obs(
+    spec: &FleetSpec,
+    backend: TcpBackend,
+    obs: &ObsConfig,
+) -> Result<FleetReport, DrmError> {
     let (ca, service, catalog) = build_world(spec);
     let service = Arc::new(service);
     let workers = spec.workers.max(1);
@@ -608,16 +660,26 @@ pub fn run_fleet_tcp_with(spec: &FleetSpec, backend: TcpBackend) -> Result<Fleet
         ServerConfig {
             workers,
             clock: Some(now()),
+            obs: obs.clone(),
             ..ServerConfig::default()
         },
     )?;
     let addr = server.local_addr();
+    let fleet_obs = FleetObs::from_config(obs);
 
     let started = Instant::now();
     let devices = device_pool(spec.devices, workers, |index| {
         TcpTransport::connect(addr).and_then(|transport| {
             let client = RoapClient::new(transport);
-            drive_device_via(spec, index, service.id(), &client, &ca, &catalog)
+            drive_device_via(
+                spec,
+                index,
+                service.id(),
+                &client,
+                &ca,
+                &catalog,
+                fleet_obs.as_ref(),
+            )
         })
     })?;
     let elapsed = started.elapsed();
@@ -1622,6 +1684,40 @@ mod tests {
             "loopback-TCP outcomes must be byte-identical to direct calls"
         );
         assert!(tcp.duplicate_ro_ids().is_empty());
+    }
+
+    #[test]
+    fn obs_enabled_tcp_fleet_records_distributions_and_stays_deterministic() {
+        let spec = FleetSpec::smoke();
+        let obs = oma_obs::Obs::new();
+        let run = run_fleet_tcp_obs(
+            &spec,
+            TcpBackend::ThreadPool,
+            &ObsConfig::On(Arc::clone(&obs)),
+        )
+        .unwrap();
+        // Observation must not perturb any deterministic observable.
+        let reference = run_sequential(&spec).unwrap();
+        assert!(run.matches(&reference));
+
+        // One registration sample per device, one acquisition sample per
+        // acquisition round, plus the server-side per-frame histograms.
+        let registry = obs.registry();
+        let registrations = registry
+            .find_histogram("fleet_registration_nanos")
+            .expect("fleet histograms registered");
+        assert_eq!(registrations.snapshot().count(), spec.devices as u64);
+        let acquisitions = registry
+            .find_histogram("fleet_acquisition_nanos")
+            .expect("fleet histograms registered");
+        assert_eq!(
+            acquisitions.snapshot().count(),
+            (spec.devices * spec.acquisitions_per_device) as u64
+        );
+        let frames = registry
+            .find_histogram("net_frame_nanos")
+            .expect("server core registered its histograms");
+        assert!(frames.snapshot().count() > 0);
     }
 
     #[test]

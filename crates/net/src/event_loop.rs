@@ -28,7 +28,7 @@
 
 use crate::conn::{Connection, Expiry};
 use crate::poll::{Event, Interest, Poller};
-use crate::{transport_err, ServerConfig, ServerMetrics, POLL_INTERVAL};
+use crate::{span_for_frame, transport_err, NetObs, ServerConfig, ServerMetrics, POLL_INTERVAL};
 use oma_drm::journal::RiJournal;
 use oma_drm::service::RiService;
 use oma_drm::wire::{RoapPdu, RoapStatus};
@@ -193,7 +193,13 @@ impl RoapEventServer {
             .map_err(|e| transport_err("register listener", e))?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(ServerMetrics::default());
+        // Same registry contract as the thread backend: obs on puts the
+        // counters in the shared surface, off keeps them private.
+        let metrics = Arc::new(match config.obs.obs() {
+            Some(obs) => ServerMetrics::in_registry(obs.registry()),
+            None => ServerMetrics::default(),
+        });
+        let obs = config.obs.obs().map(|obs| Arc::new(NetObs::new(obs)));
         let mut core = EventLoop {
             poller,
             listener,
@@ -208,6 +214,7 @@ impl RoapEventServer {
             conns: HashMap::new(),
             wheel: DeadlineWheel::new(Instant::now()),
             next_token: LISTENER_TOKEN + 1,
+            obs,
         };
         let loop_thread = thread::Builder::new()
             .name("roap-event-loop".into())
@@ -283,6 +290,7 @@ struct EventLoop {
     conns: HashMap<u64, Connection>,
     wheel: DeadlineWheel,
     next_token: u64,
+    obs: Option<Arc<NetObs>>,
 }
 
 impl EventLoop {
@@ -345,6 +353,13 @@ impl EventLoop {
                         conn.next_due(self.idle_timeout, self.frame_timeout),
                         now,
                     );
+                    // The readiness core has no hand-off queue: its
+                    // queue-wait is zero by construction, recorded anyway
+                    // (one sample per connection, like the thread core)
+                    // so the two backends' distributions are comparable.
+                    if let Some(obs) = &self.obs {
+                        obs.record_queue_wait(Duration::ZERO);
+                    }
                     self.conns.insert(token, conn);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
@@ -422,14 +437,39 @@ impl EventLoop {
                             return false;
                         }
                     }
+                    // Span identity is read before dispatch, the clock
+                    // started right next to it (see the thread core).
+                    let span_seed = self.obs.as_ref().map(|net_obs| {
+                        let (mut span, cycles_before) = span_for_frame(&frame, &self.service);
+                        span.queue_wait_nanos = 0;
+                        (Arc::clone(net_obs), span, cycles_before, Instant::now())
+                    });
                     let response = match self.clock {
                         Some(now) => self.service.dispatch_at(&frame, now),
                         None => self.service.dispatch(&frame),
                     };
+                    let dispatched_at = Instant::now();
                     let Some(conn) = self.conns.get_mut(&token) else {
                         return false;
                     };
-                    conn.machine().queue_response(&response);
+                    match span_seed {
+                        None => conn.machine().queue_response(&response),
+                        Some((net_obs, mut span, cycles_before, started)) => {
+                            span.cycles =
+                                self.service.charged_cycles().saturating_sub(cycles_before);
+                            // "Write-back" here is the response-buffer
+                            // enqueue: the socket flush is shared across
+                            // connections and cannot be attributed per
+                            // frame.
+                            let write_started = Instant::now();
+                            conn.machine().queue_response(&response);
+                            net_obs.record_frame(
+                                dispatched_at.duration_since(started),
+                                write_started.elapsed(),
+                                span,
+                            );
+                        }
+                    }
                 }
                 Ok(None) => {
                     conn.note_frame_progress();

@@ -59,10 +59,13 @@ use oma_drm::journal::RiJournal;
 use oma_drm::service::RiService;
 use oma_drm::wire::{RoapPdu, RoapStatus};
 use oma_drm::DrmError;
+pub use oma_obs::ObsConfig;
+
+use oma_obs::{Counter as ObsCounter, Gauge as ObsGauge, Histogram, Obs, Registry, Span};
 use oma_pki::Timestamp;
 use std::io::{self, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -105,107 +108,153 @@ pub const DEFAULT_CLIENT_DEADLINE: Duration = Duration::from_secs(30);
 /// any time via [`ServerMetrics::snapshot`]. Gauges (`active`,
 /// `queue_depth`) track the current value and remember their peak;
 /// everything else is a monotonic counter.
-#[derive(Debug, Default)]
+///
+/// Since the observability layer landed, the counters live in an
+/// [`oma_obs::Registry`] — this struct is a set of pre-resolved handles,
+/// and [`snapshot`](ServerMetrics::snapshot) / the snapshot's `Display`
+/// are thin views over the registry values. A server built with
+/// [`ServerConfig::obs`] enabled registers into the shared surface (so
+/// `net_*`/`repl_*` appear in the text exposition); otherwise the
+/// handles live in a private registry and behave exactly as the old
+/// bare atomics did.
 pub struct ServerMetrics {
-    accepted: AtomicU64,
-    served: AtomicU64,
-    active: AtomicU64,
-    peak_active: AtomicU64,
-    reaped_idle: AtomicU64,
-    reaped_frame: AtomicU64,
-    shed: AtomicU64,
-    queue_depth: AtomicU64,
-    peak_queue_depth: AtomicU64,
-    records_shipped: AtomicU64,
-    records_acked: AtomicU64,
-    follower_lag: AtomicU64,
-    epoch: AtomicU64,
+    accepted: Arc<ObsCounter>,
+    served: Arc<ObsCounter>,
+    active: Arc<ObsGauge>,
+    peak_active: Arc<ObsGauge>,
+    reaped_idle: Arc<ObsCounter>,
+    reaped_frame: Arc<ObsCounter>,
+    shed: Arc<ObsCounter>,
+    queue_depth: Arc<ObsGauge>,
+    peak_queue_depth: Arc<ObsGauge>,
+    records_shipped: Arc<ObsCounter>,
+    records_acked: Arc<ObsCounter>,
+    follower_lag: Arc<ObsGauge>,
+    epoch: Arc<ObsGauge>,
+}
+
+impl Default for ServerMetrics {
+    /// Metrics backed by a private, throwaway registry — the
+    /// no-observability path, identical in behaviour to the pre-registry
+    /// bare atomics.
+    fn default() -> Self {
+        Self::in_registry(&Registry::new())
+    }
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
 }
 
 impl ServerMetrics {
-    fn bump_peak(peak: &AtomicU64, value: u64) {
-        peak.fetch_max(value, Ordering::Relaxed);
+    /// Metrics registered in `registry` as the single source of truth
+    /// (`net_*` for connection counters, `repl_*` for replication).
+    /// Registering two servers into one registry would alias their
+    /// counters — give each server its own [`Obs`] surface.
+    pub fn in_registry(registry: &Registry) -> Self {
+        ServerMetrics {
+            accepted: registry.counter("net_accepted_total"),
+            served: registry.counter("net_served_total"),
+            active: registry.gauge("net_active"),
+            peak_active: registry.gauge("net_active_peak"),
+            reaped_idle: registry.counter("net_reaped_idle_total"),
+            reaped_frame: registry.counter("net_reaped_frame_total"),
+            shed: registry.counter("net_shed_total"),
+            queue_depth: registry.gauge("net_queue_depth"),
+            peak_queue_depth: registry.gauge("net_queue_depth_peak"),
+            records_shipped: registry.counter("repl_records_shipped_total"),
+            records_acked: registry.counter("repl_records_acked_total"),
+            follower_lag: registry.gauge("repl_follower_lag"),
+            epoch: registry.gauge("repl_epoch"),
+        }
     }
 
     pub(crate) fn on_accept(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
-        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
-        Self::bump_peak(&self.peak_active, active);
+        self.accepted.inc();
+        let active = self.active.add(1);
+        self.peak_active.set_max(active);
     }
 
     pub(crate) fn on_served(&self) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.served.inc();
+        self.active.sub(1);
     }
 
     pub(crate) fn on_shed(&self) {
-        self.shed.fetch_add(1, Ordering::Relaxed);
-        self.active.fetch_sub(1, Ordering::Relaxed);
+        self.shed.inc();
+        self.active.sub(1);
     }
 
     pub(crate) fn on_reaped_idle(&self) {
-        self.reaped_idle.fetch_add(1, Ordering::Relaxed);
+        self.reaped_idle.inc();
     }
 
     pub(crate) fn on_reaped_frame(&self) {
-        self.reaped_frame.fetch_add(1, Ordering::Relaxed);
+        self.reaped_frame.inc();
     }
 
     pub(crate) fn on_queued(&self) {
-        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        Self::bump_peak(&self.peak_queue_depth, depth);
+        let depth = self.queue_depth.add(1);
+        self.peak_queue_depth.set_max(depth);
     }
 
     pub(crate) fn on_dequeued(&self) {
-        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.sub(1);
     }
 
     /// Number of conversations that have finished (served to disconnect,
     /// protocol failure, reaped, or drained at shutdown).
     pub fn served(&self) -> u64 {
-        self.served.load(Ordering::Relaxed)
+        self.served.get()
     }
 
     /// Counts WAL records shipped to a replication follower. Public because
     /// the replication machinery lives outside this crate (`oma-cluster`)
     /// but reports through the same per-server metrics surface.
     pub fn on_records_shipped(&self, records: u64) {
-        self.records_shipped.fetch_add(records, Ordering::Relaxed);
+        self.records_shipped.add(records);
     }
 
     /// Counts WAL records a replication follower acknowledged.
     pub fn on_records_acked(&self, records: u64) {
-        self.records_acked.fetch_add(records, Ordering::Relaxed);
+        self.records_acked.add(records);
     }
 
     /// Publishes the current replication lag gauge: how many durable
-    /// records the slowest follower has not acknowledged yet.
+    /// records the slowest follower has not acknowledged yet. (The
+    /// point-in-time gauge survives for this `Display` view; the
+    /// *distribution* of replication latency lives in the
+    /// `repl_ship_ack_nanos` histogram `oma-cluster` records.)
     pub fn set_follower_lag(&self, records: u64) {
-        self.follower_lag.store(records, Ordering::Relaxed);
+        self.follower_lag.set(records);
     }
 
     /// Publishes the replication epoch this node currently serves under
     /// (bumped by every failover; see `oma-cluster`).
     pub fn set_epoch(&self, epoch: u64) {
-        self.epoch.store(epoch, Ordering::Relaxed);
+        self.epoch.set(epoch);
     }
 
     /// A consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            served: self.served.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            peak_active: self.peak_active.load(Ordering::Relaxed),
-            reaped_idle: self.reaped_idle.load(Ordering::Relaxed),
-            reaped_frame: self.reaped_frame.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
-            records_shipped: self.records_shipped.load(Ordering::Relaxed),
-            records_acked: self.records_acked.load(Ordering::Relaxed),
-            follower_lag: self.follower_lag.load(Ordering::Relaxed),
-            epoch: self.epoch.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            served: self.served.get(),
+            active: self.active.get(),
+            peak_active: self.peak_active.get(),
+            reaped_idle: self.reaped_idle.get(),
+            reaped_frame: self.reaped_frame.get(),
+            shed: self.shed.get(),
+            queue_depth: self.queue_depth.get(),
+            peak_queue_depth: self.peak_queue_depth.get(),
+            records_shipped: self.records_shipped.get(),
+            records_acked: self.records_acked.get(),
+            follower_lag: self.follower_lag.get(),
+            epoch: self.epoch.get(),
         }
     }
 }
@@ -271,6 +320,72 @@ impl std::fmt::Display for MetricsSnapshot {
             self.epoch,
         )
     }
+}
+
+/// Pre-resolved observability handles for a server core: the per-frame
+/// latency histograms plus the span ring. Created once at bind time when
+/// [`ServerConfig::obs`] is on; every hot-path site then costs one
+/// `Option` check and, when on, lock-free atomic records.
+pub(crate) struct NetObs {
+    obs: Arc<Obs>,
+    frame_nanos: Arc<Histogram>,
+    dispatch_nanos: Arc<Histogram>,
+    write_nanos: Arc<Histogram>,
+    queue_wait_nanos: Arc<Histogram>,
+}
+
+impl NetObs {
+    pub(crate) fn new(obs: &Arc<Obs>) -> NetObs {
+        let registry = obs.registry();
+        NetObs {
+            obs: Arc::clone(obs),
+            frame_nanos: registry.histogram("net_frame_nanos"),
+            dispatch_nanos: registry.histogram("net_dispatch_nanos"),
+            write_nanos: registry.histogram("net_write_nanos"),
+            queue_wait_nanos: registry.histogram("net_queue_wait_nanos"),
+        }
+    }
+
+    /// Records one connection's accept→worker hand-off wait.
+    pub(crate) fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait_nanos.record_duration(wait);
+    }
+
+    /// Records one served frame: the latency histograms plus its span.
+    pub(crate) fn record_frame(&self, dispatch: Duration, write: Duration, mut span: Span) {
+        let dispatch_nanos = duration_nanos(dispatch);
+        let write_nanos = duration_nanos(write);
+        self.dispatch_nanos.record(dispatch_nanos);
+        self.write_nanos.record(write_nanos);
+        self.frame_nanos
+            .record(dispatch_nanos.saturating_add(write_nanos));
+        span.dispatch_nanos = dispatch_nanos;
+        span.write_nanos = write_nanos;
+        self.obs.spans().record(span);
+    }
+}
+
+/// A [`Duration`] as saturating nanoseconds.
+pub(crate) fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Builds the identity half of a frame's [`Span`] — kind, session id and
+/// (when the PDU carries one) device id — from the raw frame bytes. Only
+/// called when observability is on: it decodes the frame a second time,
+/// which is noise next to the crypto a dispatch performs, and keeps the
+/// off path entirely untouched.
+pub(crate) fn span_for_frame(frame: &[u8], service: &RiService) -> (Span, u64) {
+    let span = match RoapPdu::decode(frame) {
+        Ok(pdu) => {
+            let mut span = Span::new(pdu.name());
+            span.session_id = pdu.session_id();
+            span.device_id = pdu.device_id().unwrap_or("").to_string();
+            span
+        }
+        Err(_) => Span::new("Invalid"),
+    };
+    (span, service.charged_cycles())
 }
 
 /// Maps an I/O failure in `context` onto the transport error peers report.
@@ -558,6 +673,13 @@ pub struct ServerConfig {
     /// once the last in-flight conversation has drained, leaving a
     /// compact, replay-free store behind.
     pub store: Option<Arc<dyn RiJournal>>,
+    /// Observability: [`ObsConfig::Off`] (the default) costs one branch
+    /// per instrumentation site; [`ObsConfig::On`] records per-frame
+    /// latency histograms (`net_frame_nanos`, `net_dispatch_nanos`,
+    /// `net_write_nanos`, `net_queue_wait_nanos`), publishes the
+    /// [`ServerMetrics`] counters into the surface's registry, and
+    /// deposits one [`Span`] per served frame in the span ring.
+    pub obs: ObsConfig,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -570,6 +692,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("queue_depth", &self.queue_depth)
             .field("max_connections", &self.max_connections)
             .field("durable", &self.store.is_some())
+            .field("obs", &self.obs.is_on())
             .finish()
     }
 }
@@ -584,6 +707,7 @@ impl Default for ServerConfig {
             queue_depth: DEFAULT_QUEUE_DEPTH,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             store: None,
+            obs: ObsConfig::Off,
         }
     }
 }
@@ -685,11 +809,20 @@ impl RoapTcpServer {
         }
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let metrics = Arc::new(ServerMetrics::default());
+        // With observability on, the connection counters live in the shared
+        // registry (scrapable as `net_*`/`repl_*`); off, they live in a
+        // private one and cost exactly what they used to.
+        let metrics = Arc::new(match config.obs.obs() {
+            Some(obs) => ServerMetrics::in_registry(obs.registry()),
+            None => ServerMetrics::default(),
+        });
+        let net_obs = config.obs.obs().map(|obs| Arc::new(NetObs::new(obs)));
         // A *bounded* hand-off queue: a connect flood fills it and is then
         // shed at the accept loop instead of accumulating sockets (and FDs)
-        // without limit behind a saturated pool.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        // without limit behind a saturated pool. Each entry carries its
+        // enqueue instant so the worker can account the queue wait.
+        let (conn_tx, conn_rx) =
+            mpsc::sync_channel::<(TcpStream, Instant)>(config.queue_depth.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
         let clock = config.clock;
@@ -702,14 +835,19 @@ impl RoapTcpServer {
                 let shutdown = Arc::clone(&shutdown);
                 let metrics = Arc::clone(&metrics);
                 let store = config.store.clone();
+                let net_obs = net_obs.clone();
                 thread::Builder::new()
                     .name(format!("roap-tcp-worker-{i}"))
                     .spawn(move || loop {
                         // Hold the queue lock only for the hand-off itself.
                         let conn = conn_rx.lock().expect("connection queue lock").recv();
                         match conn {
-                            Ok(stream) => {
+                            Ok((stream, enqueued_at)) => {
                                 metrics.on_dequeued();
+                                let queue_wait = enqueued_at.elapsed();
+                                if let Some(obs) = &net_obs {
+                                    obs.record_queue_wait(queue_wait);
+                                }
                                 // A disconnect (or a peer that lost framing)
                                 // ends one conversation, never the worker.
                                 let _ = serve_connection_inner(
@@ -721,6 +859,8 @@ impl RoapTcpServer {
                                     &shutdown,
                                     store.as_deref(),
                                     Some(&metrics),
+                                    net_obs.as_deref(),
+                                    duration_nanos(queue_wait),
                                 );
                                 metrics.on_served();
                             }
@@ -745,9 +885,9 @@ impl RoapTcpServer {
                         Ok((stream, _peer)) => {
                             accept_metrics.on_accept();
                             accept_metrics.on_queued();
-                            match conn_tx.try_send(stream) {
+                            match conn_tx.try_send((stream, Instant::now())) {
                                 Ok(()) => {}
-                                Err(mpsc::TrySendError::Full(stream)) => {
+                                Err(mpsc::TrySendError::Full((stream, _))) => {
                                     // Backpressure: tell the peer why before
                                     // hanging up, best-effort — it may already
                                     // be gone, which sheds just the same.
@@ -875,6 +1015,8 @@ pub fn serve_connection(
         &AtomicBool::new(false),
         None,
         None,
+        None,
+        0,
     )
 }
 
@@ -893,7 +1035,12 @@ fn serve_connection_inner(
     shutdown: &AtomicBool,
     store: Option<&dyn RiJournal>,
     metrics: Option<&ServerMetrics>,
+    obs: Option<&NetObs>,
+    queue_wait_nanos: u64,
 ) -> Result<(), DrmError> {
+    // The connection's hand-off wait is attributed to its first frame's
+    // span (later frames on the same connection waited in no queue).
+    let mut queue_wait_nanos = queue_wait_nanos;
     // The read timeout doubles as the shutdown/idle poll interval.
     stream
         .set_read_timeout(Some(POLL_INTERVAL))
@@ -925,14 +1072,31 @@ fn serve_connection_inner(
                             return Err(e);
                         }
                     }
+                    // Identity is read from the frame *before* dispatch (the bytes
+                    // are drained after), the clock started right before it.
+                    let span_seed = obs.map(|net_obs| {
+                        let (mut span, cycles_before) = span_for_frame(&buf[..total], service);
+                        span.queue_wait_nanos = std::mem::take(&mut queue_wait_nanos);
+                        (net_obs, span, cycles_before, Instant::now())
+                    });
                     let response = match clock {
                         Some(now) => service.dispatch_at(&buf[..total], now),
                         None => service.dispatch(&buf[..total]),
                     };
                     buf.drain(..total);
-                    stream
-                        .write_all(&response)
-                        .map_err(|e| transport_err("send response", e))?;
+                    match span_seed {
+                        None => stream
+                            .write_all(&response)
+                            .map_err(|e| transport_err("send response", e))?,
+                        Some((net_obs, mut span, cycles_before, started)) => {
+                            let dispatch = started.elapsed();
+                            span.cycles = service.charged_cycles().saturating_sub(cycles_before);
+                            let write_started = Instant::now();
+                            let written = stream.write_all(&response);
+                            net_obs.record_frame(dispatch, write_started.elapsed(), span);
+                            written.map_err(|e| transport_err("send response", e))?;
+                        }
+                    }
                 }
                 // An incomplete frame: wait for the rest of it.
                 Ok(_) => break,
@@ -1029,6 +1193,35 @@ mod tests {
             clock: Some(Timestamp::new(1_000)),
             ..ServerConfig::default()
         }
+    }
+
+    #[test]
+    fn metrics_display_is_byte_compatible_with_the_pre_registry_format() {
+        // The metrics now live in an oma-obs registry, but MetricsSnapshot
+        // and its Display line are a public, scrape-parsed surface — this
+        // pins the exact bytes the pre-registry implementation emitted.
+        let metrics = ServerMetrics::default();
+        for _ in 0..4 {
+            metrics.on_accept();
+        }
+        metrics.on_queued();
+        metrics.on_queued();
+        metrics.on_dequeued();
+        metrics.on_shed();
+        metrics.on_reaped_idle();
+        metrics.on_served();
+        metrics.on_reaped_frame();
+        metrics.on_served();
+        metrics.on_records_shipped(7);
+        metrics.on_records_acked(5);
+        metrics.set_follower_lag(2);
+        metrics.set_epoch(3);
+        assert_eq!(
+            metrics.snapshot().to_string(),
+            "accepted=4 served=2 active=1 (peak 4) reaped_idle=1 \
+             reaped_frame=1 shed=1 queue_depth=1 (peak 2) \
+             repl_shipped=7 repl_acked=5 repl_lag=2 epoch=3"
+        );
     }
 
     #[test]

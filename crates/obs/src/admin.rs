@@ -1,0 +1,131 @@
+//! The optional admin TCP listener: scrape metrics and dump spans.
+//!
+//! A deliberately tiny HTTP/1.0 responder — enough for `curl` and a
+//! Prometheus scrape job, nothing more. Two routes:
+//!
+//! * `GET /metrics` → the deterministic text exposition,
+//! * `GET /spans`   → the span ring as JSONL,
+//!
+//! anything else → 404. One thread, one request per connection, no
+//! keep-alive. The listener shares the process's [`Obs`] surface, so a
+//! scrape observes exactly what the serving threads record.
+
+use crate::Obs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running admin listener. Shuts down (and joins its thread) on
+/// [`AdminServer::shutdown`] or drop.
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `obs` until
+    /// shut down.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn bind<A: ToSocketAddrs>(obs: Arc<Obs>, addr: A) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // One bad peer must not kill the listener.
+                        let _ = answer(&obs, stream);
+                    }
+                }
+            })
+        };
+        Ok(AdminServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one request on `stream` and closes it.
+fn answer(obs: &Obs, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", obs.render_text()),
+        "/spans" => ("200 OK", "application/jsonl", obs.spans().to_jsonl()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn metrics_and_spans_are_scrapable() {
+        let obs = Obs::new();
+        obs.registry().counter("net_shed_total").add(3);
+        obs.spans().record(crate::Span::new("DeviceHello"));
+        let mut server = AdminServer::bind(Arc::clone(&obs), "127.0.0.1:0").unwrap();
+        let metrics = get(server.addr(), "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK"));
+        assert!(metrics.contains("net_shed_total 3"));
+        let spans = get(server.addr(), "/spans");
+        assert!(spans.contains("\"kind\":\"DeviceHello\""));
+        let missing = get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"));
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

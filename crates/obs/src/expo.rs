@@ -1,0 +1,104 @@
+//! The Prometheus-style text exposition.
+//!
+//! Deterministic by construction: metrics render in name order (the
+//! registry keeps a sorted map), histogram bucket lines appear in
+//! ascending bound order, and no timestamps are emitted — the same
+//! registry state always renders the same bytes. That determinism is
+//! what lets a committed golden vector (`tests/golden/obs_exposition.txt`)
+//! guard the format against accidental drift.
+//!
+//! Format, per metric kind:
+//!
+//! ```text
+//! # TYPE net_shed_total counter
+//! net_shed_total 3
+//! # TYPE net_active gauge
+//! net_active 2
+//! # TYPE net_frame_nanos histogram
+//! net_frame_nanos_bucket{le="15"} 4        <- cumulative, non-empty buckets only
+//! net_frame_nanos_bucket{le="+Inf"} 9
+//! net_frame_nanos_sum 12345
+//! net_frame_nanos_count 9
+//! # net_frame_nanos p50=.. p95=.. p99=.. p999=.. min=.. max=..
+//! ```
+//!
+//! The quantile summary rides in a comment line so scrapers that speak
+//! strict Prometheus text format ignore it while humans (and our bench
+//! harness) still get p50/p95/p99/p999 at a glance.
+
+use crate::{Metric, Registry};
+use std::fmt::Write as _;
+
+/// Renders every registered metric. See the module docs for the format.
+pub fn render_text(registry: &Registry) -> String {
+    let mut out = String::new();
+    registry.for_each(|name, metric| match metric {
+        Metric::Counter(c) => {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        Metric::Gauge(g) => {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.get());
+        }
+        Metric::Histogram(h) => {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in snap.nonzero_buckets() {
+                cumulative += count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count());
+            let _ = writeln!(out, "{name}_sum {}", snap.sum());
+            let _ = writeln!(out, "{name}_count {}", snap.count());
+            let [p50, p95, p99, p999] = snap.percentiles();
+            let _ = writeln!(
+                out,
+                "# {name} p50={p50} p95={p95} p99={p99} p999={p999} min={} max={}",
+                snap.min(),
+                snap.max()
+            );
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic_and_name_sorted() {
+        let r = Registry::new();
+        r.gauge("z_active").set(2);
+        r.counter("a_total").add(7);
+        let h = r.histogram("m_nanos");
+        h.record(5);
+        h.record(100);
+        let once = render_text(&r);
+        assert_eq!(once, render_text(&r));
+        let a = once.find("a_total").unwrap();
+        let m = once.find("m_nanos").unwrap();
+        let z = once.find("z_active").unwrap();
+        assert!(a < m && m < z, "metrics must render in name order");
+        assert!(once.contains("a_total 7\n"));
+        assert!(once.contains("z_active 2\n"));
+        assert!(once.contains("m_nanos_count 2\n"));
+        assert!(once.contains("m_nanos_bucket{le=\"+Inf\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_bucket_lines_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for v in [1u64, 1, 2, 40] {
+            h.record(v);
+        }
+        let text = render_text(&r);
+        assert!(text.contains("h_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("h_bucket{le=\"2\"} 3\n"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("h_sum 44\n"));
+    }
+}

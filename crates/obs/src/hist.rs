@@ -1,0 +1,329 @@
+//! The log-bucketed latency histogram.
+//!
+//! A fixed-size array of atomic buckets covering the full `u64` range:
+//! values below [`LINEAR_MAX`] get one bucket each (exact), and every
+//! power-of-two octave above it is split into [`SUB_BUCKETS`] equal-width
+//! sub-buckets — the HdrHistogram layout at 4 bits of sub-bucket
+//! precision. Recording is one relaxed `fetch_add` per value plus the
+//! count/sum/min/max atomics: no locks, no allocation, safe from any
+//! number of threads. Memory is fixed at [`BUCKETS`] * 8 bytes (~8 KiB)
+//! per histogram regardless of how many values are recorded.
+//!
+//! The price of fixed memory is bounded relative error: a value lands in
+//! a bucket whose width is at most 1/16 of its magnitude, and quantiles
+//! report the bucket midpoint, so any reported quantile is within ~3.2 %
+//! of the exact order statistic (exact below [`LINEAR_MAX`]). The
+//! quantile-error property test in this crate pins that bound.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this are bucketed exactly (one bucket per value).
+pub const LINEAR_MAX: u64 = 16;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+pub const SUB_BUCKETS: usize = 16;
+
+const SUB_BITS: u32 = 4;
+const FIRST_OCTAVE: u32 = 4; // values 16..32 live in octave 4 (2^4 = 16)
+const OCTAVES: usize = 60; // octaves 4..=63 cover 16..=u64::MAX
+
+/// Total bucket count: the linear range plus every octave's sub-buckets.
+pub const BUCKETS: usize = LINEAR_MAX as usize + OCTAVES * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Total over all of `u64`.
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((value >> (octave - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    LINEAR_MAX as usize + (octave - FIRST_OCTAVE) as usize * SUB_BUCKETS + sub
+}
+
+/// The inclusive `(low, high)` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_MAX as usize {
+        return (index as u64, index as u64);
+    }
+    let past_linear = index - LINEAR_MAX as usize;
+    let octave = (past_linear / SUB_BUCKETS) as u32 + FIRST_OCTAVE;
+    let sub = (past_linear % SUB_BUCKETS) as u64;
+    let width = 1u64 << (octave - SUB_BITS);
+    let low = (1u64 << octave) + sub * width;
+    (low, low + (width - 1))
+}
+
+/// The value a bucket reports for every sample it holds: the midpoint.
+fn bucket_midpoint(index: usize) -> u64 {
+    let (low, high) = bucket_bounds(index);
+    low + (high - low) / 2
+}
+
+/// A mergeable, fixed-memory, lock-free latency histogram.
+///
+/// `record` never blocks and never allocates; `snapshot` reads the
+/// buckets without stopping writers (a snapshot taken under concurrent
+/// recording is a consistent *set of increments*, not necessarily a
+/// point-in-time cut — totals always match what was recorded once
+/// writers quiesce).
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free: one relaxed `fetch_add` per atomic.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating).
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds another histogram's current contents into this one.
+    pub fn merge(&self, other: &Histogram) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// Folds a snapshot into this histogram.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (bucket, &n) in self.buckets.iter().zip(snap.counts.iter()) {
+            if n != 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        if snap.count != 0 {
+            self.min.fetch_min(snap.min, Ordering::Relaxed);
+            self.max.fetch_max(snap.max, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every bucket plus the scalar statistics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Shorthand: the quantile of the current contents.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        self.snapshot().value_at_quantile(q)
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state — what quantile extraction,
+/// merging across fleets and the text exposition operate on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element for [`HistogramSnapshot::merged`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the midpoint of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample, clamped to the
+    /// observed `[min, max]`. Returns 0 for an empty snapshot.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_midpoint(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 / p95 / p99 / p999, in that order.
+    pub fn percentiles(&self) -> [u64; 4] {
+        [
+            self.value_at_quantile(0.50),
+            self.value_at_quantile(0.95),
+            self.value_at_quantile(0.99),
+            self.value_at_quantile(0.999),
+        ]
+    }
+
+    /// Bucket-wise sum of two snapshots (associative and commutative —
+    /// the property tests pin this down).
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .zip(other.counts.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_high_bound, count)` pairs, in
+    /// ascending value order — the exposition's bucket lines.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n != 0)
+            .map(|(i, &n)| (bucket_bounds(i).1, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_total_monotone_and_self_consistent() {
+        // Every bucket's bounds are ordered, adjacent buckets tile the
+        // value line with no gap or overlap, and index(bounds) round-trips.
+        let mut previous_high: Option<u64> = None;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert!(low <= high, "bucket {index}: low {low} > high {high}");
+            if let Some(prev) = previous_high {
+                assert_eq!(low, prev + 1, "gap/overlap before bucket {index}");
+            }
+            assert_eq!(bucket_index(low), index);
+            assert_eq!(bucket_index(high), index);
+            let mid = bucket_midpoint(index);
+            assert!(low <= mid && mid <= high);
+            previous_high = Some(high);
+        }
+        assert_eq!(previous_high, Some(u64::MAX));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), LINEAR_MAX);
+        for v in 0..LINEAR_MAX {
+            let q = (v as f64 + 1.0) / LINEAR_MAX as f64;
+            assert_eq!(snap.value_at_quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), 0);
+        assert_eq!(snap.value_at_quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), u64::MAX);
+        // Bucket resolution: the top quantile lands in MAX's bucket.
+        assert!(snap.value_at_quantile(1.0) >= u64::MAX - (u64::MAX >> 5));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property and concurrency coverage for the log-bucketed histogram.
+//!
+//! Three contracts:
+//!
+//! * merging snapshots is associative and commutative (so per-thread or
+//!   per-shard histograms can be folded in any order),
+//! * concurrent recording from 8 threads equals the sequential
+//!   reference exactly — same count, same sum, same buckets,
+//! * every reported quantile is within the documented error bound of
+//!   the exact order statistic (exact below the linear range).
+
+use oma_obs::hist::LINEAR_MAX;
+use oma_obs::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Spread small generator bytes across the interesting magnitudes: the
+/// exact linear range, mid-size bucketed values and huge outliers.
+fn widen(raw: &[u8]) -> Vec<u64> {
+    raw.iter()
+        .enumerate()
+        .map(|(i, &b)| match i % 3 {
+            0 => b as u64,
+            1 => (b as u64) * 1_000,
+            _ => (b as u64) * 1_000_000_007,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (a, b) = (hist_of(&widen(&a)), hist_of(&widen(&b)));
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+        c in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (a, b, c) = (hist_of(&widen(&a)), hist_of(&widen(&b)), hist_of(&widen(&c)));
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (a, b) = (widen(&a), widen(&b));
+        let merged = hist_of(&a).merged(&hist_of(&b));
+        let both: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist_of(&both));
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_merge_identity(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let a = hist_of(&widen(&a));
+        prop_assert_eq!(a.merged(&HistogramSnapshot::empty()), a.clone());
+        prop_assert_eq!(HistogramSnapshot::empty().merged(&a), a);
+    }
+
+    #[test]
+    fn quantiles_stay_within_the_error_bound(
+        raw in proptest::collection::vec(any::<u8>(), 1..128),
+        q_percent in 0u8..101,
+    ) {
+        let mut values = widen(&raw);
+        let snap = hist_of(&values);
+        values.sort_unstable();
+        let q = q_percent as f64 / 100.0;
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let reported = snap.value_at_quantile(q);
+        if exact < LINEAR_MAX {
+            // The linear range is bucketed exactly.
+            prop_assert_eq!(reported, exact);
+        } else {
+            // Bucket width is at most 1/16 of the value's magnitude and
+            // quantiles report the clamped midpoint: 1/32 relative
+            // error, with a little slack for integer rounding.
+            let bound = exact / 16 + 1;
+            let distance = reported.abs_diff(exact);
+            prop_assert!(
+                distance <= bound,
+                "q={} exact={} reported={} (off by {}, bound {})",
+                q, exact, reported, distance, bound
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_recording_equals_sequential_totals() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let concurrent = Arc::new(Histogram::new());
+    let value_of = |t: u64, i: u64| (t * PER_THREAD + i).wrapping_mul(2_654_435_761) % 5_000_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&concurrent);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(value_of(t, i));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let sequential = Histogram::new();
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            sequential.record(value_of(t, i));
+        }
+    }
+
+    // Not just the same count: the same sum, min, max and every bucket.
+    assert_eq!(concurrent.snapshot(), sequential.snapshot());
+    assert_eq!(concurrent.count(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn per_thread_histograms_fold_into_the_global_one() {
+    // The fleet pattern: each worker records into its own histogram,
+    // the harness merges them. Must equal one shared histogram.
+    let shared = Histogram::new();
+    let merged = Histogram::new();
+    for t in 0..4u64 {
+        let local = Histogram::new();
+        for i in 0..1_000 {
+            let v = (t * 1_000 + i) * 37 % 100_000;
+            local.record(v);
+            shared.record(v);
+        }
+        merged.merge(&local);
+    }
+    assert_eq!(merged.snapshot(), shared.snapshot());
+}

@@ -76,10 +76,12 @@ use codec::Record;
 pub use log::{FileLog, MemLog, Wal};
 use oma_drm::journal::{RiEvent, RiJournal, RiStateImage, StateSource};
 use oma_drm::DrmError;
+use oma_obs::{Histogram, ObsConfig};
 use std::error::Error;
 use std::fmt;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Errors of the durable store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -216,6 +218,17 @@ pub struct RiStore<L: Wal> {
     log: L,
     config: StoreConfig,
     appender: Mutex<Appender>,
+    obs: OnceLock<StoreObs>,
+}
+
+/// Pre-resolved observability handles: the WAL's three latency
+/// histograms. Installed once via [`RiStore::set_obs`]; every write-path
+/// site then costs one lock-free `OnceLock` read (an `Option` check when
+/// observability is off).
+struct StoreObs {
+    append_nanos: Arc<Histogram>,
+    fsync_nanos: Arc<Histogram>,
+    snapshot_nanos: Arc<Histogram>,
 }
 
 impl RiStore<MemLog> {
@@ -292,6 +305,7 @@ impl<L: Wal> RiStore<L> {
                 segment_bytes,
                 fault: None,
             }),
+            obs: OnceLock::new(),
         })
     }
 
@@ -317,6 +331,35 @@ impl<L: Wal> RiStore<L> {
         self.appender.lock().expect("appender lock").fault.clone()
     }
 
+    /// Publishes this store's WAL latency into `obs` (when on):
+    /// `store_append_nanos` (encode + segment append, rotation included),
+    /// `store_fsync_nanos` (every policy-driven or explicit sync) and
+    /// `store_snapshot_nanos` (full snapshot + compaction). One-shot:
+    /// the first surface installed wins, later calls are ignored.
+    pub fn set_obs(&self, obs: &ObsConfig) {
+        if let Some(obs) = obs.obs() {
+            let registry = obs.registry();
+            let _ = self.obs.set(StoreObs {
+                append_nanos: registry.histogram("store_append_nanos"),
+                fsync_nanos: registry.histogram("store_fsync_nanos"),
+                snapshot_nanos: registry.histogram("store_snapshot_nanos"),
+            });
+        }
+    }
+
+    /// Times `op` into `pick(handles)` when observability is installed.
+    fn timed<T>(&self, pick: impl Fn(&StoreObs) -> &Histogram, op: impl FnOnce() -> T) -> T {
+        match self.obs.get() {
+            None => op(),
+            Some(handles) => {
+                let started = Instant::now();
+                let out = op();
+                pick(handles).record_duration(started.elapsed());
+                out
+            }
+        }
+    }
+
     fn append_locked(
         &self,
         appender: &mut Appender,
@@ -338,19 +381,25 @@ impl<L: Wal> RiStore<L> {
                 framed.len() - codec::RECORD_HEADER_LEN,
             ));
         }
-        if appender.segment_bytes + framed.len() as u64 > self.config.segment_max_bytes {
-            self.log.rotate()?;
-            appender.segment_bytes = self.log.segment_len()?;
-        }
-        self.log.append(&framed)?;
+        self.timed(
+            |h| &h.append_nanos,
+            || -> Result<(), StoreError> {
+                if appender.segment_bytes + framed.len() as u64 > self.config.segment_max_bytes {
+                    self.log.rotate()?;
+                    appender.segment_bytes = self.log.segment_len()?;
+                }
+                self.log.append(&framed)?;
+                Ok(())
+            },
+        )?;
         appender.next_sequence += 1;
         appender.segment_bytes += framed.len() as u64;
         match self.config.fsync {
-            FsyncPolicy::Always => self.log.sync()?,
+            FsyncPolicy::Always => self.timed(|h| &h.fsync_nanos, || self.log.sync())?,
             FsyncPolicy::EveryN(n) => {
                 appender.unsynced += 1;
                 if appender.unsynced >= n.max(1) {
-                    self.log.sync()?;
+                    self.timed(|h| &h.fsync_nanos, || self.log.sync())?;
                     appender.unsynced = 0;
                 }
             }
@@ -560,7 +609,7 @@ impl<L: Wal> RiJournal for RiStore<L> {
         if let Some(fault) = &appender.fault {
             return Err(fault.clone().into());
         }
-        if let Err(e) = self.log.sync() {
+        if let Err(e) = self.timed(|h| &h.fsync_nanos, || self.log.sync()) {
             // Latch: callers that discard the Result (drop-path shutdown)
             // still leave the failure visible through `fault()`.
             appender.fault = Some(e.clone());
@@ -575,7 +624,10 @@ impl<L: Wal> RiJournal for RiStore<L> {
         if let Some(fault) = &appender.fault {
             return Err(fault.clone().into());
         }
-        match self.snapshot_locked(&mut appender, capture) {
+        match self.timed(
+            |h| &h.snapshot_nanos,
+            || self.snapshot_locked(&mut appender, capture),
+        ) {
             Ok(()) => Ok(()),
             Err(e) => {
                 // Latch, for the same reason as `flush`.
@@ -658,6 +710,36 @@ mod tests {
         service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
         store.snapshot(&|| service.state_image()).unwrap();
         (ca, service, store, rng)
+    }
+
+    #[test]
+    fn wal_latency_lands_in_the_obs_histograms() {
+        let (_ca, service, _rng) = world();
+        let service = Arc::new(service);
+        let store = Arc::new(RiStore::in_memory_with(StoreConfig {
+            fsync: FsyncPolicy::Always,
+            ..StoreConfig::default()
+        }));
+        let obs = oma_obs::Obs::new();
+        store.set_obs(&ObsConfig::On(Arc::clone(&obs)));
+        service.set_journal(Arc::clone(&store) as Arc<dyn RiJournal>);
+        store.snapshot(&|| service.state_image()).unwrap();
+        for i in 0..3 {
+            service.hello_at(&DeviceHello::new(&format!("dev-{i}")), Timestamp::new(0));
+        }
+
+        let count = |name: &str| {
+            obs.registry()
+                .find_histogram(name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .snapshot()
+                .count()
+        };
+        // One timed append per journaled event; `Always` fsyncs each of
+        // them; the genesis snapshot was timed too.
+        assert_eq!(count("store_append_nanos"), 3);
+        assert!(count("store_fsync_nanos") >= 3);
+        assert_eq!(count("store_snapshot_nanos"), 1);
     }
 
     #[test]

@@ -39,7 +39,14 @@
 //!   [`explorer`](explore::explore) over the typed ROAP session machines
 //!   (reorder/duplicate/drop faults, state-hash pruning, protocol
 //!   invariants) and the malicious-peer protocol
-//!   [`fuzzer`](explore::fuzz).
+//!   [`fuzzer`](explore::fuzz),
+//! * [`obs`] — the std-only observability surface: mergeable log-bucketed
+//!   [`Histogram`](obs::Histogram)s, counters and gauges behind a named
+//!   [`Registry`](obs::Registry), the bounded per-frame
+//!   [`SpanRecorder`](obs::SpanRecorder) ring, the deterministic
+//!   Prometheus-style text exposition and the optional admin listener —
+//!   threaded through every server core behind
+//!   [`ObsConfig`](obs::ObsConfig).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the benchmark harness that regenerates every table and
@@ -80,6 +87,7 @@ pub use oma_drm as drm;
 pub use oma_explore as explore;
 pub use oma_load as load;
 pub use oma_net as net;
+pub use oma_obs as obs;
 pub use oma_perf as perf;
 pub use oma_pki as pki;
 pub use oma_store as store;

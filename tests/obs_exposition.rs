@@ -1,0 +1,82 @@
+//! Golden vector for the metrics text exposition: a committed byte-exact
+//! rendering of a registry populated with literal values, guarding the
+//! scrape format against accidental drift.
+//!
+//! The exposition promises determinism — name-sorted metrics, ascending
+//! cumulative buckets, no timestamps — so the same registry state must
+//! always render the same bytes. Anything that changes this file's output
+//! (bucket layout, quantile summary, line order) changes what every
+//! scraper and the bench harness parse; if the change is intentional,
+//! bless a new vector with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test obs_exposition
+//! ```
+//!
+//! and review the `tests/golden/obs_exposition.txt` diff like any other
+//! format change.
+
+use oma_drm2::obs::{Obs, Registry};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("obs_exposition.txt")
+}
+
+/// A registry exercising all three metric kinds with the real metric
+/// names the server cores register, populated from literals only — no
+/// RNG, no clocks — so the rendered text depends on nothing but the
+/// exposition code and the histogram's bucket layout.
+fn populated() -> Arc<Obs> {
+    let obs = Obs::new();
+    let r: &Registry = obs.registry();
+
+    r.counter("net_accepted_total").add(12);
+    r.counter("net_served_total").add(9);
+    r.counter("net_shed_total").add(2);
+    r.gauge("net_active").set(1);
+    r.gauge("net_active_peak").set(4);
+
+    // Values straddling the linear range, one log bucket boundary and a
+    // repeat — enough to exercise cumulative bucket lines and the
+    // quantile summary comment.
+    let frame = r.histogram("net_frame_nanos");
+    for v in [3u64, 3, 15, 16, 17, 250, 4_096, 1_000_000] {
+        frame.record(v);
+    }
+    let queue = r.histogram("net_queue_wait_nanos");
+    queue.record(0);
+    queue.record(u64::MAX); // clamped into the top bucket, not lost
+
+    obs
+}
+
+#[test]
+fn text_exposition_matches_the_committed_golden_vector() {
+    let rendered = populated().render_text();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden vector {}: {e}", path.display()));
+    assert_eq!(
+        rendered, expected,
+        "metrics exposition drift detected; if intentional, re-bless with \
+         UPDATE_GOLDEN=1 and review the tests/golden/obs_exposition.txt diff"
+    );
+}
+
+/// The golden vector stays self-consistent: every `_count` line agrees
+/// with its `+Inf` bucket, and rendering twice yields identical bytes.
+#[test]
+fn exposition_is_deterministic_across_renders() {
+    let obs = populated();
+    assert_eq!(obs.render_text(), obs.render_text());
+}
